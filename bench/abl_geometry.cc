@@ -1,0 +1,57 @@
+// Ablation: base-station placement. The paper leaves the base-station
+// position unstated; its absolute numbers imply a deep tree. This sweep
+// shows how the tree depth (corner vs center placement) shifts both
+// methods' costs and the resulting savings — useful when comparing the
+// reproduction's absolute numbers to the paper's.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sensjoin/sensjoin.h"
+#include "util/calibration.h"
+#include "util/table.h"
+#include "util/workloads.h"
+
+namespace sensjoin::bench {
+namespace {
+
+void Main(uint64_t seed) {
+  std::cout << "Ablation -- base-station placement "
+               "(33% ratio, 5% fraction), seed "
+            << seed << "\n\n";
+  TablePrinter table({"placement", "tree depth", "external pkts",
+                      "sens pkts", "savings", "ext max node",
+                      "sens max node"});
+  for (auto placement : {net::BaseStationPlacement::kCorner,
+                         net::BaseStationPlacement::kCenter}) {
+    testbed::TestbedParams params = PaperDefaultParams(seed);
+    params.placement.base_station = placement;
+    auto tb = MustCreateTestbed(params);
+    const Calibration cal = CalibrateFraction(
+        *tb, [](double d) { return RatioQueryOneJoinAttr(3, d); }, 0.0, 25.0,
+        0.05, /*increasing=*/false);
+    auto q = tb->ParseQuery(cal.sql);
+    SENSJOIN_CHECK(q.ok());
+    auto ext = tb->MakeExternalJoin().Execute(*q, 0);
+    auto sens = tb->MakeSensJoin().Execute(*q, 0);
+    SENSJOIN_CHECK(ext.ok() && sens.ok());
+    table.AddRow(
+        {placement == net::BaseStationPlacement::kCorner ? "corner"
+                                                         : "center",
+         Fmt(static_cast<uint64_t>(tb->tree().max_depth())),
+         Fmt(ext->cost.join_packets), Fmt(sens->cost.join_packets),
+         Savings(sens->cost.join_packets, ext->cost.join_packets),
+         Fmt(ext->cost.max_node_packets()),
+         Fmt(sens->cost.max_node_packets())});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace sensjoin::bench
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  sensjoin::bench::Main(seed);
+  return 0;
+}

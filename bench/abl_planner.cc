@@ -1,0 +1,68 @@
+// Validates the analytic planner (join/planner.h) against simulation:
+// predicted vs measured packet counts for both methods across result
+// fractions, and whether the planner's choice matches the simulated winner.
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "sensjoin/join/executor_context.h"
+#include "sensjoin/join/planner.h"
+#include "sensjoin/sensjoin.h"
+#include "util/calibration.h"
+#include "util/table.h"
+#include "util/workloads.h"
+
+namespace sensjoin::bench {
+namespace {
+
+void Main(uint64_t seed) {
+  auto tb = MustCreateTestbed(PaperDefaultParams(seed));
+  std::cout << "Planner validation (33% ratio), seed " << seed << "\n\n";
+  TablePrinter table({"fraction", "ext sim", "ext est", "sens sim",
+                      "sens est", "planner picks", "simulated winner"});
+  int correct = 0;
+  int total = 0;
+  for (double target : {0.02, 0.05, 0.10, 0.20, 0.40, 0.60, 0.80}) {
+    const Calibration cal = CalibrateFraction(
+        *tb, [](double d) { return RatioQueryOneJoinAttr(3, d); }, 0.0, 25.0,
+        target, /*increasing=*/false);
+    auto q = tb->ParseQuery(cal.sql);
+    SENSJOIN_CHECK(q.ok());
+    auto ext = tb->MakeExternalJoin().Execute(*q, 0);
+    auto sens = tb->MakeSensJoin().Execute(*q, 0);
+    SENSJOIN_CHECK(ext.ok() && sens.ok());
+
+    std::vector<char> participates(tb->simulator().num_nodes(), 1);
+    participates[tb->tree().root()] = 0;
+    join::PlannerParams params;
+    params.full_tuple_bytes = q->QueriedTupleBytes(0);
+    params.join_attr_raw_bytes = q->JoinAttrTupleBytes(0);
+    params.expected_fraction = cal.fraction;
+    const join::PlanEstimate estimate =
+        join::EstimatePlan(tb->tree(), participates, params);
+
+    const join::JoinMethod simulated_winner =
+        sens->cost.join_packets <= ext->cost.join_packets
+            ? join::JoinMethod::kSensJoin
+            : join::JoinMethod::kExternalJoin;
+    ++total;
+    if (estimate.Choice() == simulated_winner) ++correct;
+    table.AddRow({Percent(cal.fraction, 1.0), Fmt(ext->cost.join_packets),
+                  Fmt(estimate.external, 0), Fmt(sens->cost.join_packets),
+                  Fmt(estimate.sens(), 0),
+                  join::JoinMethodName(estimate.Choice()),
+                  join::JoinMethodName(simulated_winner)});
+  }
+  table.Print(std::cout);
+  std::cout << "decision accuracy: " << correct << "/" << total << "\n";
+}
+
+}  // namespace
+}  // namespace sensjoin::bench
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  sensjoin::bench::Main(seed);
+  return 0;
+}

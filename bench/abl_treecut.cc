@@ -1,0 +1,63 @@
+// Ablation: the Treecut threshold Dmax (Sec. IV-B / IV-E). The paper fixes
+// Dmax = 30 bytes and argues that below ~30 bytes the possible data
+// reduction cannot pay for the extra final-phase packet. This sweep shows
+// the trade-off: Dmax = 0 disables Treecut; values near the packet size
+// push complete tuples too far up the tree.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sensjoin/sensjoin.h"
+#include "util/calibration.h"
+#include "util/table.h"
+#include "util/workloads.h"
+
+namespace sensjoin::bench {
+namespace {
+
+void Main(uint64_t seed) {
+  auto tb = MustCreateTestbed(PaperDefaultParams(seed));
+  std::cout << "Ablation -- Treecut threshold Dmax "
+               "(33% ratio, 5% fraction), seed "
+            << seed << "\n\n";
+  const Calibration cal = CalibrateFraction(
+      *tb, [](double d) { return RatioQueryOneJoinAttr(3, d); }, 0.0, 25.0,
+      0.05, /*increasing=*/false);
+  auto q = tb->ParseQuery(cal.sql);
+  SENSJOIN_CHECK(q.ok());
+
+  TablePrinter table({"Dmax (B)", "exited nodes", "collection", "filter",
+                      "final", "total"});
+  for (int dmax : {0, 10, 20, 30, 40, 47}) {
+    join::ProtocolConfig config;
+    config.dmax_bytes = dmax;
+    auto r = tb->MakeSensJoin(config).Execute(*q, 0);
+    SENSJOIN_CHECK(r.ok()) << r.status();
+    table.AddRow({Fmt(static_cast<uint64_t>(dmax)),
+                  Fmt(r->treecut_exited_nodes),
+                  Fmt(r->cost.phases.collection_packets),
+                  Fmt(r->cost.phases.filter_packets),
+                  Fmt(r->cost.phases.final_packets),
+                  Fmt(r->cost.join_packets)});
+  }
+  // No Treecut at all (distinct from Dmax = 0 only in bookkeeping).
+  join::ProtocolConfig off;
+  off.use_treecut = false;
+  auto r = tb->MakeSensJoin(off).Execute(*q, 0);
+  SENSJOIN_CHECK(r.ok());
+  table.AddRow({"off", Fmt(r->treecut_exited_nodes),
+                Fmt(r->cost.phases.collection_packets),
+                Fmt(r->cost.phases.filter_packets),
+                Fmt(r->cost.phases.final_packets),
+                Fmt(r->cost.join_packets)});
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace sensjoin::bench
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  sensjoin::bench::Main(seed);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Fig. 10: overall transmissions of the external join vs
+// SENS-Join as a function of the fraction of nodes contributing to the
+// result, for the 33% (a) and 60% (b) join-attribute ratios. Expected
+// shape: SENS-Join wins below a crossover fraction in the 60-80% region,
+// with the largest savings at low fractions and at the smaller ratio.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sensjoin/sensjoin.h"
+#include "util/calibration.h"
+#include "util/table.h"
+#include "util/workloads.h"
+
+namespace sensjoin::bench {
+namespace {
+
+void RunPanel(testbed::Testbed& tb, const char* title, bool one_join_attr) {
+  std::cout << "\n" << title << "\n";
+  TablePrinter table({"target", "achieved", "external pkts", "sens pkts",
+                      "collection", "filter", "final", "savings"});
+  for (double target : {0.02, 0.05, 0.10, 0.20, 0.40, 0.60, 0.80}) {
+    Calibration cal;
+    if (one_join_attr) {
+      cal = CalibrateFraction(
+          tb, [](double d) { return RatioQueryOneJoinAttr(3, d); },
+          /*lo=*/0.0, /*hi=*/25.0, target, /*increasing=*/false);
+    } else {
+      cal = CalibrateFraction(
+          tb, [](double d) { return RatioQueryThreeJoinAttrs(5, d); },
+          /*lo=*/0.0, /*hi=*/1500.0, target, /*increasing=*/false);
+    }
+    auto q = tb.ParseQuery(cal.sql);
+    SENSJOIN_CHECK(q.ok()) << q.status();
+    auto ext = tb.MakeExternalJoin().Execute(*q, 0);
+    auto sens = tb.MakeSensJoin().Execute(*q, 0);
+    SENSJOIN_CHECK(ext.ok() && sens.ok());
+    table.AddRow({Percent(target, 1.0), Percent(cal.fraction, 1.0),
+                  Fmt(ext->cost.join_packets), Fmt(sens->cost.join_packets),
+                  Fmt(sens->cost.phases.collection_packets),
+                  Fmt(sens->cost.phases.filter_packets),
+                  Fmt(sens->cost.phases.final_packets),
+                  Savings(sens->cost.join_packets, ext->cost.join_packets)});
+  }
+  table.Print(std::cout);
+}
+
+void Main(uint64_t seed) {
+  auto tb = MustCreateTestbed(PaperDefaultParams(seed));
+  std::cout << "Fig. 10 -- overall savings of SENS-Join vs external join\n"
+            << "network: 1500 nodes, 1050x1050 m, range 50 m, 48 B packets, "
+               "seed "
+            << seed << "\n";
+  RunPanel(*tb, "(a) 33% join attributes (1 join attr of 3 queried)",
+           /*one_join_attr=*/true);
+  RunPanel(*tb, "(b) 60% join attributes (3 join attrs of 5 queried)",
+           /*one_join_attr=*/false);
+}
+
+}  // namespace
+}  // namespace sensjoin::bench
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  sensjoin::bench::Main(seed);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Fig. 12: influence of the ratio (3 join attributes) /
+// (x attributes overall) for x in {3, 4, 5}, at a fixed 5% result
+// fraction. Expected shape: savings grow as the ratio shrinks, and even
+// the worst case of 100% join attributes still beats the external join
+// (thanks to the quadtree representation).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sensjoin/sensjoin.h"
+#include "util/calibration.h"
+#include "util/table.h"
+#include "util/workloads.h"
+
+namespace sensjoin::bench {
+namespace {
+
+void Main(uint64_t seed) {
+  auto tb = MustCreateTestbed(PaperDefaultParams(seed));
+  std::cout << "Fig. 12 -- ratio 3 join attrs / x attrs overall "
+               "(5% fraction), seed "
+            << seed << "\n\n";
+
+  // Calibrate the join condition once; it does not depend on the number of
+  // additionally queried attributes.
+  const Calibration cal = CalibrateFraction(
+      *tb, [](double d) { return RatioQueryThreeJoinAttrs(3, d); }, 0.0,
+      1500.0, 0.05, /*increasing=*/false);
+
+  TablePrinter table({"ratio", "attrs overall", "external pkts", "sens pkts",
+                      "savings"});
+  for (int attrs_overall : {3, 4, 5, 6}) {
+    const std::string sql =
+        RatioQueryThreeJoinAttrs(attrs_overall, cal.param);
+    auto q = tb->ParseQuery(sql);
+    SENSJOIN_CHECK(q.ok()) << q.status();
+    auto ext = tb->MakeExternalJoin().Execute(*q, 0);
+    auto sens = tb->MakeSensJoin().Execute(*q, 0);
+    SENSJOIN_CHECK(ext.ok() && sens.ok());
+    table.AddRow({Percent(3.0, attrs_overall),
+                  Fmt(static_cast<uint64_t>(attrs_overall)),
+                  Fmt(ext->cost.join_packets), Fmt(sens->cost.join_packets),
+                  Savings(sens->cost.join_packets, ext->cost.join_packets)});
+  }
+  table.Print(std::cout);
+  std::cout << "(achieved result fraction " << Percent(cal.fraction, 1.0)
+            << ")\n";
+}
+
+}  // namespace
+}  // namespace sensjoin::bench
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  sensjoin::bench::Main(seed);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Fig. 13: influence of the ratio (1 join attribute) /
+// (x attributes overall) for x in {1..5}, at a fixed 5% result fraction.
+// Expected shape: savings increase with the number of non-join attributes.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sensjoin/sensjoin.h"
+#include "util/calibration.h"
+#include "util/table.h"
+#include "util/workloads.h"
+
+namespace sensjoin::bench {
+namespace {
+
+void Main(uint64_t seed) {
+  auto tb = MustCreateTestbed(PaperDefaultParams(seed));
+  std::cout << "Fig. 13 -- ratio 1 join attr / x attrs overall "
+               "(5% fraction), seed "
+            << seed << "\n\n";
+
+  const Calibration cal = CalibrateFraction(
+      *tb, [](double d) { return RatioQueryOneJoinAttr(1, d); }, 0.0, 25.0,
+      0.05, /*increasing=*/false);
+
+  TablePrinter table({"ratio", "attrs overall", "external pkts", "sens pkts",
+                      "savings"});
+  for (int attrs_overall : {1, 2, 3, 4, 5}) {
+    const std::string sql = RatioQueryOneJoinAttr(attrs_overall, cal.param);
+    auto q = tb->ParseQuery(sql);
+    SENSJOIN_CHECK(q.ok()) << q.status();
+    auto ext = tb->MakeExternalJoin().Execute(*q, 0);
+    auto sens = tb->MakeSensJoin().Execute(*q, 0);
+    SENSJOIN_CHECK(ext.ok() && sens.ok());
+    table.AddRow({Percent(1.0, attrs_overall),
+                  Fmt(static_cast<uint64_t>(attrs_overall)),
+                  Fmt(ext->cost.join_packets), Fmt(sens->cost.join_packets),
+                  Savings(sens->cost.join_packets, ext->cost.join_packets)});
+  }
+  table.Print(std::cout);
+  std::cout << "(achieved result fraction " << Percent(cal.fraction, 1.0)
+            << ")\n";
+}
+
+}  // namespace
+}  // namespace sensjoin::bench
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  sensjoin::bench::Main(seed);
+  return 0;
+}

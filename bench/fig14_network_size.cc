@@ -1,0 +1,50 @@
+// Reproduces Fig. 14: influence of the network size (1000-2500 nodes,
+// constant density), 33% join-attribute ratio, 5% result fraction.
+// Expected shape: relative savings roughly constant, growing slightly
+// (superlinearly) with the size of the network.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sensjoin/sensjoin.h"
+#include "util/calibration.h"
+#include "util/table.h"
+#include "util/workloads.h"
+
+namespace sensjoin::bench {
+namespace {
+
+void Main(uint64_t seed) {
+  std::cout << "Fig. 14 -- influence of the network size "
+               "(constant density, 5% fraction, 33% ratio), seed "
+            << seed << "\n\n";
+  TablePrinter table({"nodes", "area (m)", "tree depth", "external pkts",
+                      "sens pkts", "savings"});
+  for (int n : {1000, 1500, 2000, 2500}) {
+    auto tb = MustCreateTestbed(PaperDefaultParams(seed, n));
+    const Calibration cal = CalibrateFraction(
+        *tb, [](double d) { return RatioQueryOneJoinAttr(3, d); }, 0.0, 25.0,
+        0.05, /*increasing=*/false);
+    auto q = tb->ParseQuery(cal.sql);
+    SENSJOIN_CHECK(q.ok());
+    auto ext = tb->MakeExternalJoin().Execute(*q, 0);
+    auto sens = tb->MakeSensJoin().Execute(*q, 0);
+    SENSJOIN_CHECK(ext.ok() && sens.ok());
+    table.AddRow(
+        {Fmt(static_cast<uint64_t>(n)),
+         Fmt(tb->params().placement.area_width_m, 0),
+         Fmt(static_cast<uint64_t>(tb->tree().max_depth())),
+         Fmt(ext->cost.join_packets), Fmt(sens->cost.join_packets),
+         Savings(sens->cost.join_packets, ext->cost.join_packets)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace sensjoin::bench
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  sensjoin::bench::Main(seed);
+  return 0;
+}

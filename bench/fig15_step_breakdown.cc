@@ -1,0 +1,63 @@
+// Reproduces Fig. 15: SENS-Join transmissions broken down by protocol step
+// for result fractions of 3%, 5%, 9% and 25% (60% join-attribute ratio, as
+// in the paper's cost discussion). Expected shape: the
+// Join-Attribute-Collection cost is independent of the fraction (it is the
+// lower bound of SENS-Join); Filter-Dissemination and the final step grow
+// with the fraction.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sensjoin/sensjoin.h"
+#include "util/calibration.h"
+#include "util/table.h"
+#include "util/workloads.h"
+
+namespace sensjoin::bench {
+namespace {
+
+void Main(uint64_t seed) {
+  auto tb = MustCreateTestbed(PaperDefaultParams(seed));
+  std::cout << "Fig. 15 -- costs in the different steps of SENS-Join, seed "
+            << seed << "\n\n";
+  TablePrinter table({"variant", "achieved", "collection", "filter", "final",
+                      "total"});
+
+  // External join reference bar.
+  {
+    const Calibration cal = CalibrateFraction(
+        *tb, [](double d) { return RatioQueryThreeJoinAttrs(5, d); }, 0.0,
+        1500.0, 0.05, /*increasing=*/false);
+    auto q = tb->ParseQuery(cal.sql);
+    auto ext = tb->MakeExternalJoin().Execute(*q, 0);
+    SENSJOIN_CHECK(ext.ok());
+    table.AddRow({"External Join", Percent(cal.fraction, 1.0), "-", "-", "-",
+                  Fmt(ext->cost.join_packets)});
+  }
+
+  for (double target : {0.03, 0.05, 0.09, 0.25}) {
+    const Calibration cal = CalibrateFraction(
+        *tb, [](double d) { return RatioQueryThreeJoinAttrs(5, d); }, 0.0,
+        1500.0, target, /*increasing=*/false);
+    auto q = tb->ParseQuery(cal.sql);
+    SENSJOIN_CHECK(q.ok());
+    auto sens = tb->MakeSensJoin().Execute(*q, 0);
+    SENSJOIN_CHECK(sens.ok());
+    table.AddRow({"SENS-Join (" + Percent(target, 1.0) + ")",
+                  Percent(cal.fraction, 1.0),
+                  Fmt(sens->cost.phases.collection_packets),
+                  Fmt(sens->cost.phases.filter_packets),
+                  Fmt(sens->cost.phases.final_packets),
+                  Fmt(sens->cost.join_packets)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace sensjoin::bench
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  sensjoin::bench::Main(seed);
+  return 0;
+}

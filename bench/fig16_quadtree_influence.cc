@@ -1,0 +1,75 @@
+// Reproduces Fig. 16: influence of the quadtree representation at a ~4%
+// result fraction. Compares the external join, SENS-Join without the
+// quadtree encoding (raw join-attribute tuples, "SENS_No-Quad") and full
+// SENS-Join. Expected shape: the collection step alone is well below the
+// external join even without the quadtree (only join attributes are sent),
+// and the quadtree roughly halves the pre-computation data on top.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sensjoin/sensjoin.h"
+#include "util/calibration.h"
+#include "util/table.h"
+#include "util/workloads.h"
+
+namespace sensjoin::bench {
+namespace {
+
+void Main(uint64_t seed) {
+  auto tb = MustCreateTestbed(PaperDefaultParams(seed));
+  std::cout << "Fig. 16 -- influence of the quadtree representation "
+               "(~4% fraction), seed "
+            << seed << "\n\n";
+
+  const Calibration cal = CalibrateFraction(
+      *tb, [](double d) { return RatioQueryThreeJoinAttrs(5, d); }, 0.0,
+      1500.0, 0.04, /*increasing=*/false);
+  auto q = tb->ParseQuery(cal.sql);
+  SENSJOIN_CHECK(q.ok());
+
+  TablePrinter table({"variant", "collection", "filter", "final", "total",
+                      "vs external"});
+  auto ext = tb->MakeExternalJoin().Execute(*q, 0);
+  SENSJOIN_CHECK(ext.ok());
+  table.AddRow({"External Join", "-", "-", "-", Fmt(ext->cost.join_packets),
+                "0.0%"});
+
+  join::ProtocolConfig no_quad;
+  no_quad.representation = join::JoinAttrRepresentation::kRaw;
+  auto raw = tb->MakeSensJoin(no_quad).Execute(*q, 0);
+  SENSJOIN_CHECK(raw.ok());
+  table.AddRow({"SENS_No-Quad (" + Percent(cal.fraction, 1.0) + ")",
+                Fmt(raw->cost.phases.collection_packets),
+                Fmt(raw->cost.phases.filter_packets),
+                Fmt(raw->cost.phases.final_packets),
+                Fmt(raw->cost.join_packets),
+                Savings(raw->cost.join_packets, ext->cost.join_packets)});
+
+  auto sens = tb->MakeSensJoin().Execute(*q, 0);
+  SENSJOIN_CHECK(sens.ok());
+  table.AddRow({"SENS-Join (" + Percent(cal.fraction, 1.0) + ")",
+                Fmt(sens->cost.phases.collection_packets),
+                Fmt(sens->cost.phases.filter_packets),
+                Fmt(sens->cost.phases.final_packets),
+                Fmt(sens->cost.join_packets),
+                Savings(sens->cost.join_packets, ext->cost.join_packets)});
+  table.Print(std::cout);
+
+  std::cout << "\ncollection step vs external join: no-quad "
+            << Savings(raw->cost.phases.collection_packets,
+                       ext->cost.join_packets)
+            << " fewer, quadtree "
+            << Savings(sens->cost.phases.collection_packets,
+                       ext->cost.join_packets)
+            << " fewer\n";
+}
+
+}  // namespace
+}  // namespace sensjoin::bench
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  sensjoin::bench::Main(seed);
+  return 0;
+}

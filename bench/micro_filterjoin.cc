@@ -1,0 +1,76 @@
+// Microbenchmark for the base station's pre-computation join
+// (ComputeJoinFilter): the conservative interval-arithmetic join over
+// quantized join-attribute tuples. The base station is powered, but the
+// computation must still finish well within a query's response time.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "sensjoin/common/rng.h"
+#include "sensjoin/data/schema.h"
+#include "sensjoin/join/join_filter.h"
+#include "sensjoin/query/query.h"
+
+namespace sensjoin::join {
+namespace {
+
+data::Schema BenchSchema() {
+  return data::Schema(
+      {{"x", 2}, {"y", 2}, {"temp", 2}, {"hum", 2}, {"pres", 2}});
+}
+
+query::AnalyzedQuery BenchQuery() {
+  auto q = query::AnalyzedQuery::FromString(
+      "SELECT A.hum, B.hum FROM sensors A, sensors B "
+      "WHERE |A.temp - B.temp| < 0.3 "
+      "AND distance(A.x, A.y, B.x, B.y) > 700 ONCE",
+      BenchSchema());
+  SENSJOIN_CHECK(q.ok());
+  return std::move(q).value();
+}
+
+JoinAttrCodec BenchCodec() {
+  DimensionSpec x{"x", 0, 0, 1050, 1.0};
+  DimensionSpec y{"y", 1, 0, 1050, 1.0};
+  DimensionSpec temp{"temp", 2, 0, 50, 0.1};
+  auto quant = Quantizer::Create({x, y, temp});
+  SENSJOIN_CHECK(quant.ok());
+  return JoinAttrCodec(std::move(quant).value(), 1);
+}
+
+PointSet CollectedSet(const JoinAttrCodec& codec, int n) {
+  Rng rng(n);
+  PointSet set = codec.EmptySet();
+  for (int i = 0; i < n; ++i) {
+    set.Insert(codec.EncodeTuple({rng.UniformDouble(0, 1050),
+                                  rng.UniformDouble(0, 1050),
+                                  rng.UniformDouble(18, 26)},
+                                 1));
+  }
+  return set;
+}
+
+void BM_ComputeJoinFilter(benchmark::State& state) {
+  const query::AnalyzedQuery q = BenchQuery();
+  const JoinAttrCodec codec = BenchCodec();
+  const PointSet collected = CollectedSet(codec, state.range(0));
+  size_t filter_size = 0;
+  for (auto _ : state) {
+    const FilterJoinResult r = ComputeJoinFilter(q, codec, collected);
+    filter_size = r.filter.size();
+    benchmark::DoNotOptimize(filter_size);
+  }
+  state.counters["points"] = static_cast<double>(collected.size());
+  state.counters["filter"] = static_cast<double>(filter_size);
+  state.SetItemsProcessed(state.iterations() * collected.size() *
+                          collected.size());
+}
+BENCHMARK(BM_ComputeJoinFilter)->Arg(100)->Arg(400)->Arg(1500)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sensjoin::join
+
+// main() comes from benchmark::benchmark_main.

@@ -1,0 +1,128 @@
+// Microbenchmarks (google-benchmark) for the quadtree point-set codec and
+// the Z-order transform: the per-node CPU work SENS-Join adds. Not a paper
+// figure; included because the paper's feasibility argument rests on these
+// primitives being cheap on node-class hardware.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "sensjoin/common/rng.h"
+#include "sensjoin/join/point_set.h"
+#include "sensjoin/join/zorder.h"
+
+namespace sensjoin::join {
+namespace {
+
+std::shared_ptr<const PointSetLayout> BenchLayout() {
+  // 1 relation flag + 3 dims of 11/11/9 bits: the Q2 join-attribute space.
+  ZOrder z({11, 11, 9});
+  return std::make_shared<const PointSetLayout>(1, z.level_widths());
+}
+
+/// Clustered keys emulating spatially correlated readings.
+std::vector<uint64_t> ClusteredKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  auto layout = BenchLayout();
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  const int total = layout->total_key_bits();
+  while (keys.size() < n) {
+    const uint64_t center = rng.NextUint64() & ((1ull << (total - 1)) - 1);
+    for (int i = 0; i < 16 && keys.size() < n; ++i) {
+      const uint64_t jitter = rng.UniformInt(0, 255);
+      keys.push_back((1ull << (total - 1)) | (center ^ jitter));
+    }
+  }
+  return keys;
+}
+
+void BM_PointSetEncode(benchmark::State& state) {
+  auto layout = BenchLayout();
+  const PointSet set =
+      PointSet::FromKeys(layout, ClusteredKeys(state.range(0), 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.Encode().size_bits());
+  }
+  state.SetItemsProcessed(state.iterations() * set.size());
+}
+BENCHMARK(BM_PointSetEncode)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_PointSetDecode(benchmark::State& state) {
+  auto layout = BenchLayout();
+  const PointSet set =
+      PointSet::FromKeys(layout, ClusteredKeys(state.range(0), 2));
+  const BitWriter encoded = set.Encode();
+  for (auto _ : state) {
+    auto decoded = PointSet::Decode(layout, encoded);
+    benchmark::DoNotOptimize(decoded->size());
+  }
+  state.SetItemsProcessed(state.iterations() * set.size());
+}
+BENCHMARK(BM_PointSetDecode)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_PointSetUnion(benchmark::State& state) {
+  auto layout = BenchLayout();
+  const PointSet a =
+      PointSet::FromKeys(layout, ClusteredKeys(state.range(0), 3));
+  const PointSet b =
+      PointSet::FromKeys(layout, ClusteredKeys(state.range(0), 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PointSet::Union(a, b).size());
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_PointSetUnion)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_PointSetIntersect(benchmark::State& state) {
+  auto layout = BenchLayout();
+  std::vector<uint64_t> keys = ClusteredKeys(2 * state.range(0), 5);
+  const PointSet a = PointSet::FromKeys(
+      layout, std::vector<uint64_t>(keys.begin(),
+                                    keys.begin() + 3 * keys.size() / 4));
+  const PointSet b = PointSet::FromKeys(
+      layout,
+      std::vector<uint64_t>(keys.begin() + keys.size() / 4, keys.end()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PointSet::Intersect(a, b).size());
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_PointSetIntersect)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ZOrderInterleave(benchmark::State& state) {
+  ZOrder z({11, 11, 9});
+  Rng rng(6);
+  std::vector<std::vector<uint32_t>> coords;
+  for (int i = 0; i < 1024; ++i) {
+    coords.push_back({static_cast<uint32_t>(rng.UniformInt(0, 2047)),
+                      static_cast<uint32_t>(rng.UniformInt(0, 2047)),
+                      static_cast<uint32_t>(rng.UniformInt(0, 511))});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.Interleave(coords[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZOrderInterleave);
+
+void BM_EncodedSizeVsRaw(benchmark::State& state) {
+  // Tracks the compression ratio as a reported counter.
+  auto layout = BenchLayout();
+  const PointSet set =
+      PointSet::FromKeys(layout, ClusteredKeys(state.range(0), 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.EncodedBits());
+  }
+  state.counters["ratio"] =
+      static_cast<double>(set.Encode().size_bits()) /
+      static_cast<double>(set.size() * layout->total_key_bits());
+}
+BENCHMARK(BM_EncodedSizeVsRaw)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+}  // namespace sensjoin::join
+
+// main() comes from benchmark::benchmark_main.

@@ -1,0 +1,101 @@
+#include "util/calibration.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sensjoin/common/logging.h"
+#include "sensjoin/join/executor_context.h"
+#include "sensjoin/join/result.h"
+#include "sensjoin/query/expr_eval.h"
+
+namespace sensjoin::bench {
+namespace {
+
+/// Fast 2-table contributing-node count: pairwise scan with predicate
+/// short-circuiting; pairs whose endpoints are both already marked are
+/// skipped (a large win at high fractions).
+size_t CountContributors2Way(const query::AnalyzedQuery& q,
+                             const std::vector<const data::Tuple*>& left,
+                             const std::vector<const data::Tuple*>& right) {
+  std::set<sim::NodeId> contributors;
+  std::vector<char> left_marked(left.size(), 0);
+  std::vector<char> right_marked(right.size(), 0);
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      if (left_marked[i] && right_marked[j]) continue;
+      std::vector<const data::Tuple*> pair = {left[i], right[j]};
+      query::TupleContext pair_ctx(pair);
+      bool match = true;
+      for (const auto& p : q.join_predicates()) {
+        if (!query::EvalPredicate(*p, pair_ctx)) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        left_marked[i] = 1;
+        right_marked[j] = 1;
+        contributors.insert(left[i]->node);
+        contributors.insert(right[j]->node);
+      }
+    }
+  }
+  return contributors.size();
+}
+
+}  // namespace
+
+double ResultNodeFraction(testbed::Testbed& tb, const query::AnalyzedQuery& q,
+                          uint64_t epoch) {
+  const join::ExecutorContext ctx(tb.data(), q, epoch);
+  std::vector<data::Tuple> all;
+  for (int i = 0; i < ctx.num_nodes(); ++i) {
+    if (ctx.info(i).has_tuple) all.push_back(ctx.info(i).tuple);
+  }
+  if (all.empty()) return 0.0;
+  const auto per_table = ctx.PerTableCandidates(all);
+  size_t contributors = 0;
+  if (q.num_tables() == 2) {
+    contributors = CountContributors2Way(q, per_table[0], per_table[1]);
+  } else {
+    contributors =
+        join::ComputeExactJoin(q, per_table).contributing_nodes.size();
+  }
+  return static_cast<double>(contributors) / static_cast<double>(all.size());
+}
+
+Calibration CalibrateFraction(
+    testbed::Testbed& tb, const std::function<std::string(double)>& make_sql,
+    double lo, double hi, double target, bool increasing, uint64_t epoch,
+    int iterations) {
+  SENSJOIN_CHECK_LT(lo, hi);
+  Calibration best;
+  double best_error = 1e9;
+  auto evaluate = [&](double param) {
+    const std::string sql = make_sql(param);
+    auto q = tb.ParseQuery(sql);
+    SENSJOIN_CHECK(q.ok()) << q.status() << "for" << sql;
+    const double fraction = ResultNodeFraction(tb, *q, epoch);
+    const double error = std::abs(fraction - target);
+    if (error < best_error) {
+      best_error = error;
+      best = Calibration{param, fraction, sql};
+    }
+    return fraction;
+  };
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fraction = evaluate(mid);
+    if (best_error < 0.002) break;  // close enough
+    const bool need_larger_fraction = fraction < target;
+    if (need_larger_fraction == increasing) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace sensjoin::bench

@@ -1,0 +1,64 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+namespace sensjoin::bench {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string Fmt(uint64_t v) { return std::to_string(v); }
+
+std::string Percent(double part, double whole) {
+  if (whole == 0) return "n/a";
+  return Fmt(100.0 * part / whole, 1) + "%";
+}
+
+std::string Savings(uint64_t ours, uint64_t baseline) {
+  if (baseline == 0) return "n/a";
+  return Fmt(100.0 * (1.0 - static_cast<double>(ours) /
+                                static_cast<double>(baseline)),
+             1) +
+         "%";
+}
+
+}  // namespace sensjoin::bench

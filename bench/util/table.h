@@ -1,0 +1,35 @@
+#ifndef SENSJOIN_BENCH_UTIL_TABLE_H_
+#define SENSJOIN_BENCH_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sensjoin::bench {
+
+/// Fixed-width console table, used by every figure/table harness so the
+/// reproduced series print in a uniform, diff-friendly format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string Fmt(double v, int digits = 2);
+/// Formats an integer count.
+std::string Fmt(uint64_t v);
+/// Formats `part/whole` as a percentage string like "83.4%".
+std::string Percent(double part, double whole);
+/// Formats the savings of `ours` relative to `baseline` ("+" = cheaper).
+std::string Savings(uint64_t ours, uint64_t baseline);
+
+}  // namespace sensjoin::bench
+
+#endif  // SENSJOIN_BENCH_UTIL_TABLE_H_

@@ -1,0 +1,72 @@
+#include "util/workloads.h"
+
+#include <cmath>
+#include <vector>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::bench {
+namespace {
+
+/// Non-join attributes added to the SELECT list, in preference order.
+const std::vector<std::string>& ExtraAttrs() {
+  static const auto* kAttrs =
+      new std::vector<std::string>{"hum", "pres", "light", "x", "y"};
+  return *kAttrs;
+}
+
+std::string SelectList(const std::vector<std::string>& attrs) {
+  std::string out;
+  for (const std::string& a : attrs) {
+    if (!out.empty()) out += ", ";
+    out += "A." + a + ", B." + a;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RatioQueryOneJoinAttr(int attrs_overall, double delta) {
+  SENSJOIN_CHECK(attrs_overall >= 1 && attrs_overall <= 6);
+  // The join attribute itself is always queried; fill up with extras.
+  std::vector<std::string> attrs = {"temp"};
+  for (int i = 0; attrs_overall > static_cast<int>(attrs.size()); ++i) {
+    attrs.push_back(ExtraAttrs()[i]);
+  }
+  return "SELECT " + SelectList(attrs) +
+         " FROM sensors A, sensors B WHERE A.temp - B.temp > " +
+         std::to_string(delta) + " ONCE";
+}
+
+std::string RatioQueryThreeJoinAttrs(int attrs_overall, double dmin) {
+  SENSJOIN_CHECK(attrs_overall >= 3 && attrs_overall <= 6);
+  std::vector<std::string> attrs = {"temp", "x", "y"};
+  const std::vector<std::string> extras = {"hum", "pres", "light"};
+  for (int i = 0; attrs_overall > static_cast<int>(attrs.size()); ++i) {
+    attrs.push_back(extras[i]);
+  }
+  return "SELECT " + SelectList(attrs) +
+         " FROM sensors A, sensors B WHERE |A.temp - B.temp| < 0.3 "
+         "AND distance(A.x, A.y, B.x, B.y) > " +
+         std::to_string(dmin) + " ONCE";
+}
+
+testbed::TestbedParams PaperDefaultParams(uint64_t seed, int num_nodes) {
+  testbed::TestbedParams params;
+  params.seed = seed;
+  params.placement.num_nodes = num_nodes;
+  // Constant density: the paper's 1500 nodes / (1050 m)^2.
+  const double side = 1050.0 * std::sqrt(num_nodes / 1500.0);
+  params.placement.area_width_m = side;
+  params.placement.area_height_m = side;
+  return params;
+}
+
+std::unique_ptr<testbed::Testbed> MustCreateTestbed(
+    const testbed::TestbedParams& params) {
+  auto tb = testbed::Testbed::Create(params);
+  SENSJOIN_CHECK(tb.ok()) << tb.status();
+  return std::move(tb).value();
+}
+
+}  // namespace sensjoin::bench

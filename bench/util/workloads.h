@@ -1,0 +1,35 @@
+#ifndef SENSJOIN_BENCH_UTIL_WORKLOADS_H_
+#define SENSJOIN_BENCH_UTIL_WORKLOADS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sensjoin/testbed/testbed.h"
+
+namespace sensjoin::bench {
+
+/// Builds the paper's generic evaluation query (Sec. VI "Parameters") with
+/// ONE join attribute (temp) and `attrs_overall` attributes per relation
+/// overall (the 33 % default ratio is attrs_overall = 3). The join
+/// condition A.temp - B.temp > `delta` controls the result fraction:
+/// larger deltas are rarer. attrs_overall in [1, 6].
+std::string RatioQueryOneJoinAttr(int attrs_overall, double delta);
+
+/// Same with THREE join attributes (temp, x, y) and `attrs_overall` in
+/// [3, 6] (the 60 % default ratio is attrs_overall = 5). The condition is
+/// Q2-shaped: |dtemp| < 0.3 AND distance > `dmin`; larger dmin is rarer.
+std::string RatioQueryThreeJoinAttrs(int attrs_overall, double dmin);
+
+/// The paper's default deployment (Sec. VI "Default setting"): 1500 nodes,
+/// 1050 m x 1050 m, 50 m range, 48-byte packets. `num_nodes` scales the
+/// area to keep density constant (Fig. 14's sweep).
+testbed::TestbedParams PaperDefaultParams(uint64_t seed, int num_nodes = 1500);
+
+/// Creates the default testbed or dies (bench binaries have no error path).
+std::unique_ptr<testbed::Testbed> MustCreateTestbed(
+    const testbed::TestbedParams& params);
+
+}  // namespace sensjoin::bench
+
+#endif  // SENSJOIN_BENCH_UTIL_WORKLOADS_H_

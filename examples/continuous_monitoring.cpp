@@ -1,0 +1,70 @@
+// Continuous queries (SAMPLE PERIOD, Sec. III): the query is re-executed
+// over fresh snapshots every period. This example also injects a link
+// failure between epochs to demonstrate the error-tolerance design of
+// Sec. IV-F: the tree protocol repairs the route and the executor
+// re-executes the query.
+//
+//   ./continuous_monitoring [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sensjoin/sensjoin.h"
+
+int main(int argc, char** argv) {
+  using namespace sensjoin;
+
+  testbed::TestbedParams params;
+  params.placement.num_nodes = 600;
+  params.placement.area_width_m = 660;
+  params.placement.area_height_m = 660;
+  params.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+  auto tb = testbed::Testbed::Create(params);
+  if (!tb.ok()) {
+    std::cerr << "testbed: " << tb.status() << "\n";
+    return 1;
+  }
+
+  auto query = (*tb)->ParseQuery(
+      "SELECT COUNT(*), MIN(distance(A.x, A.y, B.x, B.y)) "
+      "FROM sensors A, sensors B "
+      "WHERE A.temp - B.temp > 6.5 "
+      "SAMPLE PERIOD 30");
+  if (!query.ok()) {
+    std::cerr << "query: " << query.status() << "\n";
+    return 1;
+  }
+  std::cout << "continuous monitoring, one result every "
+            << query->sample_period_s() << " s\n\n";
+  (*tb)->DisseminateQuery(*query);
+
+  auto executor = (*tb)->MakeSensJoin();
+  for (uint64_t epoch = 0; epoch < 8; ++epoch) {
+    if (epoch == 4) {
+      // A link goes down between epochs 3 and 4; pick a loaded tree edge.
+      const net::RoutingTree& tree = executor.tree();
+      for (sim::NodeId u : tree.collection_order()) {
+        if (tree.hop_count(u) >= 2 && tree.subtree_size(u) >= 10 &&
+            (*tb)->simulator().radio().Neighbors(u).size() >= 3) {
+          (*tb)->simulator().radio().FailLink(u, tree.parent(u));
+          std::cout << "  [link " << u << " -> " << tree.parent(u)
+                    << " failed]\n";
+          break;
+        }
+      }
+    }
+    auto report = executor.Execute(*query, epoch);
+    if (!report.ok()) {
+      std::cerr << "epoch " << epoch << ": " << report.status() << "\n";
+      continue;
+    }
+    const auto& row = report->result.rows[0];
+    std::cout << "epoch " << epoch << ": pairs=" << row[0]
+              << " min_distance=" << row[1] << " m"
+              << "  (packets=" << report->cost.join_packets
+              << ", attempts=" << report->attempts << ")\n";
+  }
+  std::cout << "\nnote: epoch 4 needed " << "re-execution after the tree "
+            << "repair, as Sec. IV-F prescribes.\n";
+  return 0;
+}

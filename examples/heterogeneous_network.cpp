@@ -1,0 +1,69 @@
+// Heterogeneous networks (Sec. III): groups of nodes form different
+// relations. Here the western half of the field carries "upwind" stations
+// and the eastern half "downwind" stations; the query correlates pressure
+// across the two groups — a non-self-join with arbitrary tuple placement,
+// which only a general-purpose join method can evaluate in-network.
+//
+//   ./heterogeneous_network [seed]
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "sensjoin/sensjoin.h"
+
+int main(int argc, char** argv) {
+  using namespace sensjoin;
+
+  testbed::TestbedParams params;
+  params.placement.num_nodes = 800;
+  params.placement.area_width_m = 760;
+  params.placement.area_height_m = 760;
+  params.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+  auto tb = testbed::Testbed::Create(params);
+  if (!tb.ok()) {
+    std::cerr << "testbed: " << tb.status() << "\n";
+    return 1;
+  }
+
+  // Split the deployment by longitude into two relations.
+  std::vector<sim::NodeId> upwind;
+  std::vector<sim::NodeId> downwind;
+  for (int i = 1; i < (*tb)->data().num_nodes(); ++i) {
+    const Point& p = (*tb)->data().position(i);
+    (p.x < params.placement.area_width_m / 2 ? upwind : downwind)
+        .push_back(i);
+  }
+  (*tb)->data().AssignRelation("upwind", upwind);
+  (*tb)->data().AssignRelation("downwind", downwind);
+  std::cout << "upwind stations: " << upwind.size()
+            << ", downwind stations: " << downwind.size() << "\n";
+
+  auto query = (*tb)->ParseQuery(
+      "SELECT U.pres, D.pres, distance(U.x, U.y, D.x, D.y) AS separation "
+      "FROM upwind U, downwind D "
+      "WHERE |U.pres - D.pres| < 0.2 AND U.temp - D.temp > 3 ONCE");
+  if (!query.ok()) {
+    std::cerr << "query: " << query.status() << "\n";
+    return 1;
+  }
+  (*tb)->DisseminateQuery(*query);
+
+  auto external = (*tb)->MakeExternalJoin().Execute(*query, 0);
+  auto sens = (*tb)->MakeSensJoin().Execute(*query, 0);
+  if (!external.ok() || !sens.ok()) {
+    std::cerr << "execution failed\n";
+    return 1;
+  }
+  std::cout << "matching cross-group pairs: "
+            << sens->result.matched_combinations << "\n"
+            << "external join transmissions: " << external->cost.join_packets
+            << "\nSENS-Join transmissions:     " << sens->cost.join_packets
+            << "\n";
+  for (size_t i = 0; i < sens->result.rows.size() && i < 5; ++i) {
+    std::cout << "  upwind " << sens->result.rows[i][0] << " hPa, downwind "
+              << sens->result.rows[i][1] << " hPa, separation "
+              << sens->result.rows[i][2] << " m\n";
+  }
+  return 0;
+}

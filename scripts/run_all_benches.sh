@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every figure/table of the paper plus the ablations and
+# extension benchmarks. Usage: scripts/run_all_benches.sh [build_dir] [seed]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SEED="${2:-42}"
+
+for bench in \
+    fig10_overall_savings fig11_per_node_load fig12_ratio_three_attrs \
+    fig13_ratio_one_attr fig14_network_size fig15_step_breakdown \
+    fig16_quadtree_influence tbl_compression tbl_packet_size \
+    tbl_baselines tbl_lifetime abl_treecut abl_filter_forwarding \
+    abl_resolution abl_geometry abl_planner abl_continuous; do
+  echo "===== ${bench} ====="
+  "${BUILD_DIR}/bench/${bench}" "${SEED}"
+  echo
+done
+
+echo "===== micro_pointset ====="
+"${BUILD_DIR}/bench/micro_pointset"
+echo
+echo "===== micro_compress ====="
+"${BUILD_DIR}/bench/micro_compress"
+echo
+echo "===== micro_filterjoin ====="
+"${BUILD_DIR}/bench/micro_filterjoin"

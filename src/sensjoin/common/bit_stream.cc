@@ -1,0 +1,59 @@
+#include "sensjoin/common/bit_stream.h"
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin {
+
+void BitWriter::WriteBits(uint64_t value, int count) {
+  SENSJOIN_DCHECK(count >= 0 && count <= 64);
+  for (int i = count - 1; i >= 0; --i) {
+    const bool bit = (value >> i) & 1;
+    const size_t byte_index = size_bits_ / 8;
+    const int bit_index = 7 - static_cast<int>(size_bits_ % 8);
+    if (byte_index == bytes_.size()) bytes_.push_back(0);
+    if (bit) bytes_[byte_index] |= static_cast<uint8_t>(1u << bit_index);
+    ++size_bits_;
+  }
+}
+
+void BitWriter::Append(const BitWriter& other) {
+  // Fast path: this writer is byte-aligned, copy whole bytes.
+  if (size_bits_ % 8 == 0) {
+    bytes_.insert(bytes_.end(), other.bytes_.begin(), other.bytes_.end());
+    size_bits_ += other.size_bits_;
+    // Drop any trailing padding byte the source may have contributed.
+    bytes_.resize((size_bits_ + 7) / 8);
+    return;
+  }
+  BitReader reader(other);
+  size_t remaining = other.size_bits_;
+  while (remaining >= 64) {
+    WriteBits(reader.ReadBits(64), 64);
+    remaining -= 64;
+  }
+  if (remaining > 0) {
+    WriteBits(reader.ReadBits(static_cast<int>(remaining)),
+              static_cast<int>(remaining));
+  }
+}
+
+bool BitWriter::BitAt(size_t index) const {
+  SENSJOIN_DCHECK(index < size_bits_);
+  return (bytes_[index / 8] >> (7 - index % 8)) & 1;
+}
+
+uint64_t BitReader::ReadBits(int count) {
+  SENSJOIN_DCHECK(count >= 0 && count <= 64);
+  SENSJOIN_CHECK(RemainingBits() >= static_cast<size_t>(count))
+      << "BitReader overrun: want" << count << "bits, have" << RemainingBits();
+  uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    const size_t byte_index = pos_ / 8;
+    const int bit_index = 7 - static_cast<int>(pos_ % 8);
+    value = (value << 1) | ((bytes_[byte_index] >> bit_index) & 1u);
+    ++pos_;
+  }
+  return value;
+}
+
+}  // namespace sensjoin

@@ -1,0 +1,27 @@
+#ifndef SENSJOIN_COMMON_GEOMETRY_H_
+#define SENSJOIN_COMMON_GEOMETRY_H_
+
+#include <cmath>
+
+namespace sensjoin {
+
+/// A location in the deployment area, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace sensjoin
+
+#endif  // SENSJOIN_COMMON_GEOMETRY_H_

@@ -1,0 +1,67 @@
+#ifndef SENSJOIN_COMMON_LOGGING_H_
+#define SENSJOIN_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace sensjoin {
+namespace internal_logging {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used as the right-hand side of the CHECK macros so callers can stream
+/// additional context: SENSJOIN_CHECK(x > 0) << "x was " << x;
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values for disabled checks.
+class NullMessage {
+ public:
+  template <typename T>
+  NullMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace sensjoin
+
+/// Aborts with a diagnostic when `condition` is false. Active in all builds:
+/// the library's correctness invariants are cheap relative to simulation.
+/// The while-loop form makes the macro stream-assignable and statement-safe.
+#define SENSJOIN_CHECK(condition)                                     \
+  while (!(condition))                                                \
+  ::sensjoin::internal_logging::FatalMessage(__FILE__, __LINE__, #condition)
+
+#define SENSJOIN_CHECK_EQ(a, b) SENSJOIN_CHECK((a) == (b))
+#define SENSJOIN_CHECK_NE(a, b) SENSJOIN_CHECK((a) != (b))
+#define SENSJOIN_CHECK_LT(a, b) SENSJOIN_CHECK((a) < (b))
+#define SENSJOIN_CHECK_LE(a, b) SENSJOIN_CHECK((a) <= (b))
+#define SENSJOIN_CHECK_GT(a, b) SENSJOIN_CHECK((a) > (b))
+#define SENSJOIN_CHECK_GE(a, b) SENSJOIN_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define SENSJOIN_DCHECK(condition) \
+  while (false) ::sensjoin::internal_logging::NullMessage()
+#else
+#define SENSJOIN_DCHECK(condition) SENSJOIN_CHECK(condition)
+#endif
+
+#endif  // SENSJOIN_COMMON_LOGGING_H_

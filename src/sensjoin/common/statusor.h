@@ -1,0 +1,69 @@
+#ifndef SENSJOIN_COMMON_STATUSOR_H_
+#define SENSJOIN_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "sensjoin/common/logging.h"
+#include "sensjoin/common/status.h"
+
+namespace sensjoin {
+
+/// Holds either a value of type T or an error Status. Mirrors the usual
+/// absl::StatusOr contract: accessing the value of an error-holding StatusOr
+/// is a checked fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (error).
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    SENSJOIN_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SENSJOIN_CHECK(ok()) << "StatusOr::value() on error: " << status_;
+    return *value_;
+  }
+  T& value() & {
+    SENSJOIN_CHECK(ok()) << "StatusOr::value() on error: " << status_;
+    return *value_;
+  }
+  T&& value() && {
+    SENSJOIN_CHECK(ok()) << "StatusOr::value() on error: " << status_;
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr), propagating errors; on success assigns the
+/// value to `lhs`.
+#define SENSJOIN_ASSIGN_OR_RETURN(lhs, rexpr)                     \
+  SENSJOIN_ASSIGN_OR_RETURN_IMPL_(                                \
+      SENSJOIN_STATUS_MACRO_CONCAT_(_statusor, __LINE__), lhs, rexpr)
+
+#define SENSJOIN_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                    \
+  if (!var.ok()) return var.status();                    \
+  lhs = std::move(var).value()
+
+#define SENSJOIN_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define SENSJOIN_STATUS_MACRO_CONCAT_(x, y) \
+  SENSJOIN_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+}  // namespace sensjoin
+
+#endif  // SENSJOIN_COMMON_STATUSOR_H_

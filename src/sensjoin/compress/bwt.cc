@@ -1,0 +1,76 @@
+#include "sensjoin/compress/bwt.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::compress {
+
+BwtResult BwtTransform(const std::vector<uint8_t>& input) {
+  BwtResult result;
+  const size_t n = input.size();
+  if (n == 0) return result;
+
+  // Prefix-doubling sort of cyclic rotations: rank[i] is the sort rank of
+  // the rotation starting at i, refined by doubling the compared length.
+  std::vector<int64_t> rank(n);
+  std::vector<int64_t> next_rank(n);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t i = 0; i < n; ++i) rank[i] = input[i];
+
+  for (size_t k = 1;; k <<= 1) {
+    auto cmp = [&](size_t a, size_t b) {
+      if (rank[a] != rank[b]) return rank[a] < rank[b];
+      const int64_t ra = rank[(a + k) % n];
+      const int64_t rb = rank[(b + k) % n];
+      return ra < rb;
+    };
+    std::stable_sort(order.begin(), order.end(), cmp);  // deterministic ties
+    next_rank[order[0]] = 0;
+    for (size_t i = 1; i < n; ++i) {
+      next_rank[order[i]] =
+          next_rank[order[i - 1]] + (cmp(order[i - 1], order[i]) ? 1 : 0);
+    }
+    rank = next_rank;
+    if (rank[order[n - 1]] == static_cast<int64_t>(n - 1)) break;
+    if (k >= n) break;  // ranks stable: fully periodic input
+  }
+
+  result.data.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t rot = order[i];
+    result.data[i] = input[(rot + n - 1) % n];
+    if (rot == 0) result.primary_index = static_cast<uint32_t>(i);
+  }
+  return result;
+}
+
+std::vector<uint8_t> BwtInverse(const std::vector<uint8_t>& data,
+                                uint32_t primary_index) {
+  const size_t n = data.size();
+  std::vector<uint8_t> out;
+  if (n == 0) return out;
+  SENSJOIN_CHECK_LT(primary_index, n);
+
+  // LF-mapping: for row i of the sorted matrix, lf[i] is the row whose
+  // rotation is one step earlier. Built by stable counting sort of the last
+  // column.
+  std::vector<size_t> count(257, 0);
+  for (uint8_t b : data) ++count[b + 1];
+  for (int c = 1; c <= 256; ++c) count[c] += count[c - 1];
+  std::vector<size_t> lf(n);
+  for (size_t i = 0; i < n; ++i) lf[i] = count[data[i]]++;
+
+  // Walk backwards from the primary row.
+  out.resize(n);
+  size_t row = primary_index;
+  for (size_t i = n; i-- > 0;) {
+    out[i] = data[row];
+    row = lf[row];
+  }
+  return out;
+}
+
+}  // namespace sensjoin::compress

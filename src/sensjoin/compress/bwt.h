@@ -1,0 +1,27 @@
+#ifndef SENSJOIN_COMPRESS_BWT_H_
+#define SENSJOIN_COMPRESS_BWT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sensjoin::compress {
+
+/// Result of the Burrows-Wheeler transform: the last column of the sorted
+/// cyclic-rotation matrix plus the row index of the original string.
+struct BwtResult {
+  std::vector<uint8_t> data;
+  uint32_t primary_index = 0;
+};
+
+/// Burrows-Wheeler transform over cyclic rotations, using prefix-doubling
+/// rotation sort (O(n log^2 n), robust to periodic inputs).
+BwtResult BwtTransform(const std::vector<uint8_t>& input);
+
+/// Inverse transform via LF-mapping. `primary_index` must be < data size
+/// (checked fatally for non-empty input).
+std::vector<uint8_t> BwtInverse(const std::vector<uint8_t>& data,
+                                uint32_t primary_index);
+
+}  // namespace sensjoin::compress
+
+#endif  // SENSJOIN_COMPRESS_BWT_H_

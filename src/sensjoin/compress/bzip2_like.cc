@@ -1,0 +1,91 @@
+#include "sensjoin/compress/bzip2_like.h"
+
+#include <algorithm>
+
+#include "sensjoin/compress/bwt.h"
+#include "sensjoin/compress/huffman.h"
+#include "sensjoin/compress/mtf.h"
+#include "sensjoin/compress/rle.h"
+
+namespace sensjoin::compress {
+namespace {
+
+constexpr size_t kBlockSize = 64 * 1024;
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+bool ReadU32(const std::vector<uint8_t>& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  *v = static_cast<uint32_t>(in[*pos]) |
+       (static_cast<uint32_t>(in[*pos + 1]) << 8) |
+       (static_cast<uint32_t>(in[*pos + 2]) << 16) |
+       (static_cast<uint32_t>(in[*pos + 3]) << 24);
+  *pos += 4;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> Bzip2LikeCompress(const std::vector<uint8_t>& input) {
+  // RLE1 first (as in bzip2), then split into blocks.
+  const std::vector<uint8_t> rle = RleEncode(input);
+  std::vector<uint8_t> out;
+  const uint32_t num_blocks =
+      static_cast<uint32_t>((rle.size() + kBlockSize - 1) / kBlockSize);
+  AppendU32(&out, num_blocks);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = static_cast<size_t>(b) * kBlockSize;
+    const size_t end = std::min(rle.size(), begin + kBlockSize);
+    const std::vector<uint8_t> block(rle.begin() + begin, rle.begin() + end);
+    const BwtResult bwt = BwtTransform(block);
+    const std::vector<uint8_t> entropy =
+        HuffmanCompress(MtfEncode(bwt.data));
+    AppendU32(&out, bwt.primary_index);
+    AppendU32(&out, static_cast<uint32_t>(entropy.size()));
+    out.insert(out.end(), entropy.begin(), entropy.end());
+  }
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> Bzip2LikeDecompress(
+    const std::vector<uint8_t>& input) {
+  size_t pos = 0;
+  uint32_t num_blocks = 0;
+  if (!ReadU32(input, &pos, &num_blocks)) {
+    return Status::InvalidArgument("bzip2-like: truncated block count");
+  }
+  std::vector<uint8_t> rle;
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    uint32_t primary = 0;
+    uint32_t entropy_size = 0;
+    if (!ReadU32(input, &pos, &primary) ||
+        !ReadU32(input, &pos, &entropy_size)) {
+      return Status::InvalidArgument("bzip2-like: truncated block header");
+    }
+    if (pos + entropy_size > input.size()) {
+      return Status::InvalidArgument("bzip2-like: truncated block body");
+    }
+    const std::vector<uint8_t> entropy(input.begin() + pos,
+                                       input.begin() + pos + entropy_size);
+    pos += entropy_size;
+    SENSJOIN_ASSIGN_OR_RETURN(std::vector<uint8_t> mtf,
+                              HuffmanDecompress(entropy));
+    const std::vector<uint8_t> bwt_data = MtfDecode(mtf);
+    if (!bwt_data.empty() && primary >= bwt_data.size()) {
+      return Status::InvalidArgument("bzip2-like: bad primary index");
+    }
+    const std::vector<uint8_t> block = BwtInverse(bwt_data, primary);
+    rle.insert(rle.end(), block.begin(), block.end());
+  }
+  if (pos != input.size()) {
+    return Status::InvalidArgument("bzip2-like: trailing bytes");
+  }
+  return RleDecode(rle);
+}
+
+}  // namespace sensjoin::compress

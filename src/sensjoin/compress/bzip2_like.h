@@ -1,0 +1,23 @@
+#ifndef SENSJOIN_COMPRESS_BZIP2_LIKE_H_
+#define SENSJOIN_COMPRESS_BZIP2_LIKE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sensjoin/common/statusor.h"
+
+namespace sensjoin::compress {
+
+/// A bzip2-style block codec: RLE1 -> Burrows-Wheeler transform ->
+/// move-to-front -> Huffman, per block of up to 64 KiB. Stands in for bzip2
+/// in the Sec. VI-B comparison; like the original, its per-block headers
+/// can enlarge tiny inputs ("there is some overhead which increases the
+/// volume if it is small").
+std::vector<uint8_t> Bzip2LikeCompress(const std::vector<uint8_t>& input);
+
+StatusOr<std::vector<uint8_t>> Bzip2LikeDecompress(
+    const std::vector<uint8_t>& input);
+
+}  // namespace sensjoin::compress
+
+#endif  // SENSJOIN_COMPRESS_BZIP2_LIKE_H_

@@ -1,0 +1,214 @@
+#include "sensjoin/compress/huffman.h"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+#include "sensjoin/common/bit_stream.h"
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::compress {
+namespace {
+
+constexpr int kNumSymbols = 256;
+constexpr int kMaxCodeLen = 63;  // lengths are serialized as 6-bit values
+
+/// Computes Huffman code lengths from symbol frequencies.
+std::array<uint8_t, kNumSymbols> CodeLengths(
+    const std::array<uint64_t, kNumSymbols>& freq) {
+  std::array<uint8_t, kNumSymbols> lengths{};
+  // Nodes: leaves then internal; parent links let us read off depths.
+  struct Node {
+    uint64_t weight;
+    int index;
+  };
+  auto cmp = [](const Node& a, const Node& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.index > b.index;  // deterministic ties
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+  std::vector<int> parent;
+  std::vector<int> leaf_symbol;  // symbol for leaf nodes, -1 for internal
+  int distinct = 0;
+  for (int s = 0; s < kNumSymbols; ++s) {
+    if (freq[s] == 0) continue;
+    const int idx = static_cast<int>(parent.size());
+    parent.push_back(-1);
+    leaf_symbol.push_back(s);
+    heap.push(Node{freq[s], idx});
+    ++distinct;
+  }
+  if (distinct == 0) return lengths;
+  if (distinct == 1) {
+    lengths[leaf_symbol[0]] = 1;
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    const int idx = static_cast<int>(parent.size());
+    parent.push_back(-1);
+    leaf_symbol.push_back(-1);
+    parent[a.index] = idx;
+    parent[b.index] = idx;
+    heap.push(Node{a.weight + b.weight, idx});
+  }
+  for (size_t i = 0; i < parent.size(); ++i) {
+    if (leaf_symbol[i] < 0) continue;
+    int depth = 0;
+    for (int p = parent[i]; p >= 0; p = parent[p]) ++depth;
+    SENSJOIN_CHECK_LE(depth, kMaxCodeLen);
+    lengths[leaf_symbol[i]] = static_cast<uint8_t>(depth);
+  }
+  return lengths;
+}
+
+/// Assigns canonical codes (by ascending length, then symbol).
+std::array<uint64_t, kNumSymbols> CanonicalCodes(
+    const std::array<uint8_t, kNumSymbols>& lengths) {
+  std::array<uint64_t, kNumSymbols> codes{};
+  std::vector<int> symbols;
+  for (int s = 0; s < kNumSymbols; ++s) {
+    if (lengths[s] > 0) symbols.push_back(s);
+  }
+  std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+  uint64_t code = 0;
+  int prev_len = 0;
+  for (int s : symbols) {
+    code <<= (lengths[s] - prev_len);
+    codes[s] = code;
+    ++code;
+    prev_len = lengths[s];
+  }
+  return codes;
+}
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+bool ReadU32(const std::vector<uint8_t>& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  *v = static_cast<uint32_t>(in[*pos]) |
+       (static_cast<uint32_t>(in[*pos + 1]) << 8) |
+       (static_cast<uint32_t>(in[*pos + 2]) << 16) |
+       (static_cast<uint32_t>(in[*pos + 3]) << 24);
+  *pos += 4;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> HuffmanCompress(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  AppendU32(&out, static_cast<uint32_t>(input.size()));
+  if (input.empty()) return out;
+
+  std::array<uint64_t, kNumSymbols> freq{};
+  for (uint8_t b : input) ++freq[b];
+  const std::array<uint8_t, kNumSymbols> lengths = CodeLengths(freq);
+  const std::array<uint64_t, kNumSymbols> codes = CanonicalCodes(lengths);
+
+  // Code-length table with zero-run RLE: a 0 byte is followed by
+  // (run length - 1); other bytes are literal lengths (1..63).
+  for (int s = 0; s < kNumSymbols;) {
+    if (lengths[s] == 0) {
+      int run = 0;
+      while (s + run < kNumSymbols && lengths[s + run] == 0 && run < 256) {
+        ++run;
+      }
+      out.push_back(0);
+      out.push_back(static_cast<uint8_t>(run - 1));
+      s += run;
+    } else {
+      out.push_back(lengths[s]);
+      ++s;
+    }
+  }
+
+  BitWriter bits;
+  for (uint8_t b : input) bits.WriteBits(codes[b], lengths[b]);
+  out.insert(out.end(), bits.bytes().begin(), bits.bytes().end());
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> HuffmanDecompress(
+    const std::vector<uint8_t>& input) {
+  size_t pos = 0;
+  uint32_t original_size = 0;
+  if (!ReadU32(input, &pos, &original_size)) {
+    return Status::InvalidArgument("huffman: truncated header");
+  }
+  std::vector<uint8_t> out;
+  if (original_size == 0) return out;
+
+  std::array<uint8_t, kNumSymbols> lengths{};
+  for (int s = 0; s < kNumSymbols;) {
+    if (pos >= input.size()) {
+      return Status::InvalidArgument("huffman: truncated length table");
+    }
+    const uint8_t v = input[pos++];
+    if (v == 0) {
+      if (pos >= input.size()) {
+        return Status::InvalidArgument("huffman: truncated zero run");
+      }
+      const int run = input[pos++] + 1;
+      if (s + run > kNumSymbols) {
+        return Status::InvalidArgument("huffman: zero run overflow");
+      }
+      s += run;
+    } else {
+      if (v > kMaxCodeLen) {
+        return Status::InvalidArgument("huffman: invalid code length");
+      }
+      lengths[s++] = v;
+    }
+  }
+  const std::array<uint64_t, kNumSymbols> codes = CanonicalCodes(lengths);
+
+  // Per-length decode tables: first code and symbol list.
+  std::array<std::vector<int>, kMaxCodeLen + 1> symbols_by_len;
+  for (int s = 0; s < kNumSymbols; ++s) {
+    if (lengths[s] > 0) symbols_by_len[lengths[s]].push_back(s);
+  }
+  std::array<uint64_t, kMaxCodeLen + 1> first_code{};
+  for (int l = 1; l <= kMaxCodeLen; ++l) {
+    if (!symbols_by_len[l].empty()) first_code[l] = codes[symbols_by_len[l][0]];
+  }
+
+  BitReader reader(input.data() + pos, (input.size() - pos) * 8);
+  out.reserve(original_size);
+  while (out.size() < original_size) {
+    uint64_t code = 0;
+    int len = 0;
+    int symbol = -1;
+    while (len < kMaxCodeLen) {
+      if (reader.AtEnd()) {
+        return Status::InvalidArgument("huffman: truncated bitstream");
+      }
+      code = (code << 1) | (reader.ReadBit() ? 1u : 0u);
+      ++len;
+      const auto& group = symbols_by_len[len];
+      if (!group.empty() && code >= first_code[len] &&
+          code < first_code[len] + group.size()) {
+        symbol = group[code - first_code[len]];
+        break;
+      }
+    }
+    if (symbol < 0) {
+      return Status::InvalidArgument("huffman: invalid code");
+    }
+    out.push_back(static_cast<uint8_t>(symbol));
+  }
+  return out;
+}
+
+}  // namespace sensjoin::compress

@@ -1,0 +1,24 @@
+#ifndef SENSJOIN_COMPRESS_HUFFMAN_H_
+#define SENSJOIN_COMPRESS_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sensjoin/common/statusor.h"
+
+namespace sensjoin::compress {
+
+/// Canonical Huffman coding over byte symbols. The output carries a header
+/// (original size + run-length-coded code-length table), which is exactly
+/// the kind of fixed overhead that makes general-purpose compressors
+/// unattractive for the tiny per-hop buffers of sensor networks
+/// (Sec. VI-B: bzip2 can even enlarge small inputs).
+std::vector<uint8_t> HuffmanCompress(const std::vector<uint8_t>& input);
+
+/// Inverse of HuffmanCompress. Fails on malformed input.
+StatusOr<std::vector<uint8_t>> HuffmanDecompress(
+    const std::vector<uint8_t>& input);
+
+}  // namespace sensjoin::compress
+
+#endif  // SENSJOIN_COMPRESS_HUFFMAN_H_

@@ -1,0 +1,109 @@
+#include "sensjoin/compress/lz77.h"
+
+#include <algorithm>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::compress {
+namespace {
+
+constexpr int kHashBits = 15;
+constexpr uint32_t kHashSize = 1u << kHashBits;
+constexpr int kMaxChainLength = 64;
+
+uint32_t Hash3(const uint8_t* p) {
+  const uint32_t v = static_cast<uint32_t>(p[0]) |
+                     (static_cast<uint32_t>(p[1]) << 8) |
+                     (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<Lz77Token> Lz77Parse(const std::vector<uint8_t>& input) {
+  std::vector<Lz77Token> tokens;
+  const size_t n = input.size();
+  if (n == 0) return tokens;
+
+  // head[h]: most recent position with hash h; prev[i]: previous position
+  // with the same hash as i (chains).
+  std::vector<int32_t> head(kHashSize, -1);
+  std::vector<int32_t> prev(n, -1);
+
+  size_t i = 0;
+  while (i < n) {
+    int best_len = 0;
+    int best_dist = 0;
+    if (i + kLz77MinMatch <= n) {
+      const uint32_t h = Hash3(&input[i]);
+      int32_t candidate = head[h];
+      int chain = 0;
+      while (candidate >= 0 &&
+             i - static_cast<size_t>(candidate) <= kLz77WindowSize &&
+             chain < kMaxChainLength) {
+        const size_t max_len =
+            std::min<size_t>(kLz77MaxMatch, n - i);
+        size_t len = 0;
+        while (len < max_len && input[candidate + len] == input[i + len]) {
+          ++len;
+        }
+        if (static_cast<int>(len) > best_len) {
+          best_len = static_cast<int>(len);
+          best_dist = static_cast<int>(i - candidate);
+          if (len == max_len) break;
+        }
+        candidate = prev[candidate];
+        ++chain;
+      }
+    }
+
+    if (best_len >= kLz77MinMatch) {
+      Lz77Token t;
+      t.is_match = true;
+      t.length = static_cast<uint16_t>(best_len);
+      t.distance = static_cast<uint16_t>(best_dist);
+      tokens.push_back(t);
+      // Insert every covered position into the hash chains.
+      const size_t end = i + best_len;
+      while (i < end) {
+        if (i + kLz77MinMatch <= n) {
+          const uint32_t h = Hash3(&input[i]);
+          prev[i] = head[h];
+          head[h] = static_cast<int32_t>(i);
+        }
+        ++i;
+      }
+    } else {
+      Lz77Token t;
+      t.literal = input[i];
+      tokens.push_back(t);
+      if (i + kLz77MinMatch <= n) {
+        const uint32_t h = Hash3(&input[i]);
+        prev[i] = head[h];
+        head[h] = static_cast<int32_t>(i);
+      }
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::vector<uint8_t> Lz77Reconstruct(const std::vector<Lz77Token>& tokens) {
+  std::vector<uint8_t> out;
+  for (const Lz77Token& t : tokens) {
+    if (!t.is_match) {
+      out.push_back(t.literal);
+      continue;
+    }
+    SENSJOIN_CHECK(t.distance > 0 && t.distance <= out.size())
+        << "invalid LZ77 distance";
+    SENSJOIN_CHECK_GE(t.length, kLz77MinMatch);
+    const size_t start = out.size() - t.distance;
+    for (int k = 0; k < t.length; ++k) {
+      out.push_back(out[start + k]);  // overlapping copies are intentional
+    }
+  }
+  return out;
+}
+
+}  // namespace sensjoin::compress

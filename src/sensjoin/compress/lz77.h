@@ -1,0 +1,32 @@
+#ifndef SENSJOIN_COMPRESS_LZ77_H_
+#define SENSJOIN_COMPRESS_LZ77_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sensjoin::compress {
+
+/// One LZ77 token: either a literal byte or a back-reference of `length`
+/// bytes starting `distance` bytes back.
+struct Lz77Token {
+  bool is_match = false;
+  uint8_t literal = 0;
+  uint16_t length = 0;
+  uint16_t distance = 0;
+};
+
+inline constexpr int kLz77MinMatch = 3;
+inline constexpr int kLz77MaxMatch = 258;
+inline constexpr int kLz77WindowSize = 32768;
+
+/// Greedy LZ77 parse with hash-chain match finding (the deflate family's
+/// scheme). Deterministic.
+std::vector<Lz77Token> Lz77Parse(const std::vector<uint8_t>& input);
+
+/// Expands a token stream back into bytes. Out-of-range distances are
+/// checked fatally (tokens from Lz77Parse are always valid).
+std::vector<uint8_t> Lz77Reconstruct(const std::vector<Lz77Token>& tokens);
+
+}  // namespace sensjoin::compress
+
+#endif  // SENSJOIN_COMPRESS_LZ77_H_

@@ -1,0 +1,37 @@
+#include "sensjoin/compress/mtf.h"
+
+#include <array>
+#include <numeric>
+
+namespace sensjoin::compress {
+
+std::vector<uint8_t> MtfEncode(const std::vector<uint8_t>& input) {
+  std::array<uint8_t, 256> table;
+  std::iota(table.begin(), table.end(), 0);
+  std::vector<uint8_t> out;
+  out.reserve(input.size());
+  for (uint8_t b : input) {
+    int idx = 0;
+    while (table[idx] != b) ++idx;
+    out.push_back(static_cast<uint8_t>(idx));
+    for (int i = idx; i > 0; --i) table[i] = table[i - 1];
+    table[0] = b;
+  }
+  return out;
+}
+
+std::vector<uint8_t> MtfDecode(const std::vector<uint8_t>& input) {
+  std::array<uint8_t, 256> table;
+  std::iota(table.begin(), table.end(), 0);
+  std::vector<uint8_t> out;
+  out.reserve(input.size());
+  for (uint8_t idx : input) {
+    const uint8_t b = table[idx];
+    out.push_back(b);
+    for (int i = idx; i > 0; --i) table[i] = table[i - 1];
+    table[0] = b;
+  }
+  return out;
+}
+
+}  // namespace sensjoin::compress

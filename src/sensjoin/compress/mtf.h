@@ -1,0 +1,18 @@
+#ifndef SENSJOIN_COMPRESS_MTF_H_
+#define SENSJOIN_COMPRESS_MTF_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sensjoin::compress {
+
+/// Move-to-front transform: each byte is replaced by its index in a
+/// recency list, turning the local symbol clustering produced by the BWT
+/// into a skew toward small values (which the entropy coder exploits).
+std::vector<uint8_t> MtfEncode(const std::vector<uint8_t>& input);
+
+std::vector<uint8_t> MtfDecode(const std::vector<uint8_t>& input);
+
+}  // namespace sensjoin::compress
+
+#endif  // SENSJOIN_COMPRESS_MTF_H_

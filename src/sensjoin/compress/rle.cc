@@ -1,0 +1,45 @@
+#include "sensjoin/compress/rle.h"
+
+namespace sensjoin::compress {
+
+std::vector<uint8_t> RleEncode(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  const size_t n = input.size();
+  size_t i = 0;
+  while (i < n) {
+    const uint8_t b = input[i];
+    size_t run = 1;
+    while (i + run < n && input[i + run] == b && run < 255) ++run;
+    if (run >= 4) {
+      out.insert(out.end(), 4, b);
+      out.push_back(static_cast<uint8_t>(run - 4));
+    } else {
+      out.insert(out.end(), run, b);
+    }
+    i += run;
+  }
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> RleDecode(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  const size_t n = input.size();
+  size_t i = 0;
+  while (i < n) {
+    const uint8_t b = input[i];
+    size_t run = 1;
+    while (i + run < n && input[i + run] == b && run < 4) ++run;
+    out.insert(out.end(), run, b);
+    i += run;
+    if (run == 4) {
+      if (i >= n) {
+        return Status::InvalidArgument("rle: truncated run count");
+      }
+      out.insert(out.end(), input[i], b);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace sensjoin::compress

@@ -1,0 +1,20 @@
+#ifndef SENSJOIN_COMPRESS_RLE_H_
+#define SENSJOIN_COMPRESS_RLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sensjoin/common/statusor.h"
+
+namespace sensjoin::compress {
+
+/// bzip2-style RLE1: runs of 4-255 equal bytes are encoded as four copies
+/// followed by a count byte (run length - 4). Protects the BWT sorter from
+/// degenerate long runs and is exactly invertible.
+std::vector<uint8_t> RleEncode(const std::vector<uint8_t>& input);
+
+StatusOr<std::vector<uint8_t>> RleDecode(const std::vector<uint8_t>& input);
+
+}  // namespace sensjoin::compress
+
+#endif  // SENSJOIN_COMPRESS_RLE_H_

@@ -1,0 +1,154 @@
+#include "sensjoin/compress/zlib_like.h"
+
+#include "sensjoin/compress/huffman.h"
+#include "sensjoin/compress/lz77.h"
+
+namespace sensjoin::compress {
+namespace {
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+bool ReadU32(const std::vector<uint8_t>& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  *v = static_cast<uint32_t>(in[*pos]) |
+       (static_cast<uint32_t>(in[*pos + 1]) << 8) |
+       (static_cast<uint32_t>(in[*pos + 2]) << 16) |
+       (static_cast<uint32_t>(in[*pos + 3]) << 24);
+  *pos += 4;
+  return true;
+}
+
+/// Serializes tokens into a flat byte stream: token count, flag bitmap
+/// (1 = match), one byte per token (literal or length-3), two bytes per
+/// match (distance).
+std::vector<uint8_t> SerializeTokens(const std::vector<Lz77Token>& tokens) {
+  std::vector<uint8_t> out;
+  AppendU32(&out, static_cast<uint32_t>(tokens.size()));
+  uint8_t bits = 0;
+  int nbits = 0;
+  for (const Lz77Token& t : tokens) {
+    bits = static_cast<uint8_t>((bits << 1) | (t.is_match ? 1 : 0));
+    if (++nbits == 8) {
+      out.push_back(bits);
+      bits = 0;
+      nbits = 0;
+    }
+  }
+  if (nbits > 0) out.push_back(static_cast<uint8_t>(bits << (8 - nbits)));
+  for (const Lz77Token& t : tokens) {
+    out.push_back(t.is_match ? static_cast<uint8_t>(t.length - kLz77MinMatch)
+                             : t.literal);
+  }
+  for (const Lz77Token& t : tokens) {
+    if (!t.is_match) continue;
+    out.push_back(static_cast<uint8_t>(t.distance));
+    out.push_back(static_cast<uint8_t>(t.distance >> 8));
+  }
+  return out;
+}
+
+StatusOr<std::vector<Lz77Token>> DeserializeTokens(
+    const std::vector<uint8_t>& in) {
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!ReadU32(in, &pos, &count)) {
+    return Status::InvalidArgument("zlib-like: truncated token count");
+  }
+  std::vector<Lz77Token> tokens(count);
+  const size_t flag_bytes = (count + 7) / 8;
+  if (pos + flag_bytes > in.size()) {
+    return Status::InvalidArgument("zlib-like: truncated flags");
+  }
+  size_t matches = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint8_t byte = in[pos + i / 8];
+    tokens[i].is_match = (byte >> (7 - i % 8)) & 1;
+    if (tokens[i].is_match) ++matches;
+  }
+  pos += flag_bytes;
+  if (pos + count > in.size()) {
+    return Status::InvalidArgument("zlib-like: truncated symbols");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    if (tokens[i].is_match) {
+      tokens[i].length = static_cast<uint16_t>(in[pos + i] + kLz77MinMatch);
+    } else {
+      tokens[i].literal = in[pos + i];
+    }
+  }
+  pos += count;
+  if (pos + 2 * matches > in.size()) {
+    return Status::InvalidArgument("zlib-like: truncated distances");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!tokens[i].is_match) continue;
+    tokens[i].distance = static_cast<uint16_t>(
+        in[pos] | (static_cast<uint16_t>(in[pos + 1]) << 8));
+    pos += 2;
+  }
+  if (pos != in.size()) {
+    return Status::InvalidArgument("zlib-like: trailing bytes");
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::vector<uint8_t> ZlibLikeCompress(const std::vector<uint8_t>& input) {
+  // Like deflate, fall back to a stored block when entropy coding would
+  // expand the data (dominant for the tiny per-hop buffers of Sec. VI-B).
+  std::vector<uint8_t> compressed =
+      HuffmanCompress(SerializeTokens(Lz77Parse(input)));
+  if (compressed.size() < input.size()) {
+    compressed.insert(compressed.begin(), 1);  // mode tag: compressed
+    return compressed;
+  }
+  std::vector<uint8_t> stored;
+  stored.reserve(input.size() + 1);
+  stored.push_back(0);  // mode tag: stored
+  stored.insert(stored.end(), input.begin(), input.end());
+  return stored;
+}
+
+StatusOr<std::vector<uint8_t>> ZlibLikeDecompress(
+    const std::vector<uint8_t>& input) {
+  if (input.empty()) {
+    return Status::InvalidArgument("zlib-like: missing mode tag");
+  }
+  const uint8_t mode = input.front();
+  std::vector<uint8_t> body(input.begin() + 1, input.end());
+  if (mode == 0) return body;
+  if (mode != 1) {
+    return Status::InvalidArgument("zlib-like: unknown mode tag");
+  }
+  SENSJOIN_ASSIGN_OR_RETURN(std::vector<uint8_t> serialized,
+                            HuffmanDecompress(body));
+  SENSJOIN_ASSIGN_OR_RETURN(std::vector<Lz77Token> tokens,
+                            DeserializeTokens(serialized));
+  for (const Lz77Token& t : tokens) {
+    if (t.is_match && t.distance == 0) {
+      return Status::InvalidArgument("zlib-like: zero match distance");
+    }
+  }
+  // Validate distances against the running output length to keep
+  // Lz77Reconstruct's CHECK from firing on corrupt input.
+  size_t produced = 0;
+  for (const Lz77Token& t : tokens) {
+    if (t.is_match) {
+      if (t.distance > produced) {
+        return Status::InvalidArgument("zlib-like: distance before start");
+      }
+      produced += t.length;
+    } else {
+      ++produced;
+    }
+  }
+  return Lz77Reconstruct(tokens);
+}
+
+}  // namespace sensjoin::compress

@@ -1,0 +1,22 @@
+#ifndef SENSJOIN_COMPRESS_ZLIB_LIKE_H_
+#define SENSJOIN_COMPRESS_ZLIB_LIKE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sensjoin/common/statusor.h"
+
+namespace sensjoin::compress {
+
+/// A deflate-style codec: LZ77 parse followed by Huffman entropy coding of
+/// the serialized token streams. Stands in for zlib in the Sec. VI-B
+/// comparison: good ratios on large redundant inputs, poor on the tiny
+/// buffers exchanged per hop in a sensor network (header + table overhead).
+std::vector<uint8_t> ZlibLikeCompress(const std::vector<uint8_t>& input);
+
+StatusOr<std::vector<uint8_t>> ZlibLikeDecompress(
+    const std::vector<uint8_t>& input);
+
+}  // namespace sensjoin::compress
+
+#endif  // SENSJOIN_COMPRESS_ZLIB_LIKE_H_

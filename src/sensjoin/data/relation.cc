@@ -1,0 +1,14 @@
+#include "sensjoin/data/relation.h"
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::data {
+
+void Relation::Add(Tuple tuple) {
+  SENSJOIN_CHECK_EQ(static_cast<int>(tuple.values.size()),
+                    schema_.num_attributes())
+      << "tuple arity mismatch for relation" << name_;
+  tuples_.push_back(std::move(tuple));
+}
+
+}  // namespace sensjoin::data

@@ -1,0 +1,288 @@
+#include "sensjoin/join/continuous.h"
+
+#include <set>
+#include <utility>
+
+#include "sensjoin/common/logging.h"
+#include "sensjoin/join/executor_context.h"
+#include "sensjoin/join/join_filter.h"
+#include "sensjoin/join/representation.h"
+#include "sensjoin/join/result.h"
+#include "sensjoin/join/stats.h"
+
+namespace sensjoin::join {
+namespace {
+
+/// A batch of multiset changes: +1 additions and -1 removals per key.
+using Delta = std::map<uint64_t, int>;
+
+void Merge(Delta* into, const Delta& from) {
+  for (const auto& [key, change] : from) {
+    const int v = ((*into)[key] += change);
+    if (v == 0) into->erase(key);
+  }
+}
+
+void Apply(std::map<uint64_t, int>* counts, const Delta& delta) {
+  for (const auto& [key, change] : delta) {
+    const int v = ((*counts)[key] += change);
+    SENSJOIN_CHECK_GE(v, 0) << "multiset underflow for key" << key;
+    if (v == 0) counts->erase(key);
+  }
+}
+
+/// Wire size of a delta: additions and removals as two quadtree structures.
+size_t DeltaWireBytes(const Delta& delta, const JoinAttrCodec& codec,
+                      JoinAttrRepresentation representation) {
+  std::vector<uint64_t> adds;
+  std::vector<uint64_t> removes;
+  for (const auto& [key, change] : delta) {
+    for (int i = 0; i < change; ++i) adds.push_back(key);
+    for (int i = 0; i < -change; ++i) removes.push_back(key);
+  }
+  // Multiplicity beyond one per structure costs a small repeat counter;
+  // approximate it by the set sizes (duplicates in one epoch are rare).
+  const PointSet add_set = PointSet::FromKeys(codec.layout(), adds);
+  const PointSet remove_set = PointSet::FromKeys(codec.layout(), removes);
+  return StructureWireBytes(add_set, codec, representation) +
+         StructureWireBytes(remove_set, codec, representation);
+}
+
+PointSet SetView(const std::map<uint64_t, int>& counts,
+                 const JoinAttrCodec& codec) {
+  std::vector<uint64_t> keys;
+  keys.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    if (count > 0) keys.push_back(key);
+  }
+  return PointSet::FromKeys(codec.layout(), std::move(keys));
+}
+
+std::vector<int> QueryJoinAttrIndices(const query::AnalyzedQuery& q) {
+  std::set<int> attrs;
+  for (int t = 0; t < q.num_tables(); ++t) {
+    attrs.insert(q.table(t).join_attr_indices.begin(),
+                 q.table(t).join_attr_indices.end());
+  }
+  return std::vector<int>(attrs.begin(), attrs.end());
+}
+
+}  // namespace
+
+ContinuousSensJoinExecutor::ContinuousSensJoinExecutor(
+    sim::Simulator& sim, net::RoutingTree tree, const data::NetworkData& data,
+    QuantizationConfig quantization, ProtocolConfig config)
+    : sim_(sim),
+      tree_(std::move(tree)),
+      data_(data),
+      quantization_(std::move(quantization)),
+      config_(config) {}
+
+void ContinuousSensJoinExecutor::ResetDistributedState() {
+  bootstrapped_ = false;
+  last_key_.assign(sim_.num_nodes(), 0);
+  last_valid_.assign(sim_.num_nodes(), 0);
+  subtree_counts_.assign(sim_.num_nodes(), {});
+  base_counts_.clear();
+}
+
+StatusOr<ExecutionReport> ContinuousSensJoinExecutor::ExecuteEpoch(
+    const query::AnalyzedQuery& q, uint64_t epoch) {
+  if (q.num_tables() < 2) {
+    return Status::InvalidArgument(
+        "SENS-Join requires at least two relations in FROM");
+  }
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    ExecutionReport report;
+    report.attempts = attempt + 1;
+    const StatsSnapshot snapshot(sim_);
+    const double start_time = sim_.now();
+    bool failed = false;
+    SENSJOIN_RETURN_IF_ERROR(ExecuteAttempt(q, epoch, &report, &failed));
+    sim_.events().Run();
+    if (!failed) {
+      report.success = true;
+      report.cost = snapshot.DeltaTo(sim_);
+      report.response_time_s = sim_.now() - start_time;
+      return report;
+    }
+    // Topology changed mid-execution: the distributed state no longer
+    // matches the tree. Repair and bootstrap.
+    tree_ = net::RoutingTree::Build(sim_, tree_.root());
+    ResetDistributedState();
+  }
+  return Status::ResourceExhausted(
+      "continuous SENS-Join failed after retries");
+}
+
+Status ContinuousSensJoinExecutor::ExecuteAttempt(
+    const query::AnalyzedQuery& q, uint64_t epoch, ExecutionReport* report,
+    bool* failed) {
+  *failed = false;
+  const int n = sim_.num_nodes();
+  const ExecutorContext ctx(data_, q, epoch);
+
+  if (!bootstrapped_) {
+    ResetDistributedState();
+    const std::vector<int> dims = QueryJoinAttrIndices(q);
+    SENSJOIN_ASSIGN_OR_RETURN(
+        Quantizer quantizer,
+        Quantizer::FromConfig(q.schema(), dims, quantization_));
+    codec_ = std::make_unique<JoinAttrCodec>(std::move(quantizer),
+                                             ctx.num_relations());
+  }
+  const JoinAttrCodec& codec = *codec_;
+  const std::vector<int> dims = QueryJoinAttrIndices(q);
+
+  // New keys for this epoch.
+  std::vector<uint64_t> new_key(n, 0);
+  std::vector<char> new_valid(n, 0);
+  std::vector<double> dim_values(dims.size());
+  for (sim::NodeId u = 0; u < n; ++u) {
+    const ExecutorContext::NodeInfo& info = ctx.info(u);
+    if (!info.has_tuple || !tree_.InTree(u) || u == tree_.root()) continue;
+    for (size_t d = 0; d < dims.size(); ++d) {
+      dim_values[d] = info.tuple.values[dims[d]];
+    }
+    new_key[u] = codec.EncodeTuple(dim_values, info.membership);
+    new_valid[u] = 1;
+  }
+
+  // ---- Delta collection (leaf to root) -----------------------------------
+  std::vector<Delta> pending(n);
+  size_t changed_nodes = 0;
+  for (sim::NodeId u : tree_.collection_order()) {
+    Delta delta = std::move(pending[u]);
+    pending[u].clear();
+    if (u == tree_.root()) {
+      Apply(&base_counts_, delta);
+      break;  // root is last in collection order
+    }
+    // Incremental SubtreeJoinAtts maintenance: the delta from below is
+    // exactly the change of this node's descendant multiset.
+    Apply(&subtree_counts_[u], delta);
+
+    // Own change.
+    Delta own;
+    if (last_valid_[u]) own[last_key_[u]] -= 1;
+    if (new_valid[u]) own[new_key[u]] += 1;
+    // A node whose key did not move contributes nothing.
+    for (auto it = own.begin(); it != own.end();) {
+      it = it->second == 0 ? own.erase(it) : std::next(it);
+    }
+    if (!own.empty()) ++changed_nodes;
+    Merge(&delta, own);
+    last_key_[u] = new_key[u];
+    last_valid_[u] = new_valid[u];
+
+    if (delta.empty()) continue;
+    sim::Message msg;
+    msg.src = u;
+    msg.dst = tree_.parent(u);
+    msg.kind = sim::MessageKind::kCollection;
+    msg.payload_bytes = DeltaWireBytes(delta, codec, config_.representation);
+    if (!sim_.SendUnicast(std::move(msg))) {
+      *failed = true;
+      return Status::Ok();
+    }
+    Merge(&pending[tree_.parent(u)], delta);
+  }
+  sim_.events().Run();
+
+  // ---- Base station: filter join over the maintained multiset ------------
+  const PointSet collected = SetView(base_counts_, codec);
+  const FilterJoinResult filter_result =
+      ComputeJoinFilter(q, codec, collected);
+  report->collected_points = collected.size();
+  report->filter_points = filter_result.filter.size();
+  report->delta_changed_nodes = changed_nodes;
+
+  // ---- Filter dissemination ----------------------------------------------
+  std::vector<PointSet> filter_at(n, codec.EmptySet());
+  std::vector<char> got_filter(n, 0);
+  filter_at[tree_.root()] = filter_result.filter;
+  got_filter[tree_.root()] = 1;
+  for (sim::NodeId u : tree_.dissemination_order()) {
+    if (!got_filter[u]) continue;
+    std::vector<sim::NodeId> targets;
+    for (sim::NodeId c : tree_.children(u)) {
+      // Only subtrees that ever reported data need the filter.
+      if (!subtree_counts_[c].empty() || last_valid_[c]) targets.push_back(c);
+    }
+    if (targets.empty()) continue;
+    const PointSet subtree_view =
+        u == tree_.root() ? SetView(base_counts_, codec)
+                          : SetView(subtree_counts_[u], codec);
+    PointSet forward = filter_at[u];
+    const bool can_prune =
+        config_.use_selective_forwarding &&
+        (u == tree_.root() ||
+         StructureWireBytes(subtree_view, codec, config_.representation) <=
+             static_cast<size_t>(config_.filter_memory_bytes));
+    if (can_prune) {
+      // Include the children's own keys, which the subtree multiset of u
+      // already covers (it aggregates everything reported from below).
+      forward = PointSet::Intersect(filter_at[u], subtree_view);
+    }
+    if (forward.empty()) continue;
+    for (sim::NodeId c : targets) {
+      if (!sim_.radio().LinkUp(u, c)) {
+        *failed = true;
+        return Status::Ok();
+      }
+    }
+    sim::Message msg;
+    msg.src = u;
+    msg.kind = sim::MessageKind::kFilter;
+    msg.payload_bytes =
+        StructureWireBytes(forward, codec, config_.representation);
+    sim_.Broadcast(std::move(msg));
+    for (sim::NodeId c : targets) {
+      filter_at[c] = forward;
+      got_filter[c] = 1;
+    }
+  }
+  sim_.events().Run();
+
+  // ---- Final result computation ------------------------------------------
+  std::vector<std::vector<data::Tuple>> pending_final(n);
+  std::vector<data::Tuple> base_candidates;
+  for (sim::NodeId u : tree_.collection_order()) {
+    std::vector<data::Tuple> contribution = std::move(pending_final[u]);
+    if (u != tree_.root() && got_filter[u] && new_valid[u] &&
+        filter_at[u].Contains(new_key[u])) {
+      contribution.push_back(ctx.info(u).tuple);
+      ++report->final_tuples_shipped;
+    }
+    if (u == tree_.root()) {
+      base_candidates = std::move(contribution);
+      continue;
+    }
+    if (contribution.empty()) continue;
+    size_t payload = 0;
+    for (const data::Tuple& t : contribution) {
+      payload += ctx.info(t.node).full_tuple_bytes;
+    }
+    sim::Message msg;
+    msg.src = u;
+    msg.dst = tree_.parent(u);
+    msg.kind = sim::MessageKind::kFinal;
+    msg.payload_bytes = payload;
+    if (!sim_.SendUnicast(std::move(msg))) {
+      *failed = true;
+      return Status::Ok();
+    }
+    std::vector<data::Tuple>& up = pending_final[tree_.parent(u)];
+    up.insert(up.end(), std::make_move_iterator(contribution.begin()),
+              std::make_move_iterator(contribution.end()));
+  }
+  sim_.events().Run();
+
+  report->candidate_tuples = base_candidates.size();
+  report->result =
+      ComputeExactJoin(q, ctx.PerTableCandidates(base_candidates));
+  bootstrapped_ = true;
+  return Status::Ok();
+}
+
+}  // namespace sensjoin::join

@@ -1,0 +1,221 @@
+#include "sensjoin/join/encoded_ops.h"
+
+#include <algorithm>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::join {
+namespace {
+
+uint64_t LowMask(int bits) {
+  return bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+}
+
+}  // namespace
+
+EncodedPointStream::EncodedPointStream(const PointSetLayout* layout,
+                                       const BitWriter* encoded)
+    : layout_(layout), reader_(*encoded), done_(encoded->size_bits() == 0) {
+  if (!done_) {
+    if (!PushNode(0, 0)) done_ = true;
+  }
+}
+
+bool EncodedPointStream::PushNode(int level, uint64_t prefix) {
+  if (reader_.RemainingBits() < 1) {
+    status_ = Status::InvalidArgument("truncated point-set encoding");
+    return false;
+  }
+  Frame frame;
+  frame.level = level;
+  frame.prefix = prefix;
+  if (reader_.ReadBit()) {
+    frame.in_list = true;
+  } else {
+    if (level >= layout_->num_levels()) {
+      status_ = Status::InvalidArgument("index node below the deepest level");
+      return false;
+    }
+    frame.in_list = false;
+    const uint64_t num_children = 1ull << layout_->level_widths()[level];
+    if (reader_.RemainingBits() < num_children) {
+      status_ = Status::InvalidArgument("truncated presence mask");
+      return false;
+    }
+    frame.mask = reader_.ReadBits(static_cast<int>(num_children));
+    if (frame.mask == 0) {
+      status_ = Status::InvalidArgument("index node without children");
+      return false;
+    }
+  }
+  stack_.push_back(frame);
+  return true;
+}
+
+std::optional<uint64_t> EncodedPointStream::Next() {
+  while (!done_ && !stack_.empty()) {
+    Frame& top = stack_.back();
+    if (top.in_list) {
+      const int suffix = layout_->SuffixBits(top.level);
+      if (reader_.RemainingBits() < static_cast<size_t>(suffix) + 1) {
+        status_ = Status::InvalidArgument("truncated point list");
+        done_ = true;
+        return std::nullopt;
+      }
+      const uint64_t key =
+          (top.prefix << suffix) | reader_.ReadBits(suffix);
+      if (!reader_.ReadBit()) stack_.pop_back();  // end of list
+      return key;
+    }
+    // Index node: descend into the next present child.
+    const int width = layout_->level_widths()[top.level];
+    const uint64_t num_children = 1ull << width;
+    bool descended = false;
+    while (top.next_digit < num_children) {
+      const uint64_t digit = top.next_digit++;
+      if ((top.mask >> (num_children - 1 - digit)) & 1ull) {
+        // `top` may dangle after push_back; copy what we need first.
+        const int level = top.level;
+        const uint64_t prefix = (top.prefix << width) | digit;
+        if (!PushNode(level + 1, prefix)) {
+          done_ = true;
+          return std::nullopt;
+        }
+        descended = true;
+        break;
+      }
+    }
+    if (!descended) stack_.pop_back();
+  }
+  done_ = true;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Parses and discards the node at the reader's position.
+Status SkipNode(const PointSetLayout& layout, BitReader* reader, int level) {
+  if (reader->RemainingBits() < 1) {
+    return Status::InvalidArgument("truncated point-set encoding");
+  }
+  if (reader->ReadBit()) {
+    const int suffix = layout.SuffixBits(level);
+    while (true) {
+      if (reader->RemainingBits() < static_cast<size_t>(suffix) + 1) {
+        return Status::InvalidArgument("truncated point list");
+      }
+      reader->ReadBits(suffix);
+      if (!reader->ReadBit()) return Status::Ok();
+    }
+  }
+  if (level >= layout.num_levels()) {
+    return Status::InvalidArgument("index node below the deepest level");
+  }
+  const uint64_t num_children = 1ull << layout.level_widths()[level];
+  if (reader->RemainingBits() < num_children) {
+    return Status::InvalidArgument("truncated presence mask");
+  }
+  const uint64_t mask = reader->ReadBits(static_cast<int>(num_children));
+  for (uint64_t d = 0; d < num_children; ++d) {
+    if ((mask >> (num_children - 1 - d)) & 1ull) {
+      SENSJOIN_RETURN_IF_ERROR(SkipNode(layout, reader, level + 1));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<bool> ContainsEncoded(const PointSetLayout& layout,
+                               const BitWriter& encoded, uint64_t key) {
+  if (encoded.size_bits() == 0) return false;
+  BitReader reader(encoded);
+  int level = 0;
+  while (true) {
+    if (reader.RemainingBits() < 1) {
+      return Status::InvalidArgument("truncated point-set encoding");
+    }
+    if (reader.ReadBit()) {
+      // Point list: suffixes are ascending; scan until >= target.
+      const int suffix = layout.SuffixBits(level);
+      const uint64_t target = key & LowMask(suffix);
+      while (true) {
+        if (reader.RemainingBits() < static_cast<size_t>(suffix) + 1) {
+          return Status::InvalidArgument("truncated point list");
+        }
+        const uint64_t v = reader.ReadBits(suffix);
+        if (v == target) return true;
+        if (v > target || !reader.ReadBit()) return false;
+      }
+    }
+    // Index node: follow the key's digit, skipping earlier siblings.
+    if (level >= layout.num_levels()) {
+      return Status::InvalidArgument("index node below the deepest level");
+    }
+    const int width = layout.level_widths()[level];
+    const uint64_t num_children = 1ull << width;
+    if (reader.RemainingBits() < num_children) {
+      return Status::InvalidArgument("truncated presence mask");
+    }
+    const uint64_t mask = reader.ReadBits(static_cast<int>(num_children));
+    const int suffix_below = layout.SuffixBits(level + 1);
+    const uint64_t digit =
+        (key >> suffix_below) & LowMask(width);
+    if (((mask >> (num_children - 1 - digit)) & 1ull) == 0) return false;
+    for (uint64_t d = 0; d < digit; ++d) {
+      if ((mask >> (num_children - 1 - d)) & 1ull) {
+        SENSJOIN_RETURN_IF_ERROR(SkipNode(layout, &reader, level + 1));
+      }
+    }
+    ++level;
+  }
+}
+
+BitWriter EncodeKeyRange(const PointSetLayout& layout,
+                         const std::vector<uint64_t>& keys) {
+  // The canonical encoder lives in PointSet; wrap the keys in one.
+  auto shared = std::make_shared<const PointSetLayout>(layout);
+  return PointSet::FromKeys(shared, keys).Encode();
+}
+
+namespace {
+
+StatusOr<BitWriter> MergeEncoded(const PointSetLayout& layout,
+                                 const BitWriter& a, const BitWriter& b,
+                                 bool intersect) {
+  EncodedPointStream sa(&layout, &a);
+  EncodedPointStream sb(&layout, &b);
+  std::vector<uint64_t> merged;
+  std::optional<uint64_t> ka = sa.Next();
+  std::optional<uint64_t> kb = sb.Next();
+  while (ka.has_value() || kb.has_value()) {
+    if (!kb.has_value() || (ka.has_value() && *ka < *kb)) {
+      if (!intersect) merged.push_back(*ka);
+      ka = sa.Next();
+    } else if (!ka.has_value() || *kb < *ka) {
+      if (!intersect) merged.push_back(*kb);
+      kb = sb.Next();
+    } else {
+      merged.push_back(*ka);
+      ka = sa.Next();
+      kb = sb.Next();
+    }
+  }
+  SENSJOIN_RETURN_IF_ERROR(sa.status());
+  SENSJOIN_RETURN_IF_ERROR(sb.status());
+  return EncodeKeyRange(layout, merged);
+}
+
+}  // namespace
+
+StatusOr<BitWriter> UnionEncoded(const PointSetLayout& layout,
+                                 const BitWriter& a, const BitWriter& b) {
+  return MergeEncoded(layout, a, b, /*intersect=*/false);
+}
+
+StatusOr<BitWriter> IntersectEncoded(const PointSetLayout& layout,
+                                     const BitWriter& a, const BitWriter& b) {
+  return MergeEncoded(layout, a, b, /*intersect=*/true);
+}
+
+}  // namespace sensjoin::join

@@ -1,0 +1,78 @@
+#ifndef SENSJOIN_JOIN_ENCODED_OPS_H_
+#define SENSJOIN_JOIN_ENCODED_OPS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sensjoin/common/bit_stream.h"
+#include "sensjoin/common/statusor.h"
+#include "sensjoin/join/point_set.h"
+
+namespace sensjoin::join {
+
+/// Operations that work directly on the quadtree wire format, without
+/// materializing a PointSet (Sec. V-D: "a strength of our quadtree
+/// representation is that Union and Intersect can be computed directly on
+/// it; there is no need to recover the original tuples").
+///
+/// Because the encoding is canonical (the cost-based decomposition depends
+/// only on the key set), these functions produce bit-identical output to
+/// encoding the result of the corresponding PointSet operation — a property
+/// the test suite checks exhaustively.
+
+/// Incremental decoder: yields the keys of an encoding in ascending order
+/// without building the whole key vector. Drives the streaming merges and
+/// lets memory-constrained nodes iterate a received structure in place.
+class EncodedPointStream {
+ public:
+  EncodedPointStream(const PointSetLayout* layout, const BitWriter* encoded);
+
+  /// The next key, or nullopt at the end. Malformed input is reported
+  /// through status() and ends the stream.
+  std::optional<uint64_t> Next();
+
+  const Status& status() const { return status_; }
+
+ private:
+  struct Frame {
+    int level;            ///< trie level of this node
+    uint64_t prefix;      ///< digits consumed on the path so far
+    bool in_list;         ///< currently reading a point list
+    uint64_t mask = 0;    ///< remaining-children mask (index nodes)
+    uint64_t next_digit = 0;
+  };
+
+  /// Enters the node at the reader's position. Returns false on error.
+  bool PushNode(int level, uint64_t prefix);
+
+  const PointSetLayout* layout_;
+  BitReader reader_;
+  std::vector<Frame> stack_;
+  Status status_;
+  bool done_;
+};
+
+/// Probes an encoding for one key by following its digit path: O(path)
+/// index-node hops plus one local list scan — no full decode. This is how a
+/// node checks its join-attribute tuple against a received filter.
+StatusOr<bool> ContainsEncoded(const PointSetLayout& layout,
+                               const BitWriter& encoded, uint64_t key);
+
+/// Union of two encodings, computed by a single co-traversal (streaming
+/// merge) of the inputs. Output is the canonical encoding of the union.
+StatusOr<BitWriter> UnionEncoded(const PointSetLayout& layout,
+                                 const BitWriter& a, const BitWriter& b);
+
+/// Intersection of two encodings; same contract as UnionEncoded.
+StatusOr<BitWriter> IntersectEncoded(const PointSetLayout& layout,
+                                     const BitWriter& a, const BitWriter& b);
+
+/// Re-encodes an ascending, duplicate-free key sequence under `layout`.
+/// The building block the streaming merges feed; exposed for tests.
+BitWriter EncodeKeyRange(const PointSetLayout& layout,
+                         const std::vector<uint64_t>& keys);
+
+}  // namespace sensjoin::join
+
+#endif  // SENSJOIN_JOIN_ENCODED_OPS_H_

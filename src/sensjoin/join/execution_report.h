@@ -1,0 +1,36 @@
+#ifndef SENSJOIN_JOIN_EXECUTION_REPORT_H_
+#define SENSJOIN_JOIN_EXECUTION_REPORT_H_
+
+#include <cstdint>
+
+#include "sensjoin/join/result.h"
+#include "sensjoin/join/stats.h"
+
+namespace sensjoin::join {
+
+/// Outcome of one query execution by either executor.
+struct ExecutionReport {
+  JoinResult result;
+  CostReport cost;
+
+  bool success = false;
+  int attempts = 1;  ///< 1 + re-executions after link failures
+
+  // Pre-computation statistics (zero for the external join).
+  size_t collected_points = 0;  ///< distinct quantized join-attribute tuples
+  size_t filter_points = 0;     ///< points surviving the filter join
+  size_t treecut_exited_nodes = 0;  ///< nodes that finished via Treecut
+  size_t delta_changed_nodes = 0;   ///< continuous mode: nodes whose key moved
+  size_t final_tuples_shipped = 0;  ///< complete tuples sent in the final
+                                    ///< phase (Treecut tuples excluded)
+  size_t candidate_tuples = 0;      ///< tuples available at the base station
+                                    ///< for the final join
+
+  /// Simulated wall-clock span of the execution (informational; the paper's
+  /// response-time tradeoff, Sec. VII).
+  double response_time_s = 0.0;
+};
+
+}  // namespace sensjoin::join
+
+#endif  // SENSJOIN_JOIN_EXECUTION_REPORT_H_

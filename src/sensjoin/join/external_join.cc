@@ -1,0 +1,77 @@
+#include "sensjoin/join/external_join.h"
+
+#include <utility>
+#include <vector>
+
+#include "sensjoin/common/logging.h"
+#include "sensjoin/join/executor_context.h"
+
+namespace sensjoin::join {
+
+ExternalJoinExecutor::ExternalJoinExecutor(sim::Simulator& sim,
+                                           net::RoutingTree tree,
+                                           const data::NetworkData& data,
+                                           ProtocolConfig config)
+    : sim_(sim), tree_(std::move(tree)), data_(data), config_(config) {}
+
+StatusOr<ExecutionReport> ExternalJoinExecutor::Execute(
+    const query::AnalyzedQuery& q, uint64_t epoch) {
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    ExecutionReport report;
+    report.attempts = attempt + 1;
+    const StatsSnapshot snapshot(sim_);
+    const double start_time = sim_.now();
+    if (ExecuteAttempt(q, epoch, &report)) {
+      sim_.events().Run();
+      report.success = true;
+      report.cost = snapshot.DeltaTo(sim_);
+      report.response_time_s = sim_.now() - start_time;
+      return report;
+    }
+    // Link failure mid-execution: drain in-flight events, let the tree
+    // protocol repair the routes, and re-execute (Sec. IV-F).
+    sim_.events().Run();
+    tree_ = net::RoutingTree::Build(sim_, tree_.root());
+  }
+  return Status::ResourceExhausted(
+      "external join failed after retries (network partitioned?)");
+}
+
+bool ExternalJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
+                                          uint64_t epoch,
+                                          ExecutionReport* report) {
+  const ExecutorContext ctx(data_, q, epoch);
+  // Tuples waiting at each node to be forwarded upward.
+  std::vector<std::vector<data::Tuple>> pending(sim_.num_nodes());
+  std::vector<data::Tuple> base_candidates;
+
+  for (sim::NodeId u : tree_.collection_order()) {
+    std::vector<data::Tuple> contribution = std::move(pending[u]);
+    if (ctx.info(u).has_tuple) contribution.push_back(ctx.info(u).tuple);
+    if (u == tree_.root()) {
+      base_candidates = std::move(contribution);
+      continue;
+    }
+    if (contribution.empty()) continue;
+
+    size_t payload = 0;
+    for (const data::Tuple& t : contribution) {
+      payload += ctx.info(t.node).full_tuple_bytes;
+    }
+    sim::Message msg;
+    msg.src = u;
+    msg.dst = tree_.parent(u);
+    msg.kind = sim::MessageKind::kFinal;
+    msg.payload_bytes = payload;
+    if (!sim_.SendUnicast(std::move(msg))) return false;
+    std::vector<data::Tuple>& up = pending[tree_.parent(u)];
+    up.insert(up.end(), std::make_move_iterator(contribution.begin()),
+              std::make_move_iterator(contribution.end()));
+  }
+
+  report->candidate_tuples = base_candidates.size();
+  report->result = ComputeExactJoin(q, ctx.PerTableCandidates(base_candidates));
+  return true;
+}
+
+}  // namespace sensjoin::join

@@ -1,0 +1,126 @@
+#include "sensjoin/join/join_filter.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "sensjoin/common/logging.h"
+#include "sensjoin/query/interval_eval.h"
+
+namespace sensjoin::join {
+namespace {
+
+/// IntervalContext over an in-progress table->row assignment.
+class AssignmentContext : public query::IntervalContext {
+ public:
+  explicit AssignmentContext(
+      const std::vector<const std::vector<query::Interval>*>* assignment)
+      : assignment_(assignment) {}
+
+  query::Interval Value(int table_index, int attr_index) const override {
+    const std::vector<query::Interval>* row = (*assignment_)[table_index];
+    SENSJOIN_DCHECK(row != nullptr);
+    return (*row)[attr_index];
+  }
+
+ private:
+  const std::vector<const std::vector<query::Interval>*>* assignment_;
+};
+
+}  // namespace
+
+std::vector<int> TableRelationBits(const query::AnalyzedQuery& q) {
+  const std::vector<std::string> names = q.RelationNames();
+  std::vector<int> bits(q.num_tables(), -1);
+  for (int t = 0; t < q.num_tables(); ++t) {
+    for (size_t r = 0; r < names.size(); ++r) {
+      if (names[r] == q.table(t).relation) {
+        bits[t] = static_cast<int>(r);
+        break;
+      }
+    }
+    SENSJOIN_CHECK_GE(bits[t], 0);
+  }
+  return bits;
+}
+
+FilterJoinResult ComputeJoinFilter(const query::AnalyzedQuery& q,
+                                   const JoinAttrCodec& codec,
+                                   const PointSet& collected) {
+  const std::vector<uint64_t>& keys = collected.keys();
+  const int num_tables = q.num_tables();
+  const int num_attrs = q.schema().num_attributes();
+  const Quantizer& quant = codec.quantizer();
+
+  // Interval row per key, indexed by schema attribute index (only the
+  // quantizer's dimensions are meaningful; join predicates reference only
+  // those).
+  std::vector<std::vector<query::Interval>> rows(
+      keys.size(), std::vector<query::Interval>(num_attrs));
+  for (size_t k = 0; k < keys.size(); ++k) {
+    const std::vector<query::Interval> cell = codec.KeyIntervals(keys[k]);
+    for (int d = 0; d < quant.num_dims(); ++d) {
+      rows[k][quant.dim(d).attr_index] = cell[d];
+    }
+  }
+
+  // Eligibility: key usable for table t iff its flags contain t's relation.
+  const std::vector<int> rel_bits = TableRelationBits(q);
+  std::vector<std::vector<size_t>> eligible(num_tables);
+  for (size_t k = 0; k < keys.size(); ++k) {
+    const uint8_t flags = codec.KeyFlags(keys[k]);
+    for (int t = 0; t < num_tables; ++t) {
+      if (codec.flag_bits() == 0 || ((flags >> rel_bits[t]) & 1)) {
+        eligible[t].push_back(k);
+      }
+    }
+  }
+
+  // Evaluate each join predicate as soon as its last referenced table is
+  // assigned.
+  std::vector<std::vector<const query::Expr*>> preds_at(num_tables);
+  for (const auto& p : q.join_predicates()) {
+    std::set<int> tables;
+    p->CollectTableIndices(&tables);
+    SENSJOIN_CHECK(!tables.empty());
+    preds_at[*tables.rbegin()].push_back(p.get());
+  }
+
+  FilterJoinResult result(codec.EmptySet());
+  std::vector<char> matched(keys.size(), 0);
+  std::vector<const std::vector<query::Interval>*> assignment(num_tables,
+                                                              nullptr);
+  std::vector<size_t> assigned_key(num_tables, 0);
+  AssignmentContext ctx(&assignment);
+
+  std::function<void(int)> dfs = [&](int t) {
+    if (t == num_tables) {
+      ++result.combinations_matched;
+      for (int i = 0; i < num_tables; ++i) matched[assigned_key[i]] = 1;
+      return;
+    }
+    for (size_t k : eligible[t]) {
+      assignment[t] = &rows[k];
+      assigned_key[t] = k;
+      bool alive = true;
+      for (const query::Expr* p : preds_at[t]) {
+        ++result.combinations_evaluated;
+        if (query::EvalTri(*p, ctx) == query::Tri::kFalse) {
+          alive = false;
+          break;
+        }
+      }
+      if (alive) dfs(t + 1);
+    }
+    assignment[t] = nullptr;
+  };
+  dfs(0);
+
+  std::vector<uint64_t> filter_keys;
+  for (size_t k = 0; k < keys.size(); ++k) {
+    if (matched[k]) filter_keys.push_back(keys[k]);
+  }
+  result.filter = PointSet::FromKeys(codec.layout(), std::move(filter_keys));
+  return result;
+}
+
+}  // namespace sensjoin::join

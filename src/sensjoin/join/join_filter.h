@@ -1,0 +1,48 @@
+#ifndef SENSJOIN_JOIN_JOIN_FILTER_H_
+#define SENSJOIN_JOIN_JOIN_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sensjoin/join/join_attr_codec.h"
+#include "sensjoin/join/point_set.h"
+#include "sensjoin/query/query.h"
+
+namespace sensjoin::join {
+
+/// Output of the base station's pre-computation join (step 1a).
+struct FilterJoinResult {
+  /// The join filter: the subset of collected keys that participate in at
+  /// least one (conservatively) matching combination. Nodes whose
+  /// join-attribute tuple is in this set ship their complete tuple.
+  PointSet filter;
+
+  /// Key combinations whose predicates were evaluated.
+  size_t combinations_evaluated = 0;
+  /// Combinations that were not certainly false.
+  size_t combinations_matched = 0;
+
+  FilterJoinResult() : filter(nullptr) {}
+  explicit FilterJoinResult(PointSet f) : filter(std::move(f)) {}
+};
+
+/// Maps the FROM-list tables of `q` to relation bit indices (bit r of a
+/// key's flags = membership in the r-th distinct relation of the query, in
+/// FROM order).
+std::vector<int> TableRelationBits(const query::AnalyzedQuery& q);
+
+/// Joins the collected (quantized) join-attribute tuples at the base
+/// station. Join predicates are evaluated over cell intervals with
+/// three-valued logic; a combination is kept unless some predicate is
+/// certainly false, so quantization can only add false positives, never
+/// drop a real result tuple (footnote 2). A key is eligible for table t iff
+/// its relation flags include t's relation.
+FilterJoinResult ComputeJoinFilter(const query::AnalyzedQuery& q,
+                                   const JoinAttrCodec& codec,
+                                   const PointSet& collected);
+
+}  // namespace sensjoin::join
+
+#endif  // SENSJOIN_JOIN_JOIN_FILTER_H_

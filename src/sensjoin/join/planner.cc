@@ -1,0 +1,74 @@
+#include "sensjoin/join/planner.h"
+
+#include <cmath>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::join {
+
+const char* JoinMethodName(JoinMethod m) {
+  switch (m) {
+    case JoinMethod::kSensJoin:
+      return "SENS-Join";
+    case JoinMethod::kExternalJoin:
+      return "external join";
+  }
+  return "?";
+}
+
+PlanEstimate EstimatePlan(const net::RoutingTree& tree,
+                          const std::vector<char>& participates,
+                          const PlannerParams& params) {
+  SENSJOIN_CHECK_EQ(static_cast<int>(participates.size()), tree.num_nodes());
+  SENSJOIN_CHECK_GT(params.payload_capacity, 0);
+  const double capacity = params.payload_capacity;
+  const double b = params.full_tuple_bytes;
+  const double bj = params.join_attr_raw_bytes;
+  const double q = params.quadtree_ratio;
+  const double f = params.expected_fraction;
+
+  // Participants below (and including) each node.
+  std::vector<int> below(tree.num_nodes(), 0);
+  for (sim::NodeId u : tree.collection_order()) {
+    below[u] += participates[u] ? 1 : 0;
+    if (tree.parent(u) != sim::kInvalidNode) below[tree.parent(u)] += below[u];
+  }
+
+  PlanEstimate estimate;
+  for (sim::NodeId u : tree.collection_order()) {
+    if (u == tree.root() || below[u] == 0) continue;
+    const double subtree_tuples = below[u];
+    const double full_bytes = subtree_tuples * b;
+
+    // External join: forward all complete tuples.
+    estimate.external += std::ceil(full_bytes / capacity);
+
+    // SENS-Join collection: Treecut near the leaves, compact structures
+    // above.
+    if (full_bytes <= params.dmax_bytes) {
+      estimate.collection += std::ceil(full_bytes / capacity);
+    } else {
+      const double struct_bytes = subtree_tuples * bj * q;
+      estimate.collection += std::ceil(std::max(1.0, struct_bytes) / capacity);
+    }
+
+    // Filter / final phases involve the subtree only if it holds a result
+    // tuple; Treecut-exited subtrees never do more work.
+    if (full_bytes <= params.dmax_bytes) continue;
+    const double involved = 1.0 - std::pow(1.0 - f, subtree_tuples);
+    const double matching = f * subtree_tuples;
+    estimate.filter +=
+        involved * std::ceil(std::max(1.0, matching * bj * q) / capacity);
+    estimate.final_phase +=
+        involved * std::ceil(std::max(1.0, matching * b) / capacity);
+  }
+  return estimate;
+}
+
+JoinMethod ChoosePlan(const net::RoutingTree& tree,
+                      const std::vector<char>& participates,
+                      const PlannerParams& params) {
+  return EstimatePlan(tree, participates, params).Choice();
+}
+
+}  // namespace sensjoin::join

@@ -1,0 +1,65 @@
+#ifndef SENSJOIN_JOIN_PLANNER_H_
+#define SENSJOIN_JOIN_PLANNER_H_
+
+#include <vector>
+
+#include "sensjoin/net/routing_tree.h"
+#include "sensjoin/sim/time.h"
+
+namespace sensjoin::join {
+
+/// Which executor the planner recommends.
+enum class JoinMethod { kSensJoin, kExternalJoin };
+
+const char* JoinMethodName(JoinMethod m);
+
+/// Inputs of the analytic cost model. Byte sizes come from the analyzed
+/// query; `expected_fraction` is the caller's estimate of the fraction of
+/// nodes in the result (from history, statistics, or a guess — the paper's
+/// break-even analysis shows the decision is robust except near the
+/// crossover).
+struct PlannerParams {
+  int full_tuple_bytes = 0;      ///< shipped projection per tuple
+  int join_attr_raw_bytes = 0;   ///< raw join-attribute tuple size
+  double quadtree_ratio = 0.45;  ///< encoded/raw size ratio estimate
+  double expected_fraction = 0.05;
+  int payload_capacity = 40;     ///< packet payload bytes
+  int dmax_bytes = 30;           ///< Treecut threshold
+};
+
+/// Predicted packet transmissions per method and per SENS-Join phase.
+struct PlanEstimate {
+  double external = 0;
+  double collection = 0;
+  double filter = 0;
+  double final_phase = 0;
+
+  double sens() const { return collection + filter + final_phase; }
+
+  JoinMethod Choice() const {
+    return sens() <= external ? JoinMethod::kSensJoin
+                              : JoinMethod::kExternalJoin;
+  }
+};
+
+/// Walks the routing tree once and predicts the transmission counts of both
+/// methods. `participates[u]` marks nodes contributing a tuple. The model:
+///
+///  * external join: every node forwards its subtree's tuples —
+///    ceil(T_u * b / C) packets per node with T_u participants below it;
+///  * SENS-Join collection: Treecut ships complete tuples while
+///    T_u * b <= Dmax, compact join-attribute structures afterwards;
+///  * filter / final phases: a subtree is involved with probability
+///    1 - (1-f)^{T_u} and carries f * T_u expected result tuples.
+PlanEstimate EstimatePlan(const net::RoutingTree& tree,
+                          const std::vector<char>& participates,
+                          const PlannerParams& params);
+
+/// Convenience: EstimatePlan(...).Choice().
+JoinMethod ChoosePlan(const net::RoutingTree& tree,
+                      const std::vector<char>& participates,
+                      const PlannerParams& params);
+
+}  // namespace sensjoin::join
+
+#endif  // SENSJOIN_JOIN_PLANNER_H_

@@ -1,0 +1,49 @@
+#ifndef SENSJOIN_JOIN_PROTOCOL_H_
+#define SENSJOIN_JOIN_PROTOCOL_H_
+
+#include <cstdint>
+
+namespace sensjoin::join {
+
+/// How join-attribute tuples are represented on the wire during the
+/// pre-computation (Sec. V and the Sec. VI-B comparison).
+enum class JoinAttrRepresentation {
+  kQuadtree,   ///< the paper's compact quadtree encoding (default)
+  kRaw,        ///< plain quantized tuples, two bytes per attribute
+               ///< (the SENS_No-Quad variant of Fig. 16)
+  kZlibLike,   ///< raw serialization compressed with the LZ77+Huffman codec
+  kBzip2Like,  ///< raw serialization compressed with the BWT codec
+};
+
+const char* JoinAttrRepresentationName(JoinAttrRepresentation r);
+
+/// Tunables of the SENS-Join protocol. Defaults are the paper's settings.
+struct ProtocolConfig {
+  /// Treecut threshold Dmax (Sec. IV-B): while the data volume to send is
+  /// below this, nodes ship complete tuples instead of join-attribute
+  /// tuples. Must stay below the packet payload capacity.
+  int dmax_bytes = 30;
+
+  /// Memory budget for Selective Filter Forwarding (Sec. IV-C): a node
+  /// keeps its subtree's join-attribute structure only if it fits.
+  int filter_memory_bytes = 500;
+
+  /// Ablation switches (both on in the paper's design).
+  bool use_treecut = true;
+  bool use_selective_forwarding = true;
+
+  JoinAttrRepresentation representation = JoinAttrRepresentation::kQuadtree;
+
+  /// Re-executions after a link failure breaks an execution (Sec. IV-F).
+  int max_retries = 3;
+
+  /// Debug/fidelity mode: in the quadtree representation, every structure
+  /// handed to the radio is actually serialized to its wire bits and parsed
+  /// back, and the roundtrip is checked fatally. Proves the Fig. 9 format
+  /// is complete for everything the protocol ships (tests enable this).
+  bool verify_wire_roundtrip = false;
+};
+
+}  // namespace sensjoin::join
+
+#endif  // SENSJOIN_JOIN_PROTOCOL_H_

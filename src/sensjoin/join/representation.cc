@@ -1,0 +1,55 @@
+#include "sensjoin/join/representation.h"
+
+#include "sensjoin/common/logging.h"
+#include "sensjoin/compress/bzip2_like.h"
+#include "sensjoin/compress/zlib_like.h"
+
+namespace sensjoin::join {
+
+const char* JoinAttrRepresentationName(JoinAttrRepresentation r) {
+  switch (r) {
+    case JoinAttrRepresentation::kQuadtree:
+      return "quadtree";
+    case JoinAttrRepresentation::kRaw:
+      return "raw";
+    case JoinAttrRepresentation::kZlibLike:
+      return "zlib-like";
+    case JoinAttrRepresentation::kBzip2Like:
+      return "bzip2-like";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> SerializePointsRaw(const PointSet& set,
+                                        const JoinAttrCodec& codec) {
+  std::vector<uint8_t> out;
+  out.reserve(set.size() * 2 * codec.quantizer().num_dims());
+  for (uint64_t key : set.keys()) {
+    for (uint32_t c : codec.KeyCoordinates(key)) {
+      SENSJOIN_DCHECK(c < (1u << 16));
+      out.push_back(static_cast<uint8_t>(c));
+      out.push_back(static_cast<uint8_t>(c >> 8));
+    }
+  }
+  return out;
+}
+
+size_t StructureWireBytes(const PointSet& set, const JoinAttrCodec& codec,
+                          JoinAttrRepresentation representation) {
+  if (set.empty()) return 0;
+  switch (representation) {
+    case JoinAttrRepresentation::kQuadtree:
+      return set.EncodedBytes();
+    case JoinAttrRepresentation::kRaw:
+      return set.size() * 2 * codec.quantizer().num_dims();
+    case JoinAttrRepresentation::kZlibLike:
+      return compress::ZlibLikeCompress(SerializePointsRaw(set, codec)).size();
+    case JoinAttrRepresentation::kBzip2Like:
+      return compress::Bzip2LikeCompress(SerializePointsRaw(set, codec))
+          .size();
+  }
+  SENSJOIN_CHECK(false) << "unknown representation";
+  return 0;
+}
+
+}  // namespace sensjoin::join

@@ -1,0 +1,30 @@
+#ifndef SENSJOIN_JOIN_REPRESENTATION_H_
+#define SENSJOIN_JOIN_REPRESENTATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sensjoin/join/join_attr_codec.h"
+#include "sensjoin/join/point_set.h"
+#include "sensjoin/join/protocol.h"
+
+namespace sensjoin::join {
+
+/// Serializes a point set as plain quantized tuples: two bytes per
+/// dimension per point, points in key (Z-) order. This is both the
+/// "no compact representation" wire format and the input handed to the
+/// general-purpose compressors in the Sec. VI-B comparison.
+std::vector<uint8_t> SerializePointsRaw(const PointSet& set,
+                                        const JoinAttrCodec& codec);
+
+/// Wire size in bytes of a Join_Attr_Structure under the chosen
+/// representation. For the compressed representations this runs the actual
+/// codec on the raw serialization — mirroring the per-hop
+/// decompress/recompress cycle the paper charges against them.
+size_t StructureWireBytes(const PointSet& set, const JoinAttrCodec& codec,
+                          JoinAttrRepresentation representation);
+
+}  // namespace sensjoin::join
+
+#endif  // SENSJOIN_JOIN_REPRESENTATION_H_

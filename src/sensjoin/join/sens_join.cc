@@ -1,0 +1,317 @@
+#include "sensjoin/join/sens_join.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sensjoin/common/logging.h"
+#include "sensjoin/data/tuple.h"
+#include "sensjoin/join/executor_context.h"
+#include "sensjoin/join/join_attr_codec.h"
+#include "sensjoin/join/join_filter.h"
+#include "sensjoin/join/representation.h"
+
+namespace sensjoin::join {
+namespace {
+
+/// Join attributes of the query: the union over all FROM entries, in schema
+/// order (Definition 1 — a join-attribute tuple projects onto the join
+/// attributes of the query; for self-joins the aliases' attributes usually
+/// coincide and are sent once, Sec. IV-B).
+std::vector<int> QueryJoinAttrIndices(const query::AnalyzedQuery& q) {
+  std::set<int> attrs;
+  for (int t = 0; t < q.num_tables(); ++t) {
+    attrs.insert(q.table(t).join_attr_indices.begin(),
+                 q.table(t).join_attr_indices.end());
+  }
+  return std::vector<int>(attrs.begin(), attrs.end());
+}
+
+}  // namespace
+
+SensJoinExecutor::SensJoinExecutor(sim::Simulator& sim, net::RoutingTree tree,
+                                   const data::NetworkData& data,
+                                   QuantizationConfig quantization,
+                                   ProtocolConfig config)
+    : sim_(sim),
+      tree_(std::move(tree)),
+      data_(data),
+      quantization_(std::move(quantization)),
+      config_(config) {}
+
+StatusOr<ExecutionReport> SensJoinExecutor::Execute(
+    const query::AnalyzedQuery& q, uint64_t epoch) {
+  if (q.num_tables() < 2) {
+    return Status::InvalidArgument(
+        "SENS-Join requires at least two relations in FROM");
+  }
+  if (config_.dmax_bytes >= sim_.packet_params().max_packet_bytes) {
+    return Status::InvalidArgument(
+        "Dmax must be below the maximum packet size (Sec. IV-E)");
+  }
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    ExecutionReport report;
+    report.attempts = attempt + 1;
+    const StatsSnapshot snapshot(sim_);
+    const double start_time = sim_.now();
+    bool failed = false;
+    SENSJOIN_RETURN_IF_ERROR(ExecuteAttempt(q, epoch, &report, &failed));
+    sim_.events().Run();
+    if (!failed) {
+      report.success = true;
+      report.cost = snapshot.DeltaTo(sim_);
+      report.response_time_s = sim_.now() - start_time;
+      return report;
+    }
+    // Link failure: let the tree protocol re-establish routes and
+    // re-execute the query (Sec. IV-F).
+    tree_ = net::RoutingTree::Build(sim_, tree_.root());
+  }
+  return Status::ResourceExhausted(
+      "SENS-Join failed after retries (network partitioned?)");
+}
+
+Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
+                                        uint64_t epoch,
+                                        ExecutionReport* report,
+                                        bool* failed) {
+  *failed = false;
+  const ExecutorContext ctx(data_, q, epoch);
+
+  const std::vector<int> dims = QueryJoinAttrIndices(q);
+  SENSJOIN_ASSIGN_OR_RETURN(
+      Quantizer quantizer,
+      Quantizer::FromConfig(q.schema(), dims, quantization_));
+  const JoinAttrCodec codec(std::move(quantizer), ctx.num_relations());
+
+  // Per-node join-attribute keys.
+  const int n = sim_.num_nodes();
+  std::vector<uint64_t> node_key(n, 0);
+  std::vector<double> dim_values(dims.size());
+  for (sim::NodeId u = 0; u < n; ++u) {
+    const ExecutorContext::NodeInfo& info = ctx.info(u);
+    if (!info.has_tuple) continue;
+    for (size_t d = 0; d < dims.size(); ++d) {
+      dim_values[d] = info.tuple.values[dims[d]];
+    }
+    node_key[u] = codec.EncodeTuple(dim_values, info.membership);
+  }
+
+  // Per-node protocol state (Fig. 1).
+  struct NodeState {
+    std::vector<data::Tuple> pending_full;  ///< full tuples from children
+    PointSet pending_attrs;                 ///< union of children structures
+    bool any_attrs_child = false;
+    bool sent_attrs = false;   ///< sent a join-attribute structure upward
+    bool exited = false;       ///< finished via Treecut
+    std::vector<data::Tuple> proxy_tuples;  ///< stored complete tuples
+    PointSet subtree_attrs;    ///< SubtreeJoinAtts (children only)
+    bool has_subtree_attrs = false;
+    PointSet filter;           ///< received join filter
+    bool got_filter = false;
+
+    explicit NodeState(const JoinAttrCodec& codec)
+        : pending_attrs(codec.EmptySet()),
+          subtree_attrs(codec.EmptySet()),
+          filter(codec.EmptySet()) {}
+  };
+  std::vector<NodeState> states(n, NodeState(codec));
+
+  const sim::NodeId root = tree_.root();
+  std::vector<data::Tuple> base_candidates;
+
+  // Fidelity check (tests): everything handed to the radio must survive an
+  // actual serialize/parse roundtrip through the Fig. 9 wire format.
+  auto verify_wire = [this, &codec](const PointSet& set) {
+    if (!config_.verify_wire_roundtrip ||
+        config_.representation != JoinAttrRepresentation::kQuadtree) {
+      return;
+    }
+    auto decoded = PointSet::Decode(codec.layout(), set.Encode());
+    SENSJOIN_CHECK(decoded.ok()) << decoded.status();
+    SENSJOIN_CHECK(*decoded == set) << "wire roundtrip mismatch";
+  };
+
+  // ---- Phase 1a: Join-Attribute-Collection with Treecut (Fig. 2) --------
+  for (sim::NodeId u : tree_.collection_order()) {
+    NodeState& s = states[u];
+    const ExecutorContext::NodeInfo& info = ctx.info(u);
+
+    if (u == root) {
+      // The base station: complete tuples arriving here are already at
+      // their destination; their join-attribute tuples still participate
+      // in the filter join as potential partners.
+      base_candidates = std::move(s.pending_full);
+      for (const data::Tuple& t : base_candidates) {
+        s.pending_attrs.Insert(node_key[t.node]);
+      }
+      s.subtree_attrs = s.pending_attrs;  // powered node: no memory limit
+      s.has_subtree_attrs = true;
+      continue;
+    }
+
+    size_t full_bytes = info.has_tuple ? info.full_tuple_bytes : 0;
+    for (const data::Tuple& t : s.pending_full) {
+      full_bytes += ctx.info(t.node).full_tuple_bytes;
+    }
+
+    const bool treecut_applies =
+        config_.use_treecut && !s.any_attrs_child &&
+        full_bytes <= static_cast<size_t>(config_.dmax_bytes);
+    if (treecut_applies) {
+      // Hand the complete tuples to the parent and exit the query.
+      std::vector<data::Tuple> contribution = std::move(s.pending_full);
+      if (info.has_tuple) contribution.push_back(info.tuple);
+      s.exited = true;
+      ++report->treecut_exited_nodes;
+      if (contribution.empty()) continue;
+      sim::Message msg;
+      msg.src = u;
+      msg.dst = tree_.parent(u);
+      msg.kind = sim::MessageKind::kCollection;
+      msg.payload_bytes = full_bytes;
+      if (!sim_.SendUnicast(std::move(msg))) {
+        *failed = true;
+        return Status::Ok();
+      }
+      NodeState& p = states[tree_.parent(u)];
+      p.pending_full.insert(p.pending_full.end(),
+                            std::make_move_iterator(contribution.begin()),
+                            std::make_move_iterator(contribution.end()));
+      continue;
+    }
+
+    // Act as a proxy for received complete tuples; remember the subtree's
+    // join-attribute structure for Selective Filter Forwarding.
+    s.proxy_tuples = std::move(s.pending_full);
+    s.pending_full.clear();
+    if (config_.use_selective_forwarding &&
+        StructureWireBytes(s.pending_attrs, codec, config_.representation) <=
+            static_cast<size_t>(config_.filter_memory_bytes)) {
+      s.subtree_attrs = s.pending_attrs;
+      s.has_subtree_attrs = true;
+    }
+
+    PointSet out = s.pending_attrs;
+    for (const data::Tuple& t : s.proxy_tuples) out.Insert(node_key[t.node]);
+    if (info.has_tuple) out.Insert(node_key[u]);
+    if (out.empty()) continue;  // nothing in this subtree
+    verify_wire(out);
+
+    sim::Message msg;
+    msg.src = u;
+    msg.dst = tree_.parent(u);
+    msg.kind = sim::MessageKind::kCollection;
+    msg.payload_bytes = StructureWireBytes(out, codec, config_.representation);
+    if (!sim_.SendUnicast(std::move(msg))) {
+      *failed = true;
+      return Status::Ok();
+    }
+    s.sent_attrs = true;
+    NodeState& p = states[tree_.parent(u)];
+    p.pending_attrs = PointSet::Union(p.pending_attrs, out);
+    p.any_attrs_child = true;
+  }
+  sim_.events().Run();
+
+  // ---- Base station: conservative filter join ---------------------------
+  const PointSet& collected = states[root].pending_attrs;
+  const FilterJoinResult filter_result =
+      ComputeJoinFilter(q, codec, collected);
+  report->collected_points = collected.size();
+  report->filter_points = filter_result.filter.size();
+
+  // ---- Phase 1b: Filter-Dissemination (Fig. 3) ---------------------------
+  states[root].filter = filter_result.filter;
+  states[root].got_filter = true;
+  for (sim::NodeId u : tree_.dissemination_order()) {
+    NodeState& s = states[u];
+    if (s.exited || !s.got_filter) continue;
+
+    std::vector<sim::NodeId> targets;
+    for (sim::NodeId c : tree_.children(u)) {
+      if (states[c].sent_attrs) targets.push_back(c);
+    }
+    if (targets.empty()) continue;
+
+    PointSet forward = s.has_subtree_attrs
+                           ? PointSet::Intersect(s.filter, s.subtree_attrs)
+                           : s.filter;  // over budget: cannot prune
+    if (forward.empty()) continue;  // subtree holds no result tuples
+    verify_wire(forward);
+
+    for (sim::NodeId c : targets) {
+      if (!sim_.radio().LinkUp(u, c)) {
+        *failed = true;
+        return Status::Ok();
+      }
+    }
+    sim::Message msg;
+    msg.src = u;
+    msg.kind = sim::MessageKind::kFilter;
+    msg.payload_bytes =
+        StructureWireBytes(forward, codec, config_.representation);
+    sim_.Broadcast(std::move(msg));
+    for (sim::NodeId c : targets) {
+      states[c].filter = forward;
+      states[c].got_filter = true;
+    }
+  }
+  sim_.events().Run();
+
+  // ---- Phase 2: Final-Result-Computation ---------------------------------
+  std::vector<std::vector<data::Tuple>> pending_final(n);
+  for (sim::NodeId u : tree_.collection_order()) {
+    NodeState& s = states[u];
+    if (u != root && s.exited) continue;
+
+    std::vector<data::Tuple> contribution = std::move(pending_final[u]);
+    if (u != root && s.got_filter) {
+      const ExecutorContext::NodeInfo& info = ctx.info(u);
+      size_t own = 0;
+      if (info.has_tuple && s.filter.Contains(node_key[u])) {
+        contribution.push_back(info.tuple);
+        ++own;
+      }
+      for (const data::Tuple& t : s.proxy_tuples) {
+        if (s.filter.Contains(node_key[t.node])) {
+          contribution.push_back(t);
+          ++own;
+        }
+      }
+      report->final_tuples_shipped += own;
+    }
+    if (u == root) {
+      base_candidates.insert(base_candidates.end(),
+                             std::make_move_iterator(contribution.begin()),
+                             std::make_move_iterator(contribution.end()));
+      continue;
+    }
+    if (contribution.empty()) continue;
+
+    size_t payload = 0;
+    for (const data::Tuple& t : contribution) {
+      payload += ctx.info(t.node).full_tuple_bytes;
+    }
+    sim::Message msg;
+    msg.src = u;
+    msg.dst = tree_.parent(u);
+    msg.kind = sim::MessageKind::kFinal;
+    msg.payload_bytes = payload;
+    if (!sim_.SendUnicast(std::move(msg))) {
+      *failed = true;
+      return Status::Ok();
+    }
+    std::vector<data::Tuple>& up = pending_final[tree_.parent(u)];
+    up.insert(up.end(), std::make_move_iterator(contribution.begin()),
+              std::make_move_iterator(contribution.end()));
+  }
+  sim_.events().Run();
+
+  report->candidate_tuples = base_candidates.size();
+  report->result =
+      ComputeExactJoin(q, ctx.PerTableCandidates(base_candidates));
+  return Status::Ok();
+}
+
+}  // namespace sensjoin::join

@@ -1,0 +1,60 @@
+#include "sensjoin/join/stats.h"
+
+#include <algorithm>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::join {
+namespace {
+
+uint64_t JoinPacketsOfNode(const sim::NodeStats& s) {
+  return s.packets_sent_by_kind[static_cast<size_t>(
+             sim::MessageKind::kCollection)] +
+         s.packets_sent_by_kind[static_cast<size_t>(
+             sim::MessageKind::kFilter)] +
+         s.packets_sent_by_kind[static_cast<size_t>(sim::MessageKind::kFinal)];
+}
+
+}  // namespace
+
+uint64_t CostReport::max_node_packets() const {
+  uint64_t m = 0;
+  for (uint64_t v : per_node_packets) m = std::max(m, v);
+  return m;
+}
+
+StatsSnapshot::StatsSnapshot(const sim::Simulator& sim)
+    : collection_(
+          sim.packets_sent_by_kind(sim::MessageKind::kCollection)),
+      filter_(sim.packets_sent_by_kind(sim::MessageKind::kFilter)),
+      final_(sim.packets_sent_by_kind(sim::MessageKind::kFinal)),
+      bytes_(sim.total_bytes_sent()),
+      energy_(sim.total_energy_mj()) {
+  per_node_join_packets_.resize(sim.num_nodes());
+  for (int i = 0; i < sim.num_nodes(); ++i) {
+    per_node_join_packets_[i] = JoinPacketsOfNode(sim.node(i).stats);
+  }
+}
+
+CostReport StatsSnapshot::DeltaTo(const sim::Simulator& sim) const {
+  CostReport report;
+  report.phases.collection_packets =
+      sim.packets_sent_by_kind(sim::MessageKind::kCollection) - collection_;
+  report.phases.filter_packets =
+      sim.packets_sent_by_kind(sim::MessageKind::kFilter) - filter_;
+  report.phases.final_packets =
+      sim.packets_sent_by_kind(sim::MessageKind::kFinal) - final_;
+  report.join_packets = report.phases.total();
+  report.join_bytes = sim.total_bytes_sent() - bytes_;
+  report.energy_mj = sim.total_energy_mj() - energy_;
+  SENSJOIN_CHECK_EQ(static_cast<int>(per_node_join_packets_.size()),
+                    sim.num_nodes());
+  report.per_node_packets.resize(sim.num_nodes());
+  for (int i = 0; i < sim.num_nodes(); ++i) {
+    report.per_node_packets[i] =
+        JoinPacketsOfNode(sim.node(i).stats) - per_node_join_packets_[i];
+  }
+  return report;
+}
+
+}  // namespace sensjoin::join

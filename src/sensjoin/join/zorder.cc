@@ -1,0 +1,61 @@
+#include "sensjoin/join/zorder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::join {
+
+ZOrder::ZOrder(std::vector<int> bits_per_dim)
+    : bits_per_dim_(std::move(bits_per_dim)) {
+  SENSJOIN_CHECK(!bits_per_dim_.empty());
+  for (int b : bits_per_dim_) {
+    SENSJOIN_CHECK(b >= 0 && b <= 32) << "coordinate width out of range";
+    total_bits_ += b;
+    max_bits_ = std::max(max_bits_, b);
+  }
+  SENSJOIN_CHECK_LE(total_bits_, 62)
+      << "Z-number does not fit a 64-bit key with flags";
+  level_widths_.reserve(max_bits_);
+  for (int l = 0; l < max_bits_; ++l) {
+    int width = 0;
+    for (int b : bits_per_dim_) {
+      if (b > l) ++width;
+    }
+    level_widths_.push_back(width);
+  }
+}
+
+uint64_t ZOrder::Interleave(const std::vector<uint32_t>& coords) const {
+  SENSJOIN_DCHECK(static_cast<int>(coords.size()) == num_dims());
+  uint64_t z = 0;
+  for (int l = 0; l < max_bits_; ++l) {
+    for (int i = 0; i < num_dims(); ++i) {
+      const int b = bits_per_dim_[i];
+      if (b <= l) continue;
+      SENSJOIN_DCHECK(b == 32 || coords[i] < (1u << b))
+          << "coordinate out of range in dim" << i;
+      const uint32_t bit = (coords[i] >> (b - 1 - l)) & 1u;
+      z = (z << 1) | bit;
+    }
+  }
+  return z;
+}
+
+std::vector<uint32_t> ZOrder::Deinterleave(uint64_t z) const {
+  std::vector<uint32_t> coords(num_dims(), 0);
+  int pos = total_bits_;
+  for (int l = 0; l < max_bits_; ++l) {
+    for (int i = 0; i < num_dims(); ++i) {
+      if (bits_per_dim_[i] <= l) continue;
+      --pos;
+      const uint32_t bit = static_cast<uint32_t>((z >> pos) & 1u);
+      coords[i] = (coords[i] << 1) | bit;
+    }
+  }
+  SENSJOIN_DCHECK(pos == 0);
+  return coords;
+}
+
+}  // namespace sensjoin::join

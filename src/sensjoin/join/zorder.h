@@ -1,0 +1,44 @@
+#ifndef SENSJOIN_JOIN_ZORDER_H_
+#define SENSJOIN_JOIN_ZORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sensjoin::join {
+
+/// Z-ordering by bit interleaving over dimensions of unequal bit widths
+/// (Sec. V-B, Fig. 6). Interleaving proceeds level by level from the most
+/// significant bits: at level l every dimension that still has extent
+/// (bits_per_dim > l) contributes one bit, mirroring the region quadtree's
+/// halving of every unresolved dimension at each tree level. The resulting
+/// per-level digit widths drive the quadtree encoding.
+class ZOrder {
+ public:
+  /// `bits_per_dim[i]` is the coordinate width of dimension i. Total bits
+  /// must fit a uint64 key (<= 62, leaving room for relation flags).
+  explicit ZOrder(std::vector<int> bits_per_dim);
+
+  int num_dims() const { return static_cast<int>(bits_per_dim_.size()); }
+  int total_bits() const { return total_bits_; }
+  int num_levels() const { return static_cast<int>(level_widths_.size()); }
+
+  /// Number of bits consumed at trie level `l` (the number of dimensions
+  /// still active there). An index node at level l has 2^width children.
+  const std::vector<int>& level_widths() const { return level_widths_; }
+
+  /// Interleaves `coords` (one per dimension, within range) into a Z-number.
+  uint64_t Interleave(const std::vector<uint32_t>& coords) const;
+
+  /// Recovers per-dimension coordinates from a Z-number.
+  std::vector<uint32_t> Deinterleave(uint64_t z) const;
+
+ private:
+  std::vector<int> bits_per_dim_;
+  std::vector<int> level_widths_;
+  int total_bits_ = 0;
+  int max_bits_ = 0;
+};
+
+}  // namespace sensjoin::join
+
+#endif  // SENSJOIN_JOIN_ZORDER_H_

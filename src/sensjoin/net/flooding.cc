@@ -1,0 +1,46 @@
+#include "sensjoin/net/flooding.h"
+
+#include <utility>
+#include <vector>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::net {
+
+int FloodPayload(sim::Simulator& sim, sim::NodeId root, size_t payload_bytes,
+                 sim::MessageKind kind) {
+  const int n = sim.num_nodes();
+  SENSJOIN_CHECK(root >= 0 && root < n);
+  std::vector<char> received(n, 0);
+  received[root] = 1;
+
+  auto rebroadcast = [&sim, payload_bytes, kind](sim::NodeId who) {
+    sim::Message msg;
+    msg.src = who;
+    msg.kind = kind;
+    msg.payload_bytes = payload_bytes;
+    sim.Broadcast(std::move(msg));
+  };
+
+  auto previous = sim.SetReceiveHandler(
+      [&](sim::NodeId receiver, const sim::Message& msg) {
+        if (msg.kind != kind) return;
+        if (received[receiver]) return;
+        received[receiver] = 1;
+        rebroadcast(receiver);
+      });
+
+  rebroadcast(root);
+  sim.events().Run();
+  sim.SetReceiveHandler(std::move(previous));
+
+  int count = 0;
+  for (char c : received) count += c;
+  return count;
+}
+
+int FloodQuery(sim::Simulator& sim, sim::NodeId root, size_t query_bytes) {
+  return FloodPayload(sim, root, query_bytes, sim::MessageKind::kQuery);
+}
+
+}  // namespace sensjoin::net

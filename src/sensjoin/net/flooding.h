@@ -1,0 +1,24 @@
+#ifndef SENSJOIN_NET_FLOODING_H_
+#define SENSJOIN_NET_FLOODING_H_
+
+#include <cstddef>
+
+#include "sensjoin/sim/simulator.h"
+#include "sensjoin/sim/time.h"
+
+namespace sensjoin::net {
+
+/// Disseminates a payload of `payload_bytes` from `root` by simple
+/// broadcast flooding: every node rebroadcasts once on first receipt.
+/// Transmissions are accounted under `kind`. Returns the number of nodes
+/// reached (including `root`).
+int FloodPayload(sim::Simulator& sim, sim::NodeId root, size_t payload_bytes,
+                 sim::MessageKind kind);
+
+/// Query dissemination (Sec. III "Query Processing"): FloodPayload under
+/// MessageKind::kQuery.
+int FloodQuery(sim::Simulator& sim, sim::NodeId root, size_t query_bytes);
+
+}  // namespace sensjoin::net
+
+#endif  // SENSJOIN_NET_FLOODING_H_

@@ -1,0 +1,125 @@
+#include "sensjoin/net/routing_tree.h"
+
+#include <algorithm>
+#include <any>
+#include <limits>
+#include <utility>
+
+#include "sensjoin/common/geometry.h"
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::net {
+namespace {
+
+/// Beacon payload: the sender's hop count to the root. 4 bytes on the wire
+/// (CTP beacons are small control frames).
+struct BeaconPayload {
+  int hops = 0;
+};
+
+constexpr size_t kBeaconBytes = 4;
+
+/// Transient per-node protocol state during a beaconing round.
+struct BeaconState {
+  int hops = -1;  // best known own hop count; -1 = no route yet
+  sim::NodeId parent = sim::kInvalidNode;
+  double parent_distance = std::numeric_limits<double>::max();
+};
+
+}  // namespace
+
+RoutingTree RoutingTree::Build(sim::Simulator& sim, sim::NodeId root) {
+  const int n = sim.num_nodes();
+  SENSJOIN_CHECK(root >= 0 && root < n);
+
+  std::vector<BeaconState> state(n);
+  state[root].hops = 0;
+
+  auto send_beacon = [&sim](sim::NodeId who, int hops) {
+    sim::Message msg;
+    msg.src = who;
+    msg.kind = sim::MessageKind::kBeacon;
+    msg.payload_bytes = kBeaconBytes;
+    msg.content = BeaconPayload{hops};
+    sim.Broadcast(std::move(msg));
+  };
+
+  auto previous = sim.SetReceiveHandler(
+      [&](sim::NodeId receiver, const sim::Message& msg) {
+        if (msg.kind != sim::MessageKind::kBeacon) return;
+        if (receiver == root) return;  // the root never adopts a parent
+        const auto& beacon = std::any_cast<const BeaconPayload&>(msg.content);
+        const int candidate_hops = beacon.hops + 1;
+        BeaconState& s = state[receiver];
+        const double dist = Distance(sim.radio().position(receiver),
+                                     sim.radio().position(msg.src));
+        const bool better =
+            s.hops < 0 || candidate_hops < s.hops ||
+            (candidate_hops == s.hops &&
+             (dist < s.parent_distance ||
+              (dist == s.parent_distance && msg.src < s.parent)));
+        if (!better) return;
+        const bool hops_changed = s.hops != candidate_hops;
+        s.hops = candidate_hops;
+        s.parent = msg.src;
+        s.parent_distance = dist;
+        // Re-advertise only when our own metric changed; parent swaps at
+        // equal hop count do not affect downstream routes.
+        if (hops_changed) send_beacon(receiver, s.hops);
+      });
+
+  send_beacon(root, 0);
+  sim.events().Run();
+  sim.SetReceiveHandler(std::move(previous));
+
+  RoutingTree tree;
+  tree.root_ = root;
+  tree.parent_.resize(n, sim::kInvalidNode);
+  tree.hops_.resize(n, -1);
+  for (int i = 0; i < n; ++i) {
+    tree.parent_[i] = state[i].parent;
+    tree.hops_[i] = state[i].hops;
+  }
+  tree.FinalizeFromParents();
+  return tree;
+}
+
+void RoutingTree::FinalizeFromParents() {
+  const int n = static_cast<int>(parent_.size());
+  children_.assign(n, {});
+  subtree_size_.assign(n, 0);
+  num_reachable_ = 0;
+  max_depth_ = 0;
+
+  for (sim::NodeId i = 0; i < n; ++i) {
+    if (hops_[i] < 0) continue;
+    ++num_reachable_;
+    max_depth_ = std::max(max_depth_, hops_[i]);
+    if (parent_[i] != sim::kInvalidNode) children_[parent_[i]].push_back(i);
+  }
+  for (auto& c : children_) std::sort(c.begin(), c.end());
+
+  // Children-before-parent order: sort in-tree nodes by decreasing depth
+  // (ties by id). Within one depth level no node is another's ancestor.
+  collection_order_.clear();
+  collection_order_.reserve(num_reachable_);
+  for (sim::NodeId i = 0; i < n; ++i) {
+    if (hops_[i] >= 0) collection_order_.push_back(i);
+  }
+  std::sort(collection_order_.begin(), collection_order_.end(),
+            [this](sim::NodeId a, sim::NodeId b) {
+              if (hops_[a] != hops_[b]) return hops_[a] > hops_[b];
+              return a < b;
+            });
+  dissemination_order_.assign(collection_order_.rbegin(),
+                              collection_order_.rend());
+
+  for (sim::NodeId id : collection_order_) {
+    subtree_size_[id] += 1;  // self
+    if (parent_[id] != sim::kInvalidNode) {
+      subtree_size_[parent_[id]] += subtree_size_[id];
+    }
+  }
+}
+
+}  // namespace sensjoin::net

@@ -1,0 +1,70 @@
+#ifndef SENSJOIN_QUERY_INTERVAL_H_
+#define SENSJOIN_QUERY_INTERVAL_H_
+
+#include <cstdint>
+#include <ostream>
+
+namespace sensjoin::query {
+
+/// A closed real interval [lo, hi]. Used to evaluate join predicates over
+/// quantized join-attribute tuples conservatively: a quantization cell maps
+/// each attribute to the interval of values it may hold, and a predicate is
+/// kept unless it is certainly false (footnote 2 of the paper: the
+/// pre-computation join must be adjusted so quantization never drops a
+/// joining tuple — false positives are allowed, false negatives are not).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// Degenerate interval holding exactly `v`.
+  static Interval Single(double v) { return {v, v}; }
+
+  bool Contains(double v) const { return lo <= v && v <= hi; }
+  double width() const { return hi - lo; }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+// Interval arithmetic. All operations are outward-conservative: the result
+// contains every value obtainable from operands within the inputs.
+Interval Add(const Interval& a, const Interval& b);
+Interval Sub(const Interval& a, const Interval& b);
+Interval Mul(const Interval& a, const Interval& b);
+/// Division widens to (-inf, inf) when the divisor straddles zero.
+Interval Div(const Interval& a, const Interval& b);
+Interval Neg(const Interval& a);
+Interval Abs(const Interval& a);
+/// Square root; negative parts of the operand are clamped to zero.
+Interval Sqrt(const Interval& a);
+Interval Min(const Interval& a, const Interval& b);
+Interval Max(const Interval& a, const Interval& b);
+/// Smallest interval containing both.
+Interval Hull(const Interval& a, const Interval& b);
+
+/// Three-valued truth for predicates over intervals: certainly false,
+/// possibly true, certainly true.
+enum class Tri : uint8_t { kFalse, kMaybe, kTrue };
+
+const char* TriName(Tri t);
+
+Tri Lt(const Interval& a, const Interval& b);
+Tri Le(const Interval& a, const Interval& b);
+Tri Gt(const Interval& a, const Interval& b);
+Tri Ge(const Interval& a, const Interval& b);
+Tri Eq(const Interval& a, const Interval& b);
+Tri Ne(const Interval& a, const Interval& b);
+
+Tri And(Tri a, Tri b);
+Tri Or(Tri a, Tri b);
+Tri Not(Tri a);
+
+/// Conservative acceptance: keep everything that is not certainly false.
+inline bool MaybeTrue(Tri t) { return t != Tri::kFalse; }
+
+}  // namespace sensjoin::query
+
+#endif  // SENSJOIN_QUERY_INTERVAL_H_

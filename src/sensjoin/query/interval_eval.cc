@@ -1,0 +1,106 @@
+#include "sensjoin/query/interval_eval.h"
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::query {
+
+Interval RowIntervalContext::Value(int table_index, int attr_index) const {
+  SENSJOIN_DCHECK(table_index >= 0 &&
+                  table_index < static_cast<int>(rows_.size()));
+  const std::vector<Interval>* row = rows_[table_index];
+  SENSJOIN_DCHECK(row != nullptr);
+  SENSJOIN_DCHECK(attr_index >= 0 &&
+                  attr_index < static_cast<int>(row->size()));
+  return (*row)[attr_index];
+}
+
+Interval EvalInterval(const Expr& expr, const IntervalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return Interval::Single(expr.literal);
+    case ExprKind::kAttrRef:
+      return ctx.Value(expr.table_index, expr.attr_index);
+    case ExprKind::kUnary:
+      SENSJOIN_DCHECK(expr.unary_op == UnaryOp::kNeg);
+      return Neg(EvalInterval(*expr.args[0], ctx));
+    case ExprKind::kBinary: {
+      const Interval lhs = EvalInterval(*expr.args[0], ctx);
+      const Interval rhs = EvalInterval(*expr.args[1], ctx);
+      switch (expr.binary_op) {
+        case BinaryOp::kAdd: return Add(lhs, rhs);
+        case BinaryOp::kSub: return Sub(lhs, rhs);
+        case BinaryOp::kMul: return Mul(lhs, rhs);
+        case BinaryOp::kDiv: return Div(lhs, rhs);
+        default:
+          SENSJOIN_CHECK(false) << "boolean operator in numeric context:"
+                                << expr.ToString();
+      }
+      return {};
+    }
+    case ExprKind::kFunc: {
+      if (expr.func == "abs") return Abs(EvalInterval(*expr.args[0], ctx));
+      if (expr.func == "sqrt") return Sqrt(EvalInterval(*expr.args[0], ctx));
+      if (expr.func == "min") {
+        return Min(EvalInterval(*expr.args[0], ctx),
+                   EvalInterval(*expr.args[1], ctx));
+      }
+      if (expr.func == "max") {
+        return Max(EvalInterval(*expr.args[0], ctx),
+                   EvalInterval(*expr.args[1], ctx));
+      }
+      if (expr.func == "distance") {
+        const Interval dx = Sub(EvalInterval(*expr.args[0], ctx),
+                                EvalInterval(*expr.args[2], ctx));
+        const Interval dy = Sub(EvalInterval(*expr.args[1], ctx),
+                                EvalInterval(*expr.args[3], ctx));
+        return Sqrt(Add(Mul(dx, dx), Mul(dy, dy)));
+      }
+      SENSJOIN_CHECK(false) << "unknown function" << expr.func;
+      return {};
+    }
+  }
+  SENSJOIN_CHECK(false) << "unreachable";
+  return {};
+}
+
+Tri EvalTri(const Expr& expr, const IntervalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kUnary:
+      SENSJOIN_DCHECK(expr.unary_op == UnaryOp::kNot);
+      return Not(EvalTri(*expr.args[0], ctx));
+    case ExprKind::kBinary:
+      switch (expr.binary_op) {
+        case BinaryOp::kAnd:
+          return And(EvalTri(*expr.args[0], ctx), EvalTri(*expr.args[1], ctx));
+        case BinaryOp::kOr:
+          return Or(EvalTri(*expr.args[0], ctx), EvalTri(*expr.args[1], ctx));
+        case BinaryOp::kLt:
+          return Lt(EvalInterval(*expr.args[0], ctx),
+                    EvalInterval(*expr.args[1], ctx));
+        case BinaryOp::kLe:
+          return Le(EvalInterval(*expr.args[0], ctx),
+                    EvalInterval(*expr.args[1], ctx));
+        case BinaryOp::kGt:
+          return Gt(EvalInterval(*expr.args[0], ctx),
+                    EvalInterval(*expr.args[1], ctx));
+        case BinaryOp::kGe:
+          return Ge(EvalInterval(*expr.args[0], ctx),
+                    EvalInterval(*expr.args[1], ctx));
+        case BinaryOp::kEq:
+          return Eq(EvalInterval(*expr.args[0], ctx),
+                    EvalInterval(*expr.args[1], ctx));
+        case BinaryOp::kNe:
+          return Ne(EvalInterval(*expr.args[0], ctx),
+                    EvalInterval(*expr.args[1], ctx));
+        default:
+          break;
+      }
+      break;
+    default:
+      break;
+  }
+  SENSJOIN_CHECK(false) << "not a predicate:" << expr.ToString();
+  return Tri::kMaybe;
+}
+
+}  // namespace sensjoin::query

@@ -1,0 +1,46 @@
+#ifndef SENSJOIN_QUERY_INTERVAL_EVAL_H_
+#define SENSJOIN_QUERY_INTERVAL_EVAL_H_
+
+#include <vector>
+
+#include "sensjoin/query/ast.h"
+#include "sensjoin/query/interval.h"
+
+namespace sensjoin::query {
+
+/// Supplies per-attribute intervals during conservative evaluation. The
+/// filter join at the base station sees quantized join-attribute tuples; the
+/// context maps each quantized coordinate to the interval of raw values that
+/// quantize into it.
+class IntervalContext {
+ public:
+  virtual ~IntervalContext() = default;
+  virtual Interval Value(int table_index, int attr_index) const = 0;
+};
+
+/// An IntervalContext over explicit per-table attribute-interval rows
+/// (borrowed pointers; must outlive the context). Row i corresponds to FROM
+/// entry i; each row holds one Interval per schema attribute index used.
+class RowIntervalContext : public IntervalContext {
+ public:
+  explicit RowIntervalContext(std::vector<const std::vector<Interval>*> rows)
+      : rows_(std::move(rows)) {}
+
+  Interval Value(int table_index, int attr_index) const override;
+
+ private:
+  std::vector<const std::vector<Interval>*> rows_;
+};
+
+/// Evaluates a numeric expression over intervals; result is conservative
+/// (contains every value reachable from operand values in the inputs).
+/// Requires a validated, resolved tree (ValidateExpr).
+Interval EvalInterval(const Expr& expr, const IntervalContext& ctx);
+
+/// Evaluates a predicate over intervals to three-valued truth. A result of
+/// kFalse is definitive; kMaybe/kTrue must be retained by the filter join.
+Tri EvalTri(const Expr& expr, const IntervalContext& ctx);
+
+}  // namespace sensjoin::query
+
+#endif  // SENSJOIN_QUERY_INTERVAL_EVAL_H_

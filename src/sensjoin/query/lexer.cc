@@ -1,0 +1,172 @@
+#include "sensjoin/query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+
+namespace sensjoin::query {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM", "WHERE", "AND", "OR", "NOT",
+      "AS",     "ONCE", "SAMPLE", "PERIOD",
+  };
+  return *kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd: return "end of input";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kNumber: return "number";
+    case TokenType::kKeyword: return "keyword";
+    case TokenType::kComma: return "','";
+    case TokenType::kDot: return "'.'";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kStar: return "'*'";
+    case TokenType::kPlus: return "'+'";
+    case TokenType::kMinus: return "'-'";
+    case TokenType::kSlash: return "'/'";
+    case TokenType::kLt: return "'<'";
+    case TokenType::kLe: return "'<='";
+    case TokenType::kGt: return "'>'";
+    case TokenType::kGe: return "'>='";
+    case TokenType::kEq: return "'='";
+    case TokenType::kNe: return "'!='";
+    case TokenType::kPipe: return "'|'";
+  }
+  return "unknown";
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&tokens](TokenType type, std::string text, size_t offset) {
+    tokens.push_back(Token{type, std::move(text), 0.0, offset});
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        push(TokenType::kKeyword, std::move(upper), start);
+      } else {
+        push(TokenType::kIdentifier, std::move(word), start);
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool seen_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       (input[j] == '.' && !seen_dot))) {
+        if (input[j] == '.') seen_dot = true;
+        ++j;
+      }
+      // Optional exponent.
+      if (j < n && (input[j] == 'e' || input[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (input[k] == '+' || input[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+          while (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+            ++k;
+          }
+          j = k;
+        }
+      }
+      Token t;
+      t.type = TokenType::kNumber;
+      t.text = input.substr(i, j - i);
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case ',': push(TokenType::kComma, ",", start); ++i; break;
+      case '.': push(TokenType::kDot, ".", start); ++i; break;
+      case '(': push(TokenType::kLParen, "(", start); ++i; break;
+      case ')': push(TokenType::kRParen, ")", start); ++i; break;
+      case '*': push(TokenType::kStar, "*", start); ++i; break;
+      case '+': push(TokenType::kPlus, "+", start); ++i; break;
+      case '-': push(TokenType::kMinus, "-", start); ++i; break;
+      case '/': push(TokenType::kSlash, "/", start); ++i; break;
+      case '|': push(TokenType::kPipe, "|", start); ++i; break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kLe, "<=", start);
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenType::kNe, "<>", start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, ">", start);
+          ++i;
+        }
+        break;
+      case '=':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kEq, "==", start);
+          i += 2;
+        } else {
+          push(TokenType::kEq, "=", start);
+          ++i;
+        }
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kNe, "!=", start);
+          i += 2;
+        } else {
+          return Status::InvalidArgument("unexpected '!' at offset " +
+                                         std::to_string(start));
+        }
+        break;
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at offset " +
+                                       std::to_string(start));
+    }
+  }
+  push(TokenType::kEnd, "", n);
+  return tokens;
+}
+
+}  // namespace sensjoin::query

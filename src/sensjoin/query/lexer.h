@@ -1,0 +1,20 @@
+#ifndef SENSJOIN_QUERY_LEXER_H_
+#define SENSJOIN_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "sensjoin/common/statusor.h"
+#include "sensjoin/query/token.h"
+
+namespace sensjoin::query {
+
+/// Tokenizes a query string. Keywords are recognized case-insensitively and
+/// reported uppercased; identifiers keep their spelling. Returns an error
+/// for unknown characters or malformed numbers. The result always ends with
+/// a kEnd token.
+StatusOr<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sensjoin::query
+
+#endif  // SENSJOIN_QUERY_LEXER_H_

@@ -1,0 +1,342 @@
+#include "sensjoin/query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+#include <vector>
+
+#include "sensjoin/query/lexer.h"
+
+namespace sensjoin::query {
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+/// Recursive-descent parser over the token stream. Every Parse* method
+/// returns an error Status with the offending offset on failure.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ParsedQuery> ParseQuery();
+  StatusOr<std::unique_ptr<Expr>> ParseOrExpr();
+
+  Status ExpectEnd() {
+    if (Peek().type != TokenType::kEnd) {
+      return ErrorHere("unexpected trailing input");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(const char* kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool Match(TokenType type) {
+    if (!Check(type)) return false;
+    Advance();
+    return true;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (!CheckKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+
+  Status ErrorHere(const std::string& what) const {
+    return Status::InvalidArgument(what + " at offset " +
+                                   std::to_string(Peek().offset) + " (near '" +
+                                   Peek().text + "')");
+  }
+
+  Status Expect(TokenType type, const char* context) {
+    if (Match(type)) return Status::Ok();
+    return ErrorHere(std::string("expected ") + TokenTypeName(type) + " in " +
+                     context);
+  }
+
+  StatusOr<SelectItem> ParseSelectItem();
+  StatusOr<TableRef> ParseTableRef();
+  StatusOr<std::unique_ptr<Expr>> ParseAndExpr();
+  StatusOr<std::unique_ptr<Expr>> ParseNotExpr();
+  StatusOr<std::unique_ptr<Expr>> ParseComparison();
+  StatusOr<std::unique_ptr<Expr>> ParseAdditive();
+  StatusOr<std::unique_ptr<Expr>> ParseMultiplicative();
+  StatusOr<std::unique_ptr<Expr>> ParseUnary();
+  StatusOr<std::unique_ptr<Expr>> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+StatusOr<ParsedQuery> Parser::ParseQuery() {
+  ParsedQuery q;
+  if (!MatchKeyword("SELECT")) return ErrorHere("query must start with SELECT");
+
+  if (Match(TokenType::kStar)) {
+    q.select_star = true;
+  } else {
+    while (true) {
+      SENSJOIN_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      q.select.push_back(std::move(item));
+      if (!Match(TokenType::kComma)) break;
+    }
+  }
+
+  if (!MatchKeyword("FROM")) return ErrorHere("expected FROM");
+  while (true) {
+    SENSJOIN_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+    q.from.push_back(std::move(ref));
+    if (!Match(TokenType::kComma)) break;
+  }
+
+  if (MatchKeyword("WHERE")) {
+    SENSJOIN_ASSIGN_OR_RETURN(q.where, ParseOrExpr());
+  }
+
+  if (MatchKeyword("ONCE")) {
+    q.mode = ParsedQuery::Mode::kOnce;
+  } else if (MatchKeyword("SAMPLE")) {
+    if (!MatchKeyword("PERIOD")) return ErrorHere("expected PERIOD");
+    if (!Check(TokenType::kNumber)) {
+      return ErrorHere("expected a sample period in seconds");
+    }
+    q.mode = ParsedQuery::Mode::kSamplePeriod;
+    q.sample_period_s = Advance().number;
+    if (q.sample_period_s <= 0) {
+      return Status::InvalidArgument("SAMPLE PERIOD must be positive");
+    }
+  } else {
+    return ErrorHere("query must end with ONCE or SAMPLE PERIOD <x>");
+  }
+  SENSJOIN_RETURN_IF_ERROR(ExpectEnd());
+  return q;
+}
+
+StatusOr<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  // Aggregate wrapper? Aggregates are plain identifiers followed by '('.
+  if (Check(TokenType::kIdentifier) && Peek(1).type == TokenType::kLParen) {
+    const std::string lower = ToLower(Peek().text);
+    AggregateKind agg = AggregateKind::kNone;
+    if (lower == "min") agg = AggregateKind::kMin;
+    else if (lower == "max") agg = AggregateKind::kMax;
+    else if (lower == "sum") agg = AggregateKind::kSum;
+    else if (lower == "avg") agg = AggregateKind::kAvg;
+    else if (lower == "count") agg = AggregateKind::kCount;
+    // min/max are also scalar functions; they act as aggregates only in a
+    // SELECT item head with a single argument (checked below), matching Q1.
+    if (agg != AggregateKind::kNone) {
+      // Tentatively parse as aggregate; COUNT(*) is special.
+      const size_t saved = pos_;
+      Advance();  // name
+      Advance();  // '('
+      if (agg == AggregateKind::kCount && Match(TokenType::kStar)) {
+        SENSJOIN_RETURN_IF_ERROR(Expect(TokenType::kRParen, "COUNT(*)"));
+        item.aggregate = AggregateKind::kCount;
+        item.label = "count(*)";
+        return item;
+      }
+      SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOrExpr());
+      if ((agg == AggregateKind::kMin || agg == AggregateKind::kMax) &&
+          Check(TokenType::kComma)) {
+        // min(a, b) with two arguments is the scalar function: backtrack.
+        pos_ = saved;
+      } else {
+        SENSJOIN_RETURN_IF_ERROR(Expect(TokenType::kRParen, "aggregate"));
+        item.aggregate = agg;
+        item.expr = std::move(inner);
+        item.label = ToLower(std::string(AggregateKindName(agg))) + "(" +
+                     item.expr->ToString() + ")";
+        if (MatchKeyword("AS")) {
+          if (!Check(TokenType::kIdentifier)) return ErrorHere("expected alias");
+          item.label = Advance().text;
+        }
+        return item;
+      }
+    }
+  }
+  SENSJOIN_ASSIGN_OR_RETURN(item.expr, ParseOrExpr());
+  item.label = item.expr->ToString();
+  if (MatchKeyword("AS")) {
+    if (!Check(TokenType::kIdentifier)) return ErrorHere("expected alias");
+    item.label = Advance().text;
+  }
+  return item;
+}
+
+StatusOr<TableRef> Parser::ParseTableRef() {
+  if (!Check(TokenType::kIdentifier)) return ErrorHere("expected relation name");
+  TableRef ref;
+  ref.relation = Advance().text;
+  ref.alias = ref.relation;
+  if (MatchKeyword("AS")) {
+    if (!Check(TokenType::kIdentifier)) return ErrorHere("expected alias");
+    ref.alias = Advance().text;
+  } else if (Check(TokenType::kIdentifier)) {
+    ref.alias = Advance().text;
+  }
+  return ref;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseOrExpr() {
+  SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAndExpr());
+  while (MatchKeyword("OR")) {
+    SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAndExpr());
+    lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseAndExpr() {
+  SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseNotExpr());
+  while (MatchKeyword("AND")) {
+    SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseNotExpr());
+    lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseNotExpr() {
+  if (MatchKeyword("NOT")) {
+    SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> x, ParseNotExpr());
+    return Expr::Unary(UnaryOp::kNot, std::move(x));
+  }
+  return ParseComparison();
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseComparison() {
+  SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAdditive());
+  BinaryOp op;
+  switch (Peek().type) {
+    case TokenType::kLt: op = BinaryOp::kLt; break;
+    case TokenType::kLe: op = BinaryOp::kLe; break;
+    case TokenType::kGt: op = BinaryOp::kGt; break;
+    case TokenType::kGe: op = BinaryOp::kGe; break;
+    case TokenType::kEq: op = BinaryOp::kEq; break;
+    case TokenType::kNe: op = BinaryOp::kNe; break;
+    default:
+      return lhs;
+  }
+  Advance();
+  SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAdditive());
+  return Expr::Binary(op, std::move(lhs), std::move(rhs));
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseAdditive() {
+  SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseMultiplicative());
+  while (true) {
+    BinaryOp op;
+    if (Check(TokenType::kPlus)) {
+      op = BinaryOp::kAdd;
+    } else if (Check(TokenType::kMinus)) {
+      op = BinaryOp::kSub;
+    } else {
+      return lhs;
+    }
+    Advance();
+    SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseMultiplicative());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseMultiplicative() {
+  SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseUnary());
+  while (true) {
+    BinaryOp op;
+    if (Check(TokenType::kStar)) {
+      op = BinaryOp::kMul;
+    } else if (Check(TokenType::kSlash)) {
+      op = BinaryOp::kDiv;
+    } else {
+      return lhs;
+    }
+    Advance();
+    SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseUnary());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseUnary() {
+  if (Match(TokenType::kMinus)) {
+    SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> x, ParseUnary());
+    return Expr::Unary(UnaryOp::kNeg, std::move(x));
+  }
+  if (Match(TokenType::kPlus)) return ParseUnary();
+  return ParsePrimary();
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParsePrimary() {
+  if (Check(TokenType::kNumber)) {
+    return Expr::Literal(Advance().number);
+  }
+  if (Match(TokenType::kLParen)) {
+    SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOrExpr());
+    SENSJOIN_RETURN_IF_ERROR(Expect(TokenType::kRParen, "parenthesized expr"));
+    return inner;
+  }
+  if (Check(TokenType::kPipe)) {
+    // |expr| is abs(expr). The body is parsed at additive precedence, so the
+    // next '|' is always the closing bar.
+    Advance();
+    SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseAdditive());
+    SENSJOIN_RETURN_IF_ERROR(Expect(TokenType::kPipe, "|...| absolute value"));
+    std::vector<std::unique_ptr<Expr>> args;
+    args.push_back(std::move(inner));
+    return Expr::Func("abs", std::move(args));
+  }
+  if (Check(TokenType::kIdentifier)) {
+    std::string name = Advance().text;
+    if (Match(TokenType::kLParen)) {
+      std::vector<std::unique_ptr<Expr>> args;
+      if (!Check(TokenType::kRParen)) {
+        while (true) {
+          SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> arg, ParseOrExpr());
+          args.push_back(std::move(arg));
+          if (!Match(TokenType::kComma)) break;
+        }
+      }
+      SENSJOIN_RETURN_IF_ERROR(Expect(TokenType::kRParen, "function call"));
+      return Expr::Func(ToLower(name), std::move(args));
+    }
+    if (Match(TokenType::kDot)) {
+      if (!Check(TokenType::kIdentifier)) {
+        return ErrorHere("expected attribute name after '.'");
+      }
+      std::string attr = Advance().text;
+      return Expr::AttrRef(std::move(name), std::move(attr));
+    }
+    return Expr::AttrRef("", std::move(name));
+  }
+  return ErrorHere("expected an expression");
+}
+
+}  // namespace
+
+StatusOr<ParsedQuery> Parse(const std::string& input) {
+  SENSJOIN_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+StatusOr<std::unique_ptr<Expr>> ParseExpression(const std::string& input) {
+  SENSJOIN_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  SENSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr, parser.ParseOrExpr());
+  SENSJOIN_RETURN_IF_ERROR(parser.ExpectEnd());
+  return expr;
+}
+
+}  // namespace sensjoin::query

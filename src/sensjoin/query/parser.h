@@ -1,0 +1,28 @@
+#ifndef SENSJOIN_QUERY_PARSER_H_
+#define SENSJOIN_QUERY_PARSER_H_
+
+#include <string>
+
+#include "sensjoin/common/statusor.h"
+#include "sensjoin/query/ast.h"
+
+namespace sensjoin::query {
+
+/// Parses a query of the dialect in Sec. III:
+///
+///   SELECT <item>[, ...] | *
+///   FROM <relation> [<alias>][, ...]
+///   [WHERE <boolean expression>]
+///   {ONCE | SAMPLE PERIOD <seconds>}
+///
+/// Select items may be wrapped in MIN/MAX/SUM/AVG/COUNT aggregates.
+/// Expressions support + - * /, comparisons, AND/OR/NOT, abs()/|x|,
+/// distance(x1,y1,x2,y2), sqrt(), min(), max().
+StatusOr<ParsedQuery> Parse(const std::string& input);
+
+/// Parses a standalone expression (handy for tests and programmatic use).
+StatusOr<std::unique_ptr<Expr>> ParseExpression(const std::string& input);
+
+}  // namespace sensjoin::query
+
+#endif  // SENSJOIN_QUERY_PARSER_H_

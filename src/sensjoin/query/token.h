@@ -1,0 +1,46 @@
+#ifndef SENSJOIN_QUERY_TOKEN_H_
+#define SENSJOIN_QUERY_TOKEN_H_
+
+#include <string>
+
+namespace sensjoin::query {
+
+/// Token categories of the query dialect (SQL with the TinyDB extensions
+/// ONCE and SAMPLE PERIOD; Sec. III "Problem statement").
+enum class TokenType {
+  kEnd,
+  kIdentifier,  ///< relation / attribute / function names
+  kNumber,      ///< numeric literal (double)
+  kKeyword,     ///< SELECT, FROM, WHERE, AND, OR, NOT, AS, ONCE, SAMPLE,
+                ///< PERIOD (uppercased in `text`)
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,   ///< '=' or '=='
+  kNe,   ///< '!=' or '<>'
+  kPipe, ///< '|' — absolute-value delimiter as in Q2: |A.temp - B.temp|
+};
+
+/// A lexed token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  double number = 0.0;
+  size_t offset = 0;
+};
+
+/// Returns a printable name for `type`.
+const char* TokenTypeName(TokenType type);
+
+}  // namespace sensjoin::query
+
+#endif  // SENSJOIN_QUERY_TOKEN_H_

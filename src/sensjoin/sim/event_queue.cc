@@ -1,0 +1,67 @@
+#include "sensjoin/sim/event_queue.h"
+
+#include <utility>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::sim {
+
+EventId EventQueue::ScheduleAt(SimTime t, Callback cb) {
+  SENSJOIN_CHECK(t >= now_) << "scheduling into the past: t=" << t
+                            << "now=" << now_;
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++pending_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --pending_count_;
+  return true;
+}
+
+bool EventQueue::RunOne() {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // canceled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    --pending_count_;
+    now_ = top.time;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+size_t EventQueue::RunUntil(SimTime t) {
+  size_t fired = 0;
+  while (!heap_.empty()) {
+    // Skip canceled entries without advancing time.
+    if (callbacks_.find(heap_.top().id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (heap_.top().time > t) break;
+    RunOne();
+    ++fired;
+  }
+  if (now_ < t) now_ = t;
+  return fired;
+}
+
+size_t EventQueue::Run(size_t max_events) {
+  size_t fired = 0;
+  while (fired < max_events && RunOne()) ++fired;
+  SENSJOIN_CHECK(Empty() || fired < max_events)
+      << "EventQueue::Run exceeded max_events =" << max_events;
+  return fired;
+}
+
+}  // namespace sensjoin::sim

@@ -1,0 +1,83 @@
+#ifndef SENSJOIN_SIM_EVENT_QUEUE_H_
+#define SENSJOIN_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sensjoin/sim/time.h"
+
+namespace sensjoin::sim {
+
+/// Handle for a scheduled event, usable with EventQueue::Cancel.
+using EventId = uint64_t;
+
+/// A discrete-event scheduler. Events fire in timestamp order; ties are
+/// broken by insertion order so simulations are fully deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `cb` to run at absolute time `t`. Requires t >= now().
+  EventId ScheduleAt(SimTime t, Callback cb);
+
+  /// Schedules `cb` to run `delay` seconds from now. Requires delay >= 0.
+  EventId ScheduleAfter(SimTime delay, Callback cb) {
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Canceling an already-fired or unknown id is a
+  /// no-op. Returns true if the event was pending.
+  bool Cancel(EventId id);
+
+  /// Current simulation time (timestamp of the last fired event).
+  SimTime now() const { return now_; }
+
+  /// True if no events are pending.
+  bool Empty() const { return pending_count_ == 0; }
+
+  /// Number of pending (non-canceled) events.
+  size_t PendingCount() const { return pending_count_; }
+
+  /// Fires the next event. Returns false if the queue is empty.
+  bool RunOne();
+
+  /// Fires events until the queue is empty or `t` is reached; leaves now()
+  /// at min(t, time of last event). Returns the number of events fired.
+  size_t RunUntil(SimTime t);
+
+  /// Fires events until the queue drains. `max_events` guards against
+  /// runaway self-rescheduling loops. Returns the number of events fired.
+  size_t Run(size_t max_events = 100'000'000);
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    EventId id;
+    // Ordered as a min-heap on (time, seq).
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  // Callbacks keyed by event id; canceled events are simply erased here and
+  // their heap entries skipped when popped.
+  std::unordered_map<EventId, Callback> callbacks_;
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  size_t pending_count_ = 0;
+};
+
+}  // namespace sensjoin::sim
+
+#endif  // SENSJOIN_SIM_EVENT_QUEUE_H_

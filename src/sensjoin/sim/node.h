@@ -1,0 +1,39 @@
+#ifndef SENSJOIN_SIM_NODE_H_
+#define SENSJOIN_SIM_NODE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "sensjoin/sim/packet.h"
+#include "sensjoin/sim/time.h"
+
+namespace sensjoin::sim {
+
+/// Per-node communication counters. `packets_*` count link-layer
+/// transmissions/receptions (the paper's metric); bytes count whole frames
+/// (header + payload); energy follows the EnergyModel.
+struct NodeStats {
+  uint64_t packets_sent = 0;
+  uint64_t packets_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  double energy_mj = 0.0;
+
+  /// Transmissions broken down by message kind, for per-phase accounting.
+  std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
+      packets_sent_by_kind{};
+
+  void Reset() { *this = NodeStats{}; }
+};
+
+/// Network-level node state. Sensor readings live in the data layer; the
+/// simulator only tracks communication and liveness.
+struct Node {
+  NodeId id = kInvalidNode;
+  bool alive = true;
+  NodeStats stats;
+};
+
+}  // namespace sensjoin::sim
+
+#endif  // SENSJOIN_SIM_NODE_H_

@@ -1,0 +1,35 @@
+#include "sensjoin/sim/packet.h"
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::sim {
+
+const char* MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kBeacon:
+      return "beacon";
+    case MessageKind::kQuery:
+      return "query";
+    case MessageKind::kCollection:
+      return "collection";
+    case MessageKind::kFilter:
+      return "filter";
+    case MessageKind::kFinal:
+      return "final";
+    case MessageKind::kAppData:
+      return "app_data";
+    case MessageKind::kNumKinds:
+      break;
+  }
+  return "unknown";
+}
+
+int NumFragments(size_t payload_bytes, const PacketizationParams& params) {
+  const int capacity = params.payload_capacity();
+  SENSJOIN_CHECK_GT(capacity, 0)
+      << "packet header does not fit in max packet size";
+  if (payload_bytes == 0) return 1;
+  return static_cast<int>((payload_bytes + capacity - 1) / capacity);
+}
+
+}  // namespace sensjoin::sim

@@ -1,0 +1,97 @@
+#include "sensjoin/sim/radio.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::sim {
+
+Radio::Radio(std::vector<Point> positions, double range_m)
+    : positions_(std::move(positions)), range_m_(range_m) {
+  SENSJOIN_CHECK_GT(range_m_, 0.0);
+  const int n = num_nodes();
+  neighbors_.resize(n);
+  // Grid-bucketed neighbor search: O(n) buckets of side `range_m`.
+  if (n == 0) return;
+  double min_x = positions_[0].x, min_y = positions_[0].y;
+  for (const Point& p : positions_) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+  }
+  auto cell_of = [&](const Point& p) {
+    const int64_t cx = static_cast<int64_t>((p.x - min_x) / range_m_);
+    const int64_t cy = static_cast<int64_t>((p.y - min_y) / range_m_);
+    return std::make_pair(cx, cy);
+  };
+  std::unordered_map<int64_t, std::vector<NodeId>> grid;
+  auto key_of = [](int64_t cx, int64_t cy) { return cx * 1'000'003 + cy; };
+  grid.reserve(static_cast<size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    auto [cx, cy] = cell_of(positions_[i]);
+    grid[key_of(cx, cy)].push_back(i);
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    auto [cx, cy] = cell_of(positions_[i]);
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        auto it = grid.find(key_of(cx + dx, cy + dy));
+        if (it == grid.end()) continue;
+        for (NodeId j : it->second) {
+          if (j == i) continue;
+          if (Distance(positions_[i], positions_[j]) <= range_m_) {
+            neighbors_[i].push_back(j);
+          }
+        }
+      }
+    }
+    std::sort(neighbors_[i].begin(), neighbors_[i].end());
+  }
+}
+
+uint64_t Radio::LinkKey(NodeId a, NodeId b) const {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+bool Radio::InRange(NodeId a, NodeId b) const {
+  return a != b && Distance(positions_[a], positions_[b]) <= range_m_;
+}
+
+bool Radio::LinkUp(NodeId a, NodeId b) const {
+  return InRange(a, b) && failed_links_.find(LinkKey(a, b)) == failed_links_.end();
+}
+
+void Radio::FailLink(NodeId a, NodeId b) { failed_links_.insert(LinkKey(a, b)); }
+
+void Radio::RestoreLink(NodeId a, NodeId b) {
+  failed_links_.erase(LinkKey(a, b));
+}
+
+bool Radio::IsConnected(NodeId root) const {
+  const int n = num_nodes();
+  if (n == 0) return true;
+  std::vector<char> seen(n, 0);
+  std::queue<NodeId> frontier;
+  frontier.push(root);
+  seen[root] = 1;
+  int count = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : neighbors_[u]) {
+      if (!seen[v] && LinkUp(u, v)) {
+        seen[v] = 1;
+        ++count;
+        frontier.push(v);
+      }
+    }
+  }
+  return count == n;
+}
+
+}  // namespace sensjoin::sim

@@ -1,0 +1,60 @@
+#ifndef SENSJOIN_SIM_RADIO_H_
+#define SENSJOIN_SIM_RADIO_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sensjoin/common/geometry.h"
+#include "sensjoin/sim/time.h"
+
+namespace sensjoin::sim {
+
+/// The wireless medium: unit-disk connectivity with bidirectional links
+/// (the common setting the paper adopts, Sec. VI "General setting") plus
+/// dynamic per-link failures for error-tolerance experiments.
+class Radio {
+ public:
+  /// Builds the adjacency from node `positions` and a fixed communication
+  /// `range_m` (paper default: 50 m).
+  Radio(std::vector<Point> positions, double range_m);
+
+  int num_nodes() const { return static_cast<int>(positions_.size()); }
+  double range_m() const { return range_m_; }
+  const Point& position(NodeId id) const { return positions_[id]; }
+  const std::vector<Point>& positions() const { return positions_; }
+
+  /// Nodes within communication range of `id` (excluding failed links is the
+  /// caller's concern; this is the static neighborhood).
+  const std::vector<NodeId>& Neighbors(NodeId id) const {
+    return neighbors_[id];
+  }
+
+  /// True if a and b are within range of each other and the link is not
+  /// currently failed.
+  bool LinkUp(NodeId a, NodeId b) const;
+
+  /// True if a and b are within range (ignoring failures).
+  bool InRange(NodeId a, NodeId b) const;
+
+  /// Marks the (bidirectional) link between a and b as down / up again.
+  void FailLink(NodeId a, NodeId b);
+  void RestoreLink(NodeId a, NodeId b);
+  void RestoreAllLinks() { failed_links_.clear(); }
+  size_t num_failed_links() const { return failed_links_.size(); }
+
+  /// True if every node can reach `root` over up links.
+  bool IsConnected(NodeId root) const;
+
+ private:
+  uint64_t LinkKey(NodeId a, NodeId b) const;
+
+  std::vector<Point> positions_;
+  double range_m_;
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::unordered_set<uint64_t> failed_links_;
+};
+
+}  // namespace sensjoin::sim
+
+#endif  // SENSJOIN_SIM_RADIO_H_

@@ -1,0 +1,117 @@
+#include "sensjoin/sim/simulator.h"
+
+#include <utility>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::sim {
+
+Simulator::Simulator(Radio radio, PacketizationParams packets,
+                     EnergyModel energy)
+    : radio_(std::move(radio)),
+      packet_params_(packets),
+      energy_model_(energy) {
+  nodes_.resize(radio_.num_nodes());
+  for (int i = 0; i < radio_.num_nodes(); ++i) {
+    nodes_[i].id = i;
+  }
+}
+
+Simulator::ReceiveHandler Simulator::SetReceiveHandler(
+    ReceiveHandler handler) {
+  ReceiveHandler old = std::move(receive_handler_);
+  receive_handler_ = std::move(handler);
+  return old;
+}
+
+Simulator::TraceSink Simulator::SetTraceSink(TraceSink sink) {
+  TraceSink old = std::move(trace_sink_);
+  trace_sink_ = std::move(sink);
+  return old;
+}
+
+void Simulator::AccountTx(NodeId sender, MessageKind kind, int fragments,
+                          size_t frame_bytes) {
+  NodeStats& s = nodes_[sender].stats;
+  s.packets_sent += fragments;
+  s.bytes_sent += frame_bytes;
+  s.packets_sent_by_kind[static_cast<size_t>(kind)] += fragments;
+  const double cost = energy_model_.TxCost(fragments, frame_bytes);
+  s.energy_mj += cost;
+  total_packets_sent_ += fragments;
+  total_bytes_sent_ += frame_bytes;
+  total_energy_mj_ += cost;
+  packets_by_kind_[static_cast<size_t>(kind)] += fragments;
+}
+
+void Simulator::AccountRx(NodeId receiver, int fragments, size_t frame_bytes) {
+  NodeStats& s = nodes_[receiver].stats;
+  s.packets_received += fragments;
+  s.bytes_received += frame_bytes;
+  const double cost = energy_model_.RxCost(fragments, frame_bytes);
+  s.energy_mj += cost;
+  total_energy_mj_ += cost;
+}
+
+bool Simulator::SendUnicast(Message msg) {
+  SENSJOIN_CHECK(msg.src >= 0 && msg.src < num_nodes());
+  SENSJOIN_CHECK(msg.dst >= 0 && msg.dst < num_nodes());
+  if (!nodes_[msg.src].alive) return false;
+  const int fragments = NumFragments(msg.payload_bytes, packet_params_);
+  const size_t frame_bytes =
+      msg.payload_bytes +
+      static_cast<size_t>(fragments) * packet_params_.header_bytes;
+  AccountTx(msg.src, msg.kind, fragments, frame_bytes);
+  const bool deliverable =
+      nodes_[msg.dst].alive && radio_.LinkUp(msg.src, msg.dst);
+  if (trace_sink_) {
+    trace_sink_(TraceRecord{events_.now(), msg.src, msg.dst, msg.kind,
+                            fragments, msg.payload_bytes,
+                            /*broadcast=*/false, deliverable});
+  }
+  if (!deliverable) return false;
+  AccountRx(msg.dst, fragments, frame_bytes);
+  const SimTime delay = fragments * per_packet_latency_s_;
+  events_.ScheduleAfter(delay, [this, msg = std::move(msg)]() {
+    if (receive_handler_) receive_handler_(msg.dst, msg);
+  });
+  return true;
+}
+
+int Simulator::Broadcast(Message msg) {
+  SENSJOIN_CHECK(msg.src >= 0 && msg.src < num_nodes());
+  if (!nodes_[msg.src].alive) return 0;
+  const int fragments = NumFragments(msg.payload_bytes, packet_params_);
+  const size_t frame_bytes =
+      msg.payload_bytes +
+      static_cast<size_t>(fragments) * packet_params_.header_bytes;
+  AccountTx(msg.src, msg.kind, fragments, frame_bytes);
+  if (trace_sink_) {
+    trace_sink_(TraceRecord{events_.now(), msg.src, kInvalidNode, msg.kind,
+                            fragments, msg.payload_bytes,
+                            /*broadcast=*/true, /*delivered=*/true});
+  }
+  const SimTime delay = fragments * per_packet_latency_s_;
+  int receivers = 0;
+  for (NodeId nb : radio_.Neighbors(msg.src)) {
+    if (!nodes_[nb].alive || !radio_.LinkUp(msg.src, nb)) continue;
+    AccountRx(nb, fragments, frame_bytes);
+    ++receivers;
+    Message delivered = msg;
+    delivered.dst = nb;
+    events_.ScheduleAfter(delay, [this, delivered = std::move(delivered)]() {
+      if (receive_handler_) receive_handler_(delivered.dst, delivered);
+    });
+  }
+  return receivers;
+}
+
+void Simulator::ResetStats() {
+  for (Node& n : nodes_) n.stats.Reset();
+  total_packets_sent_ = 0;
+  total_bytes_sent_ = 0;
+  total_energy_mj_ = 0.0;
+  packets_by_kind_.fill(0);
+}
+
+}  // namespace sensjoin::sim

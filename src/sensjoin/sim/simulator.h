@@ -1,0 +1,124 @@
+#ifndef SENSJOIN_SIM_SIMULATOR_H_
+#define SENSJOIN_SIM_SIMULATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sensjoin/sim/energy_model.h"
+#include "sensjoin/sim/event_queue.h"
+#include "sensjoin/sim/node.h"
+#include "sensjoin/sim/packet.h"
+#include "sensjoin/sim/radio.h"
+#include "sensjoin/sim/time.h"
+
+namespace sensjoin::sim {
+
+/// One transmission event, as seen by an attached trace sink. `dst` is
+/// kInvalidNode for local broadcasts; `delivered` is false when the
+/// unicast destination was dead or the link down.
+struct TraceRecord {
+  SimTime time = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MessageKind kind = MessageKind::kAppData;
+  int fragments = 0;
+  size_t payload_bytes = 0;
+  bool broadcast = false;
+  bool delivered = false;
+};
+
+/// The discrete-event WSN simulator tying together the event queue, the
+/// radio medium, per-node accounting and the energy model. Protocol layers
+/// exchange logical Messages; the simulator fragments them into link-layer
+/// packets for cost accounting (the paper's metric is the number of such
+/// packet transmissions at 48-byte max packet size).
+class Simulator {
+ public:
+  /// Called when a node receives a complete logical message.
+  using ReceiveHandler = std::function<void(NodeId receiver, const Message&)>;
+
+  /// Called synchronously for every transmission (unicast or broadcast).
+  using TraceSink = std::function<void(const TraceRecord&)>;
+
+  Simulator(Radio radio, PacketizationParams packets = PacketizationParams{},
+            EnergyModel energy = EnergyModel{});
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  EventQueue& events() { return events_; }
+  Radio& radio() { return radio_; }
+  const Radio& radio() const { return radio_; }
+  const PacketizationParams& packet_params() const { return packet_params_; }
+  const EnergyModel& energy_model() const { return energy_model_; }
+
+  int num_nodes() const { return radio_.num_nodes(); }
+  Node& node(NodeId id) { return nodes_[id]; }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+
+  /// Installs the handler invoked on every message delivery. Protocol
+  /// drivers (routing, joins) install themselves here for the duration of a
+  /// phase; the previous handler is returned so it can be restored.
+  ReceiveHandler SetReceiveHandler(ReceiveHandler handler);
+
+  /// Sends a logical message from msg.src to msg.dst over one hop.
+  /// Transmission cost is always paid by the sender; the message is
+  /// delivered only if both endpoints are alive and the link is up.
+  /// Returns true if delivery was scheduled.
+  bool SendUnicast(Message msg);
+
+  /// Local broadcast: one transmission (per fragment), every alive neighbor
+  /// with an up link receives the message. Returns the number of receivers.
+  int Broadcast(Message msg);
+
+  /// Current simulation time.
+  SimTime now() const { return events_.now(); }
+
+  // --- Global accounting -------------------------------------------------
+
+  uint64_t total_packets_sent() const { return total_packets_sent_; }
+  uint64_t total_bytes_sent() const { return total_bytes_sent_; }
+  uint64_t packets_sent_by_kind(MessageKind kind) const {
+    return packets_by_kind_[static_cast<size_t>(kind)];
+  }
+  double total_energy_mj() const { return total_energy_mj_; }
+
+  /// Clears all global and per-node counters (topology is untouched).
+  void ResetStats();
+
+  /// Seconds of airtime per link-layer packet (serialization + MAC).
+  double per_packet_latency_s() const { return per_packet_latency_s_; }
+  void set_per_packet_latency_s(double s) { per_packet_latency_s_ = s; }
+
+  /// Installs a transmission trace sink (empty function to disable).
+  /// Returns the previous sink.
+  TraceSink SetTraceSink(TraceSink sink);
+
+ private:
+  /// Charges tx costs at `sender` for `fragments` packets carrying
+  /// `frame_bytes` bytes of frames in total.
+  void AccountTx(NodeId sender, MessageKind kind, int fragments,
+                 size_t frame_bytes);
+  void AccountRx(NodeId receiver, int fragments, size_t frame_bytes);
+
+  EventQueue events_;
+  Radio radio_;
+  PacketizationParams packet_params_;
+  EnergyModel energy_model_;
+  std::vector<Node> nodes_;
+  ReceiveHandler receive_handler_;
+  TraceSink trace_sink_;
+  double per_packet_latency_s_ = 0.004;
+
+  uint64_t total_packets_sent_ = 0;
+  uint64_t total_bytes_sent_ = 0;
+  double total_energy_mj_ = 0.0;
+  std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
+      packets_by_kind_{};
+};
+
+}  // namespace sensjoin::sim
+
+#endif  // SENSJOIN_SIM_SIMULATOR_H_

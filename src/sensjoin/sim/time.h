@@ -1,0 +1,22 @@
+#ifndef SENSJOIN_SIM_TIME_H_
+#define SENSJOIN_SIM_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace sensjoin::sim {
+
+/// Simulation time in seconds since simulation start.
+using SimTime = double;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Identifies a sensor node within a simulation. Node ids are dense indices
+/// assigned by the placement; the base station is a regular node id.
+using NodeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+}  // namespace sensjoin::sim
+
+#endif  // SENSJOIN_SIM_TIME_H_

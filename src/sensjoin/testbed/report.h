@@ -1,0 +1,34 @@
+#ifndef SENSJOIN_TESTBED_REPORT_H_
+#define SENSJOIN_TESTBED_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "sensjoin/join/stats.h"
+#include "sensjoin/net/routing_tree.h"
+#include "sensjoin/net/topology.h"
+
+namespace sensjoin::testbed {
+
+/// Human-readable deployment and load reports: quick operator-facing views
+/// of where the energy goes, without external plotting tools.
+
+/// ASCII heat map of per-node transmissions over the deployment area:
+/// nodes are binned into a `columns` x `rows` character grid; each cell
+/// shows the load of its hottest node on a '.' (idle) to '#'/'@' scale,
+/// 'B' marks the base station.
+std::string LoadHeatMap(const net::Placement& placement,
+                        const std::vector<uint64_t>& per_node_packets,
+                        int columns = 48, int rows = 24);
+
+/// Routing-tree statistics: depth histogram, fan-out, heaviest subtrees.
+std::string TreeSummary(const net::RoutingTree& tree);
+
+/// Tabulates a CostReport next to the tree structure: per-depth totals of
+/// join-processing transmissions (where in the tree the cost sits).
+std::string CostByDepth(const net::RoutingTree& tree,
+                        const join::CostReport& cost);
+
+}  // namespace sensjoin::testbed
+
+#endif  // SENSJOIN_TESTBED_REPORT_H_

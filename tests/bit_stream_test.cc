@@ -1,0 +1,151 @@
+#include "sensjoin/common/bit_stream.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/common/rng.h"
+
+namespace sensjoin {
+namespace {
+
+TEST(BitWriterTest, EmptyWriter) {
+  BitWriter w;
+  EXPECT_EQ(w.size_bits(), 0u);
+  EXPECT_EQ(w.size_bytes(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(BitWriterTest, SingleBits) {
+  BitWriter w;
+  w.WriteBit(true);
+  w.WriteBit(false);
+  w.WriteBit(true);
+  EXPECT_EQ(w.size_bits(), 3u);
+  EXPECT_EQ(w.size_bytes(), 1u);
+  // MSB-first: 101 -> 1010 0000.
+  EXPECT_EQ(w.bytes()[0], 0xA0);
+  EXPECT_TRUE(w.BitAt(0));
+  EXPECT_FALSE(w.BitAt(1));
+  EXPECT_TRUE(w.BitAt(2));
+}
+
+TEST(BitWriterTest, MultiBitValuesAreMsbFirst) {
+  BitWriter w;
+  w.WriteBits(0b1011, 4);
+  w.WriteBits(0b0010, 4);
+  EXPECT_EQ(w.bytes()[0], 0xB2);
+}
+
+TEST(BitWriterTest, ZeroCountWriteIsNoop) {
+  BitWriter w;
+  w.WriteBits(0xFF, 0);
+  EXPECT_EQ(w.size_bits(), 0u);
+}
+
+TEST(BitWriterTest, SixtyFourBitValue) {
+  BitWriter w;
+  const uint64_t v = 0x0123456789ABCDEFull;
+  w.WriteBits(v, 64);
+  BitReader r(w);
+  EXPECT_EQ(r.ReadBits(64), v);
+}
+
+TEST(BitWriterTest, AppendAlignedAndUnaligned) {
+  BitWriter a;
+  a.WriteBits(0xAB, 8);  // aligned append path
+  BitWriter b;
+  b.WriteBits(0b101, 3);
+  a.Append(b);
+  EXPECT_EQ(a.size_bits(), 11u);
+  BitReader r(a);
+  EXPECT_EQ(r.ReadBits(8), 0xABu);
+  EXPECT_EQ(r.ReadBits(3), 0b101u);
+
+  // Unaligned append.
+  BitWriter c;
+  c.WriteBits(0b11, 2);
+  c.Append(a);
+  EXPECT_EQ(c.size_bits(), 13u);
+  BitReader rc(c);
+  EXPECT_EQ(rc.ReadBits(2), 0b11u);
+  EXPECT_EQ(rc.ReadBits(8), 0xABu);
+  EXPECT_EQ(rc.ReadBits(3), 0b101u);
+}
+
+TEST(BitWriterTest, AppendEmpty) {
+  BitWriter a;
+  a.WriteBits(0b1, 1);
+  BitWriter empty;
+  a.Append(empty);
+  EXPECT_EQ(a.size_bits(), 1u);
+}
+
+TEST(BitWriterTest, Clear) {
+  BitWriter w;
+  w.WriteBits(0xFFFF, 16);
+  w.Clear();
+  EXPECT_EQ(w.size_bits(), 0u);
+  w.WriteBit(false);
+  EXPECT_EQ(w.bytes()[0], 0u);
+}
+
+TEST(BitReaderTest, PositionTracking) {
+  BitWriter w;
+  w.WriteBits(0xFF, 8);
+  BitReader r(w);
+  EXPECT_EQ(r.RemainingBits(), 8u);
+  r.ReadBits(3);
+  EXPECT_EQ(r.position_bits(), 3u);
+  EXPECT_EQ(r.RemainingBits(), 5u);
+  EXPECT_FALSE(r.AtEnd());
+  r.ReadBits(5);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+class BitStreamRoundtripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitStreamRoundtripTest, RandomChunksRoundtrip) {
+  Rng rng(GetParam());
+  // Write random-width chunks, then read them back identically.
+  std::vector<std::pair<uint64_t, int>> chunks;
+  BitWriter w;
+  for (int i = 0; i < 500; ++i) {
+    const int width = static_cast<int>(rng.UniformInt(1, 64));
+    const uint64_t value =
+        width == 64 ? rng.NextUint64() : rng.NextUint64() & ((1ull << width) - 1);
+    chunks.emplace_back(value, width);
+    w.WriteBits(value, width);
+  }
+  BitReader r(w);
+  for (const auto& [value, width] : chunks) {
+    ASSERT_EQ(r.ReadBits(width), value);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST_P(BitStreamRoundtripTest, AppendEqualsConcatenation) {
+  Rng rng(GetParam());
+  BitWriter parts[3];
+  BitWriter whole;
+  for (auto& part : parts) {
+    const int chunks = static_cast<int>(rng.UniformInt(0, 20));
+    for (int i = 0; i < chunks; ++i) {
+      const int width = static_cast<int>(rng.UniformInt(1, 63));
+      const uint64_t value = rng.NextUint64() & ((1ull << width) - 1);
+      part.WriteBits(value, width);
+      whole.WriteBits(value, width);
+    }
+  }
+  BitWriter combined;
+  for (auto& part : parts) combined.Append(part);
+  ASSERT_EQ(combined.size_bits(), whole.size_bits());
+  EXPECT_EQ(combined.bytes(), whole.bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitStreamRoundtripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 42, 1234));
+
+}  // namespace
+}  // namespace sensjoin

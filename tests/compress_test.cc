@@ -1,0 +1,257 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/common/rng.h"
+#include "sensjoin/compress/bwt.h"
+#include "sensjoin/compress/bzip2_like.h"
+#include "sensjoin/compress/huffman.h"
+#include "sensjoin/compress/lz77.h"
+#include "sensjoin/compress/mtf.h"
+#include "sensjoin/compress/rle.h"
+#include "sensjoin/compress/zlib_like.h"
+
+namespace sensjoin::compress {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+std::vector<uint8_t> RandomBytes(Rng& rng, size_t n, int alphabet = 256) {
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, alphabet - 1));
+  }
+  return out;
+}
+
+std::vector<uint8_t> RepetitiveBytes(Rng& rng, size_t n) {
+  // Repeated phrases: compressible by LZ and BWT alike.
+  const std::vector<uint8_t> phrase = RandomBytes(rng, 23, 8);
+  std::vector<uint8_t> out;
+  while (out.size() < n) {
+    out.insert(out.end(), phrase.begin(), phrase.end());
+    if (rng.NextBool(0.2)) out.push_back(static_cast<uint8_t>(rng.UniformInt(0, 255)));
+  }
+  out.resize(n);
+  return out;
+}
+
+// ---- Huffman ------------------------------------------------------------
+
+TEST(HuffmanTest, RoundtripBasics) {
+  for (const std::string s :
+       {"", "a", "aaaa", "abracadabra", "the quick brown fox"}) {
+    const auto compressed = HuffmanCompress(Bytes(s));
+    const auto decompressed = HuffmanDecompress(compressed);
+    ASSERT_TRUE(decompressed.ok()) << decompressed.status() << " for '" << s
+                                   << "'";
+    EXPECT_EQ(*decompressed, Bytes(s));
+  }
+}
+
+TEST(HuffmanTest, SkewedInputCompresses) {
+  std::vector<uint8_t> skewed(4000, 'a');
+  for (size_t i = 0; i < skewed.size(); i += 17) skewed[i] = 'b';
+  const auto compressed = HuffmanCompress(skewed);
+  EXPECT_LT(compressed.size(), skewed.size() / 4);
+  EXPECT_EQ(*HuffmanDecompress(compressed), skewed);
+}
+
+TEST(HuffmanTest, TinyInputsGrow) {
+  // The overhead story of Sec. VI-B: small buffers get bigger.
+  const auto compressed = HuffmanCompress(Bytes("xy"));
+  EXPECT_GT(compressed.size(), 2u);
+}
+
+TEST(HuffmanTest, DeepCodesFromSkewedFrequencies) {
+  // Fibonacci-like frequencies force maximally unbalanced trees with code
+  // lengths well beyond the 15-bit limit of classic deflate tables; our
+  // 6-bit length encoding must handle them.
+  std::vector<uint8_t> input;
+  uint64_t a = 1;
+  uint64_t b = 1;
+  for (int sym = 0; sym < 24; ++sym) {
+    for (uint64_t i = 0; i < a && input.size() < 300000; ++i) {
+      input.push_back(static_cast<uint8_t>(sym));
+    }
+    const uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto compressed = HuffmanCompress(input);
+  const auto decompressed = HuffmanDecompress(compressed);
+  ASSERT_TRUE(decompressed.ok()) << decompressed.status();
+  EXPECT_EQ(*decompressed, input);
+  EXPECT_LT(compressed.size(), input.size() / 2);
+}
+
+TEST(HuffmanTest, UniformAlphabetRoundtrip) {
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 256 * 8; ++i) input.push_back(static_cast<uint8_t>(i));
+  EXPECT_EQ(*HuffmanDecompress(HuffmanCompress(input)), input);
+}
+
+TEST(HuffmanTest, MalformedInputErrors) {
+  EXPECT_FALSE(HuffmanDecompress({}).ok());
+  EXPECT_FALSE(HuffmanDecompress({0x05, 0x00, 0x00, 0x00}).ok());
+}
+
+// ---- LZ77 ---------------------------------------------------------------
+
+TEST(Lz77Test, ParseReconstructRoundtrip) {
+  Rng rng(3);
+  for (const auto& input :
+       {Bytes("abababababababab"), Bytes("no repeats here!?"),
+        RepetitiveBytes(rng, 5000), RandomBytes(rng, 3000)}) {
+    EXPECT_EQ(Lz77Reconstruct(Lz77Parse(input)), input);
+  }
+}
+
+TEST(Lz77Test, FindsMatchesInRepetitiveInput) {
+  const auto input = Bytes("abcabcabcabcabcabcabc");
+  const auto tokens = Lz77Parse(input);
+  EXPECT_LT(tokens.size(), input.size() / 2);
+  bool has_match = false;
+  for (const auto& t : tokens) has_match |= t.is_match;
+  EXPECT_TRUE(has_match);
+}
+
+TEST(Lz77Test, OverlappingMatchRoundtrip) {
+  std::vector<uint8_t> runs(1000, 'z');  // classic distance-1 overlap
+  const auto tokens = Lz77Parse(runs);
+  EXPECT_LT(tokens.size(), 10u);
+  EXPECT_EQ(Lz77Reconstruct(tokens), runs);
+}
+
+// ---- BWT / MTF / RLE ----------------------------------------------------
+
+TEST(BwtTest, KnownTransform) {
+  // Classic example: "banana" rotations sorted -> last column "nnbaaa".
+  const BwtResult r = BwtTransform(Bytes("banana"));
+  EXPECT_EQ(std::string(r.data.begin(), r.data.end()), "nnbaaa");
+  EXPECT_EQ(BwtInverse(r.data, r.primary_index), Bytes("banana"));
+}
+
+TEST(BwtTest, RoundtripIncludingPeriodicInputs) {
+  Rng rng(5);
+  for (const auto& input :
+       {Bytes(""), Bytes("a"), Bytes("abab"), Bytes("aaaa"),
+        Bytes("mississippi"), RandomBytes(rng, 2000),
+        RepetitiveBytes(rng, 2000)}) {
+    const BwtResult r = BwtTransform(input);
+    EXPECT_EQ(BwtInverse(r.data, r.primary_index), input);
+  }
+}
+
+TEST(BwtTest, GroupsEqualSymbols) {
+  Rng rng(6);
+  const auto input = RepetitiveBytes(rng, 4000);
+  const BwtResult r = BwtTransform(input);
+  // Count symbol changes: BWT output of repetitive text has long runs.
+  size_t changes_in = 0;
+  size_t changes_out = 0;
+  for (size_t i = 1; i < input.size(); ++i) {
+    changes_in += input[i] != input[i - 1];
+    changes_out += r.data[i] != r.data[i - 1];
+  }
+  EXPECT_LT(changes_out, changes_in / 2);
+}
+
+TEST(MtfTest, RoundtripAndRecencySkew) {
+  Rng rng(7);
+  for (const auto& input :
+       {Bytes(""), Bytes("aaabbbccc"), RandomBytes(rng, 1000)}) {
+    EXPECT_EQ(MtfDecode(MtfEncode(input)), input);
+  }
+  // Runs become zeros.
+  const auto encoded = MtfEncode(Bytes("aaaa"));
+  EXPECT_EQ(encoded[1], 0);
+  EXPECT_EQ(encoded[2], 0);
+}
+
+TEST(RleTest, RoundtripEdgeCases) {
+  Rng rng(8);
+  for (const auto& input :
+       {Bytes(""), Bytes("abc"), Bytes("aaaa"), Bytes("aaaaa"),
+        std::vector<uint8_t>(259, 'x'), std::vector<uint8_t>(260, 'x'),
+        std::vector<uint8_t>(1000, 'x'), RandomBytes(rng, 500),
+        RepetitiveBytes(rng, 500)}) {
+    const auto decoded = RleDecode(RleEncode(input));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, input);
+  }
+}
+
+TEST(RleTest, LongRunsShrink) {
+  const std::vector<uint8_t> run(255, 'q');
+  EXPECT_EQ(RleEncode(run).size(), 5u);  // 4 copies + count byte
+}
+
+// ---- Full codecs ---------------------------------------------------------
+
+class CodecRoundtripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecRoundtripTest, ZlibLikeRoundtrip) {
+  Rng rng(GetParam());
+  for (const auto& input :
+       {std::vector<uint8_t>{}, Bytes("x"), RandomBytes(rng, 1),
+        RandomBytes(rng, 100), RandomBytes(rng, 5000),
+        RepetitiveBytes(rng, 5000), std::vector<uint8_t>(70000, 'r')}) {
+    const auto compressed = ZlibLikeCompress(input);
+    const auto decompressed = ZlibLikeDecompress(compressed);
+    ASSERT_TRUE(decompressed.ok()) << decompressed.status();
+    EXPECT_EQ(*decompressed, input);
+  }
+}
+
+TEST_P(CodecRoundtripTest, Bzip2LikeRoundtrip) {
+  Rng rng(GetParam() + 1);
+  for (const auto& input :
+       {std::vector<uint8_t>{}, Bytes("x"), RandomBytes(rng, 1),
+        RandomBytes(rng, 100), RandomBytes(rng, 5000),
+        RepetitiveBytes(rng, 5000), std::vector<uint8_t>(70000, 'r')}) {
+    const auto compressed = Bzip2LikeCompress(input);
+    const auto decompressed = Bzip2LikeDecompress(compressed);
+    ASSERT_TRUE(decompressed.ok()) << decompressed.status();
+    EXPECT_EQ(*decompressed, input);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundtripTest,
+                         ::testing::Values(10, 20, 30));
+
+TEST(CodecComparisonTest, RepetitiveDataCompressesWell) {
+  Rng rng(9);
+  const auto input = RepetitiveBytes(rng, 20000);
+  EXPECT_LT(ZlibLikeCompress(input).size(), input.size() / 3);
+  EXPECT_LT(Bzip2LikeCompress(input).size(), input.size() / 3);
+}
+
+TEST(CodecComparisonTest, TinyBuffersGainNothing) {
+  // The Sec. VI-B effect: per-hop buffers of a few dozen bytes do not
+  // benefit from general-purpose compression.
+  Rng rng(10);
+  const auto tiny = RandomBytes(rng, 24, 16);
+  EXPECT_GE(ZlibLikeCompress(tiny).size() + 8, tiny.size());
+  EXPECT_GT(Bzip2LikeCompress(tiny).size(), tiny.size() / 2);
+}
+
+TEST(CodecErrorTest, CorruptStreamsFailCleanly) {
+  Rng rng(11);
+  const auto input = RepetitiveBytes(rng, 500);
+  auto z = ZlibLikeCompress(input);
+  z.resize(z.size() / 2);
+  EXPECT_FALSE(ZlibLikeDecompress(z).ok());
+  auto b = Bzip2LikeCompress(input);
+  b.resize(b.size() / 2);
+  EXPECT_FALSE(Bzip2LikeDecompress(b).ok());
+  EXPECT_FALSE(ZlibLikeDecompress({}).ok());
+  EXPECT_FALSE(Bzip2LikeDecompress({1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace sensjoin::compress

@@ -1,0 +1,121 @@
+#include "sensjoin/join/continuous.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/sensjoin.h"
+
+namespace sensjoin::join {
+namespace {
+
+testbed::TestbedParams MediumParams(uint64_t seed) {
+  testbed::TestbedParams params;
+  params.placement.num_nodes = 350;
+  params.placement.area_width_m = 500;
+  params.placement.area_height_m = 500;
+  params.seed = seed;
+  return params;
+}
+
+const char* kQuery =
+    "SELECT A.hum, B.hum FROM sensors A, sensors B "
+    "WHERE |A.temp - B.temp| < 0.3 "
+    "AND distance(A.x, A.y, B.x, B.y) > 500 "
+    "SAMPLE PERIOD 30";
+
+ContinuousSensJoinExecutor MakeContinuous(testbed::Testbed& tb) {
+  ProtocolConfig config;
+  config.use_treecut = false;  // continuous mode runs without Treecut
+  return ContinuousSensJoinExecutor(tb.simulator(), tb.tree(), tb.data(),
+                                    tb.quantization(), config);
+}
+
+std::vector<std::vector<double>> SortedRows(const JoinResult& r) {
+  auto rows = r.rows;
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+class ContinuousSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ContinuousSeedTest, EveryEpochMatchesSnapshotExecution) {
+  auto tb = testbed::Testbed::Create(MediumParams(GetParam()));
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(kQuery);
+  ASSERT_TRUE(q.ok()) << q.status();
+
+  auto continuous = MakeContinuous(**tb);
+  for (uint64_t epoch = 0; epoch < 5; ++epoch) {
+    auto delta_report = continuous.ExecuteEpoch(*q, epoch);
+    ASSERT_TRUE(delta_report.ok()) << delta_report.status();
+    auto snapshot_report = (*tb)->MakeSensJoin().Execute(*q, epoch);
+    ASSERT_TRUE(snapshot_report.ok());
+    EXPECT_EQ(SortedRows(delta_report->result),
+              SortedRows(snapshot_report->result))
+        << "epoch " << epoch;
+    EXPECT_EQ(delta_report->result.contributing_nodes,
+              snapshot_report->result.contributing_nodes);
+  }
+}
+
+TEST_P(ContinuousSeedTest, SteadyStateCollectionIsMuchCheaper) {
+  auto tb = testbed::Testbed::Create(MediumParams(GetParam() + 50));
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(kQuery);
+  ASSERT_TRUE(q.ok());
+
+  auto continuous = MakeContinuous(**tb);
+  auto bootstrap = continuous.ExecuteEpoch(*q, 0);
+  ASSERT_TRUE(bootstrap.ok());
+  uint64_t steady_collection = 0;
+  int epochs = 0;
+  for (uint64_t epoch = 1; epoch <= 4; ++epoch) {
+    auto r = continuous.ExecuteEpoch(*q, epoch);
+    ASSERT_TRUE(r.ok());
+    steady_collection += r->cost.phases.collection_packets;
+    ++epochs;
+    // Only a small fraction of nodes drift across a cell boundary between
+    // epochs.
+    EXPECT_LT(r->delta_changed_nodes, 200u);
+  }
+  // Deltas must undercut the bootstrap (full) collection substantially.
+  EXPECT_LT(steady_collection / epochs,
+            bootstrap->cost.phases.collection_packets / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContinuousSeedTest, ::testing::Values(1, 9));
+
+TEST(ContinuousTest, LinkFailureForcesReBootstrap) {
+  auto tb = testbed::Testbed::Create(MediumParams(21));
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(kQuery);
+  ASSERT_TRUE(q.ok());
+  auto continuous = MakeContinuous(**tb);
+  ASSERT_TRUE(continuous.ExecuteEpoch(*q, 0).ok());
+
+  // Break a loaded tree edge.
+  const net::RoutingTree& tree = continuous.tree();
+  sim::NodeId victim = sim::kInvalidNode;
+  for (sim::NodeId u : tree.collection_order()) {
+    if (tree.hop_count(u) >= 2 && tree.subtree_size(u) >= 5 &&
+        (*tb)->simulator().radio().Neighbors(u).size() >= 3) {
+      victim = u;
+      break;
+    }
+  }
+  ASSERT_NE(victim, sim::kInvalidNode);
+  (*tb)->simulator().radio().FailLink(victim, tree.parent(victim));
+
+  auto recovered = continuous.ExecuteEpoch(*q, 1);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_GE(recovered->attempts, 2);
+  // The re-executed epoch is correct.
+  auto snapshot = (*tb)->MakeSensJoin().Execute(*q, 1);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(recovered->result.matched_combinations,
+            snapshot->result.matched_combinations);
+}
+
+}  // namespace
+}  // namespace sensjoin::join

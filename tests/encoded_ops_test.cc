@@ -1,0 +1,136 @@
+#include "sensjoin/join/encoded_ops.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/common/rng.h"
+
+namespace sensjoin::join {
+namespace {
+
+std::shared_ptr<const PointSetLayout> TestLayout() {
+  return std::make_shared<const PointSetLayout>(2, std::vector<int>{2, 2, 2});
+}
+
+PointSet RandomSet(Rng& rng, std::shared_ptr<const PointSetLayout> layout,
+                   int max_n) {
+  std::vector<uint64_t> keys;
+  const int n = static_cast<int>(rng.UniformInt(0, max_n));
+  for (int i = 0; i < n; ++i) {
+    keys.push_back(rng.UniformInt(64, 255));  // nonzero flags
+  }
+  return PointSet::FromKeys(std::move(layout), keys);
+}
+
+TEST(EncodedPointStreamTest, YieldsKeysInAscendingOrder) {
+  auto layout = TestLayout();
+  const PointSet set =
+      PointSet::FromKeys(layout, {64, 65, 130, 131, 200, 255});
+  const BitWriter encoded = set.Encode();
+  EncodedPointStream stream(layout.get(), &encoded);
+  std::vector<uint64_t> seen;
+  while (auto key = stream.Next()) seen.push_back(*key);
+  EXPECT_TRUE(stream.status().ok());
+  EXPECT_EQ(seen, set.keys());
+}
+
+TEST(EncodedPointStreamTest, EmptyEncoding) {
+  auto layout = TestLayout();
+  BitWriter empty;
+  EncodedPointStream stream(layout.get(), &empty);
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_TRUE(stream.status().ok());
+}
+
+TEST(EncodedPointStreamTest, TruncatedEncodingReportsError) {
+  auto layout = TestLayout();
+  BitWriter bad;
+  bad.WriteBit(true);
+  bad.WriteBits(0b1, 1);  // suffix needs 8 bits
+  EncodedPointStream stream(layout.get(), &bad);
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_FALSE(stream.status().ok());
+}
+
+class EncodedOpsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EncodedOpsPropertyTest, StreamMatchesDecode) {
+  Rng rng(GetParam());
+  auto layout = TestLayout();
+  for (int iter = 0; iter < 100; ++iter) {
+    const PointSet set = RandomSet(rng, layout, 80);
+    const BitWriter encoded = set.Encode();
+    EncodedPointStream stream(layout.get(), &encoded);
+    std::vector<uint64_t> seen;
+    while (auto key = stream.Next()) seen.push_back(*key);
+    ASSERT_TRUE(stream.status().ok()) << stream.status();
+    EXPECT_EQ(seen, set.keys());
+  }
+}
+
+TEST_P(EncodedOpsPropertyTest, ContainsEncodedMatchesSetMembership) {
+  Rng rng(GetParam() + 1);
+  auto layout = TestLayout();
+  for (int iter = 0; iter < 50; ++iter) {
+    const PointSet set = RandomSet(rng, layout, 60);
+    const BitWriter encoded = set.Encode();
+    for (uint64_t key = 0; key < 256; key += 3) {
+      auto result = ContainsEncoded(*layout, encoded, key);
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_EQ(*result, set.Contains(key)) << "key " << key;
+    }
+  }
+}
+
+TEST_P(EncodedOpsPropertyTest, StreamOpsAreBitIdenticalToCanonicalOps) {
+  // The Sec. V-D property: set operations computed directly on the wire
+  // format equal the canonical encodings of the set-level operations.
+  Rng rng(GetParam() + 2);
+  auto layout = TestLayout();
+  for (int iter = 0; iter < 100; ++iter) {
+    const PointSet a = RandomSet(rng, layout, 60);
+    const PointSet b = RandomSet(rng, layout, 60);
+    const BitWriter ea = a.Encode();
+    const BitWriter eb = b.Encode();
+
+    auto u = UnionEncoded(*layout, ea, eb);
+    ASSERT_TRUE(u.ok()) << u.status();
+    const BitWriter expected_u = PointSet::Union(a, b).Encode();
+    EXPECT_EQ(u->size_bits(), expected_u.size_bits());
+    EXPECT_EQ(u->bytes(), expected_u.bytes());
+
+    auto i = IntersectEncoded(*layout, ea, eb);
+    ASSERT_TRUE(i.ok()) << i.status();
+    const BitWriter expected_i = PointSet::Intersect(a, b).Encode();
+    EXPECT_EQ(i->size_bits(), expected_i.size_bits());
+    EXPECT_EQ(i->bytes(), expected_i.bytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodedOpsPropertyTest,
+                         ::testing::Values(6, 66, 666));
+
+TEST(EncodedOpsTest, UnionWithEmptyIsIdentity) {
+  auto layout = TestLayout();
+  const PointSet a = PointSet::FromKeys(layout, {70, 90, 200});
+  BitWriter empty;
+  auto u = UnionEncoded(*layout, a.Encode(), empty);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->bytes(), a.Encode().bytes());
+  auto i = IntersectEncoded(*layout, a.Encode(), empty);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->size_bits(), 0u);
+}
+
+TEST(EncodedOpsTest, EncodeKeyRangeMatchesPointSet) {
+  auto layout = TestLayout();
+  const std::vector<uint64_t> keys = {64, 100, 101, 250};
+  const BitWriter direct = EncodeKeyRange(*layout, keys);
+  const BitWriter via_set = PointSet::FromKeys(layout, keys).Encode();
+  EXPECT_EQ(direct.bytes(), via_set.bytes());
+}
+
+}  // namespace
+}  // namespace sensjoin::join

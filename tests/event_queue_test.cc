@@ -1,0 +1,107 @@
+#include "sensjoin/sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sensjoin::sim {
+namespace {
+
+TEST(EventQueueTest, FiresInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.ScheduleAt(3.0, [&] { fired.push_back(3); });
+  q.ScheduleAt(1.0, [&] { fired.push_back(1); });
+  q.ScheduleAt(2.0, [&] { fired.push_back(2); });
+  q.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  q.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fire_time = -1;
+  q.ScheduleAt(10.0, [&] {
+    q.ScheduleAfter(5.0, [&] { fire_time = q.now(); });
+  });
+  q.Run();
+  EXPECT_EQ(fire_time, 15.0);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.ScheduleAt(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // second cancel is a no-op
+  q.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(9999));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.ScheduleAt(1.0, [&] { fired.push_back(1); });
+  q.ScheduleAt(2.0, [&] { fired.push_back(2); });
+  q.ScheduleAt(3.0, [&] { fired.push_back(3); });
+  EXPECT_EQ(q.RunUntil(2.5), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), 2.5);
+  EXPECT_EQ(q.PendingCount(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesTimeWithEmptyQueue) {
+  EventQueue q;
+  EXPECT_EQ(q.RunUntil(7.0), 0u);
+  EXPECT_EQ(q.now(), 7.0);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 100) q.ScheduleAfter(1.0, chain);
+  };
+  q.ScheduleAt(0.0, chain);
+  q.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(q.now(), 99.0);
+}
+
+TEST(EventQueueTest, PendingCountTracksCancellations) {
+  EventQueue q;
+  const EventId a = q.ScheduleAt(1.0, [] {});
+  q.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(q.PendingCount(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_FALSE(q.Empty());
+  q.Run();
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueDeathTest, SchedulingIntoThePastAborts) {
+  EventQueue q;
+  q.ScheduleAt(5.0, [] {});
+  q.Run();
+  EXPECT_DEATH(q.ScheduleAt(1.0, [] {}), "scheduling into the past");
+}
+
+}  // namespace
+}  // namespace sensjoin::sim

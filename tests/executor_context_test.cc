@@ -1,0 +1,110 @@
+#include "sensjoin/join/executor_context.h"
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/common/rng.h"
+#include "sensjoin/data/field_model.h"
+#include "sensjoin/data/network_data.h"
+#include "sensjoin/query/query.h"
+
+namespace sensjoin::join {
+namespace {
+
+data::NetworkData MakeData() {
+  // Base at (0,0) plus four nodes.
+  data::NetworkData data({{0, 0}, {10, 0}, {20, 0}, {30, 0}, {40, 0}}, 100,
+                         100);
+  Rng rng(1);
+  data::FieldParams temp;
+  temp.base = 20;
+  temp.noise_sigma = 0;
+  temp.drift_sigma = 0;
+  temp.num_bumps = 0;
+  temp.gradient_per_m = 0;
+  data.AddField("temp", temp, rng);
+  return data;
+}
+
+query::AnalyzedQuery MustAnalyze(const data::NetworkData& data,
+                                 const std::string& sql) {
+  auto q = query::AnalyzedQuery::FromString(sql, data.schema());
+  SENSJOIN_CHECK(q.ok()) << q.status();
+  return std::move(q).value();
+}
+
+TEST(ExecutorContextTest, BaseStationContributesNoTuple) {
+  const data::NetworkData data = MakeData();
+  const auto q = MustAnalyze(
+      data, "SELECT A.temp FROM sensors A, sensors B WHERE A.x = B.x ONCE");
+  const ExecutorContext ctx(data, q, 0);
+  EXPECT_FALSE(ctx.info(0).has_tuple);
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_TRUE(ctx.info(i).has_tuple);
+    EXPECT_EQ(ctx.info(i).membership, 1);
+  }
+}
+
+TEST(ExecutorContextTest, SelectionsDetermineMembership) {
+  const data::NetworkData data = MakeData();
+  // Only nodes with x > 25 qualify for either side.
+  const auto q = MustAnalyze(data,
+                             "SELECT A.temp FROM sensors A, sensors B "
+                             "WHERE A.x = B.x AND A.x > 25 AND B.x > 25 ONCE");
+  const ExecutorContext ctx(data, q, 0);
+  EXPECT_FALSE(ctx.info(1).has_tuple);  // x = 10
+  EXPECT_FALSE(ctx.info(2).has_tuple);  // x = 20
+  EXPECT_TRUE(ctx.info(3).has_tuple);   // x = 30
+  EXPECT_TRUE(ctx.info(4).has_tuple);   // x = 40
+}
+
+TEST(ExecutorContextTest, AsymmetricSelectionsKeepBothSides) {
+  data::NetworkData data = MakeData();
+  const auto q = MustAnalyze(data,
+                             "SELECT A.temp FROM sensors A, sensors B "
+                             "WHERE A.x = B.x AND A.x > 25 ONCE");
+  const ExecutorContext ctx(data, q, 0);
+  // Node 1 fails A's selection but qualifies as B (no B selection).
+  EXPECT_TRUE(ctx.info(1).has_tuple);
+  const data::Tuple& t1 = ctx.info(1).tuple;
+  EXPECT_FALSE(ctx.PassesTable(t1, 0));
+  EXPECT_TRUE(ctx.PassesTable(t1, 1));
+}
+
+TEST(ExecutorContextTest, HeterogeneousMembershipBits) {
+  data::NetworkData data = MakeData();
+  data.AssignRelation("left", {1, 2});
+  data.AssignRelation("right", {3, 4});
+  const auto q = MustAnalyze(
+      data, "SELECT A.temp FROM left A, right B WHERE A.temp = B.temp ONCE");
+  const ExecutorContext ctx(data, q, 0);
+  EXPECT_EQ(ctx.num_relations(), 2);
+  EXPECT_EQ(ctx.info(1).membership, 0b01);
+  EXPECT_EQ(ctx.info(3).membership, 0b10);
+  EXPECT_FALSE(ctx.info(0).has_tuple);
+}
+
+TEST(ExecutorContextTest, FullTupleBytesMatchQueriedProjection) {
+  const data::NetworkData data = MakeData();
+  const auto q = MustAnalyze(
+      data,
+      "SELECT A.temp, B.temp FROM sensors A, sensors B WHERE A.x = B.x ONCE");
+  const ExecutorContext ctx(data, q, 0);
+  // Queried attributes: x (join) + temp (select) = 2 attrs * 2 bytes.
+  EXPECT_EQ(ctx.info(1).full_tuple_bytes, 4);
+}
+
+TEST(ExecutorContextTest, PerTableCandidatesFilterBySelection) {
+  data::NetworkData data = MakeData();
+  const auto q = MustAnalyze(data,
+                             "SELECT A.temp FROM sensors A, sensors B "
+                             "WHERE A.x = B.x AND A.x > 25 ONCE");
+  const ExecutorContext ctx(data, q, 0);
+  std::vector<data::Tuple> candidates;
+  for (int i = 1; i < 5; ++i) candidates.push_back(ctx.info(i).tuple);
+  const auto per_table = ctx.PerTableCandidates(candidates);
+  EXPECT_EQ(per_table[0].size(), 2u);  // x in {30, 40}
+  EXPECT_EQ(per_table[1].size(), 4u);  // everyone
+}
+
+}  // namespace
+}  // namespace sensjoin::join

@@ -1,0 +1,165 @@
+#include "sensjoin/query/expr_eval.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/data/schema.h"
+#include "sensjoin/query/interval_eval.h"
+#include "sensjoin/query/parser.h"
+#include "sensjoin/query/query.h"
+
+namespace sensjoin::query {
+namespace {
+
+// Schema: x(0) y(1) temp(2) hum(3).
+data::Schema MakeSchema() {
+  return data::Schema({{"x", 2}, {"y", 2}, {"temp", 2}, {"hum", 2}});
+}
+
+/// Parses a two-table predicate/expression and resolves it through the
+/// analyzer by embedding it in a query.
+std::unique_ptr<Expr> ResolvedPredicate(const std::string& pred) {
+  auto q = AnalyzedQuery::FromString(
+      "SELECT A.hum, B.hum FROM s A, s B WHERE " + pred + " ONCE",
+      MakeSchema());
+  SENSJOIN_CHECK(q.ok()) << q.status();
+  // Re-AND whatever the analyzer split apart (join conjuncts + pushed-down
+  // selections) so the helper accepts arbitrary WHERE clauses.
+  std::unique_ptr<Expr> combined;
+  auto add = [&combined](const Expr& e) {
+    combined = combined == nullptr
+                   ? e.Clone()
+                   : Expr::Binary(BinaryOp::kAnd, std::move(combined),
+                                  e.Clone());
+  };
+  for (const auto& p : q->join_predicates()) add(*p);
+  for (int t = 0; t < q->num_tables(); ++t) {
+    if (q->table(t).selection != nullptr) add(*q->table(t).selection);
+  }
+  SENSJOIN_CHECK(combined != nullptr);
+  return combined;
+}
+
+std::unique_ptr<Expr> ResolvedSelectExpr(const std::string& expr) {
+  auto q = AnalyzedQuery::FromString(
+      "SELECT " + expr + " FROM s A, s B WHERE A.temp = B.temp ONCE",
+      MakeSchema());
+  SENSJOIN_CHECK(q.ok()) << q.status();
+  return q->select()[0].expr->Clone();
+}
+
+data::Tuple MakeTuple(double x, double y, double temp, double hum) {
+  data::Tuple t;
+  t.values = {x, y, temp, hum};
+  return t;
+}
+
+TEST(EvalScalarTest, ArithmeticAndFunctions) {
+  const data::Tuple a = MakeTuple(0, 0, 21.5, 40);
+  const data::Tuple b = MakeTuple(3, 4, 20.0, 60);
+  TupleContext ctx({&a, &b});
+
+  EXPECT_DOUBLE_EQ(EvalScalar(*ResolvedSelectExpr("A.temp - B.temp"), ctx),
+                   1.5);
+  EXPECT_DOUBLE_EQ(EvalScalar(*ResolvedSelectExpr("abs(B.temp - A.temp)"), ctx),
+                   1.5);
+  EXPECT_DOUBLE_EQ(
+      EvalScalar(*ResolvedSelectExpr("distance(A.x, A.y, B.x, B.y)"), ctx),
+      5.0);
+  EXPECT_DOUBLE_EQ(EvalScalar(*ResolvedSelectExpr("min(A.hum, B.hum)"), ctx),
+                   40.0);
+  EXPECT_DOUBLE_EQ(EvalScalar(*ResolvedSelectExpr("max(A.hum, B.hum)"), ctx),
+                   60.0);
+  EXPECT_DOUBLE_EQ(EvalScalar(*ResolvedSelectExpr("sqrt(A.hum + 9)"), ctx),
+                   7.0);
+  EXPECT_DOUBLE_EQ(
+      EvalScalar(*ResolvedSelectExpr("-A.hum * 2 + B.hum / 4"), ctx), -65.0);
+}
+
+TEST(EvalPredicateTest, ComparisonsAndLogic) {
+  const data::Tuple a = MakeTuple(0, 0, 21.5, 40);
+  const data::Tuple b = MakeTuple(3, 4, 20.0, 60);
+  TupleContext ctx({&a, &b});
+
+  EXPECT_TRUE(EvalPredicate(*ResolvedPredicate("A.temp > B.temp"), ctx));
+  EXPECT_FALSE(EvalPredicate(*ResolvedPredicate("A.temp <= B.temp"), ctx));
+  EXPECT_TRUE(EvalPredicate(*ResolvedPredicate("A.hum != B.hum"), ctx));
+  EXPECT_TRUE(EvalPredicate(
+      *ResolvedPredicate("A.temp > B.temp AND A.hum < B.hum"), ctx));
+  EXPECT_TRUE(EvalPredicate(
+      *ResolvedPredicate("A.temp < B.temp OR A.hum < B.hum"), ctx));
+  EXPECT_FALSE(EvalPredicate(
+      *ResolvedPredicate("NOT (A.temp - B.temp > 1 AND B.hum > A.hum)"), ctx));
+  EXPECT_TRUE(EvalPredicate(
+      *ResolvedPredicate("|A.temp - B.temp| < 2.0"), ctx));
+}
+
+TEST(ValidateExprTest, RejectsUnresolvedRefs) {
+  auto e = Expr::AttrRef("A", "temp");  // never resolved
+  EXPECT_EQ(ValidateExpr(*e, false).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidateExprTest, TypeDiscipline) {
+  auto num = Expr::Literal(1.0);
+  EXPECT_TRUE(ValidateExpr(*num, false).ok());
+  EXPECT_FALSE(ValidateExpr(*num, true).ok());  // literal is not a predicate
+
+  auto cmp = Expr::Binary(BinaryOp::kLt, Expr::Literal(1), Expr::Literal(2));
+  EXPECT_TRUE(ValidateExpr(*cmp, true).ok());
+  EXPECT_FALSE(ValidateExpr(*cmp, false).ok());
+
+  // AND of numbers is ill-typed.
+  auto bad = Expr::Binary(BinaryOp::kAnd, Expr::Literal(1), Expr::Literal(2));
+  EXPECT_FALSE(ValidateExpr(*bad, true).ok());
+
+  // Comparison of predicates is ill-typed.
+  auto cmp2 = Expr::Binary(BinaryOp::kLt, Expr::Literal(1), Expr::Literal(2));
+  auto bad2 = Expr::Binary(BinaryOp::kLt, std::move(cmp2), Expr::Literal(1));
+  EXPECT_FALSE(ValidateExpr(*bad2, true).ok());
+}
+
+TEST(IntervalEvalTest, MatchesScalarEvalOnDegenerateIntervals) {
+  const data::Tuple a = MakeTuple(0, 0, 21.5, 40);
+  const data::Tuple b = MakeTuple(3, 4, 20.0, 60);
+  std::vector<Interval> row_a;
+  std::vector<Interval> row_b;
+  for (double v : a.values) row_a.push_back(Interval::Single(v));
+  for (double v : b.values) row_b.push_back(Interval::Single(v));
+  RowIntervalContext ictx({&row_a, &row_b});
+  TupleContext sctx({&a, &b});
+
+  for (const char* expr :
+       {"A.temp - B.temp", "distance(A.x, A.y, B.x, B.y)",
+        "abs(A.hum - B.hum)", "min(A.temp, B.temp) * 2"}) {
+    auto e = ResolvedSelectExpr(expr);
+    const Interval iv = EvalInterval(*e, ictx);
+    const double s = EvalScalar(*e, sctx);
+    EXPECT_DOUBLE_EQ(iv.lo, s) << expr;
+    EXPECT_DOUBLE_EQ(iv.hi, s) << expr;
+  }
+  for (const char* pred :
+       {"A.temp > B.temp", "A.hum = B.hum",
+        "A.temp > B.temp AND A.hum < B.hum", "NOT A.temp < B.temp"}) {
+    auto e = ResolvedPredicate(pred);
+    const Tri t = EvalTri(*e, ictx);
+    const bool s = EvalPredicate(*e, sctx);
+    EXPECT_EQ(t, s ? Tri::kTrue : Tri::kFalse) << pred;
+  }
+}
+
+TEST(IntervalEvalTest, WideIntervalsGiveMaybe) {
+  std::vector<Interval> row_a = {{0, 10}, {0, 10}, {19, 22}, {0, 100}};
+  std::vector<Interval> row_b = {{0, 10}, {0, 10}, {20, 21}, {0, 100}};
+  RowIntervalContext ctx({&row_a, &row_b});
+  auto e = ResolvedPredicate("A.temp > B.temp");
+  EXPECT_EQ(EvalTri(*e, ctx), Tri::kMaybe);
+  auto certain = ResolvedPredicate("A.temp - B.temp < 10");
+  EXPECT_EQ(EvalTri(*certain, ctx), Tri::kTrue);
+  auto impossible = ResolvedPredicate("A.temp - B.temp > 10");
+  EXPECT_EQ(EvalTri(*impossible, ctx), Tri::kFalse);
+}
+
+}  // namespace
+}  // namespace sensjoin::query

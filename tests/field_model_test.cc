@@ -1,0 +1,146 @@
+#include "sensjoin/data/field_model.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/common/rng.h"
+#include "sensjoin/data/network_data.h"
+
+namespace sensjoin::data {
+namespace {
+
+FieldParams DefaultParams() {
+  FieldParams p;
+  p.base = 20.0;
+  p.gradient_per_m = 0.01;
+  p.num_bumps = 6;
+  p.bump_amplitude = 3.0;
+  p.bump_sigma_m = 100.0;
+  p.noise_sigma = 0.05;
+  return p;
+}
+
+TEST(ScalarFieldTest, SameSeedSameField) {
+  Rng r1(9);
+  Rng r2(9);
+  ScalarField f1(DefaultParams(), 500, 500, r1);
+  ScalarField f2(DefaultParams(), 500, 500, r2);
+  for (double x = 0; x < 500; x += 97) {
+    for (double y = 0; y < 500; y += 83) {
+      EXPECT_DOUBLE_EQ(f1.ValueAt({x, y}), f2.ValueAt({x, y}));
+    }
+  }
+}
+
+TEST(ScalarFieldTest, MeasurementsAreDeterministicPerEpoch) {
+  Rng rng(9);
+  ScalarField f(DefaultParams(), 500, 500, rng);
+  const double a = f.Measure({100, 100}, 5, 3);
+  const double b = f.Measure({100, 100}, 5, 3);
+  EXPECT_DOUBLE_EQ(a, b);
+  // Different node or epoch changes the noise.
+  EXPECT_NE(a, f.Measure({100, 100}, 6, 3));
+  EXPECT_NE(a, f.Measure({100, 100}, 5, 4));
+}
+
+TEST(ScalarFieldTest, TemporalCorrelationOfConsecutiveEpochs) {
+  // Consecutive epochs differ only by jitter + drift, which are far smaller
+  // than cross-node differences: the continuous executor's premise.
+  Rng rng(12);
+  ScalarField f(DefaultParams(), 500, 500, rng);
+  double max_step = 0.0;
+  for (int node = 0; node < 50; ++node) {
+    const Point p{10.0 * node, 7.0 * node};
+    const double step =
+        std::abs(f.Measure(p, node, 1) - f.Measure(p, node, 0));
+    max_step = std::max(max_step, step);
+  }
+  EXPECT_LT(max_step, 0.3);
+}
+
+TEST(ScalarFieldTest, NoiseFreeFieldWithoutNoiseParams) {
+  FieldParams p = DefaultParams();
+  p.noise_sigma = 0;
+  p.temporal_noise_sigma = 0;
+  p.drift_sigma = 0;
+  Rng rng(9);
+  ScalarField f(p, 500, 500, rng);
+  EXPECT_DOUBLE_EQ(f.Measure({10, 10}, 1, 0), f.ValueAt({10, 10}));
+  EXPECT_DOUBLE_EQ(f.Measure({10, 10}, 1, 9), f.ValueAt({10, 10}));
+}
+
+TEST(ScalarFieldTest, SpatialAutocorrelation) {
+  // Nearby points must be more similar than far-apart points on average —
+  // the property the quadtree representation exploits (Sec. V-A).
+  Rng rng(21);
+  ScalarField f(DefaultParams(), 1000, 1000, rng);
+  Rng sampler(22);
+  double near_diff = 0;
+  double far_diff = 0;
+  const int samples = 2000;
+  for (int i = 0; i < samples; ++i) {
+    const Point p{sampler.UniformDouble(100, 900),
+                  sampler.UniformDouble(100, 900)};
+    const Point near{p.x + 10, p.y};
+    const Point far{sampler.UniformDouble(100, 900),
+                    sampler.UniformDouble(100, 900)};
+    near_diff += std::abs(f.ValueAt(p) - f.ValueAt(near));
+    far_diff += std::abs(f.ValueAt(p) - f.ValueAt(far));
+  }
+  EXPECT_LT(near_diff, far_diff * 0.5);
+}
+
+TEST(NetworkDataTest, SchemaStartsWithCoordinates) {
+  NetworkData data({{0, 0}, {10, 10}}, 100, 100);
+  Rng rng(1);
+  data.AddField("temp", DefaultParams(), rng);
+  EXPECT_EQ(data.schema().num_attributes(), 3);
+  EXPECT_EQ(data.schema().attribute(0).name, "x");
+  EXPECT_EQ(data.schema().attribute(1).name, "y");
+  EXPECT_EQ(data.schema().attribute(2).name, "temp");
+}
+
+TEST(NetworkDataTest, SenseReturnsPositionAndReadings) {
+  NetworkData data({{0, 0}, {30, 40}}, 100, 100);
+  Rng rng(1);
+  data.AddField("temp", DefaultParams(), rng);
+  const Tuple t = data.Sense(1, 0);
+  EXPECT_EQ(t.node, 1);
+  EXPECT_DOUBLE_EQ(t.values[0], 30.0);
+  EXPECT_DOUBLE_EQ(t.values[1], 40.0);
+  EXPECT_GT(t.values[2], 0.0);
+  // ONCE semantics: re-sensing the same epoch is identical.
+  EXPECT_EQ(data.Sense(1, 0), t);
+}
+
+TEST(NetworkDataTest, RelationMembership) {
+  NetworkData data({{0, 0}, {10, 0}, {20, 0}}, 100, 100);
+  EXPECT_TRUE(data.BelongsTo(0, "anything"));  // homogeneous default
+  data.AssignRelation("hot", {1});
+  EXPECT_FALSE(data.BelongsTo(0, "hot"));
+  EXPECT_TRUE(data.BelongsTo(1, "hot"));
+  EXPECT_TRUE(data.BelongsTo(2, "cold"));  // unassigned name: all nodes
+}
+
+TEST(NetworkDataTest, MaterializeRespectsMembership) {
+  NetworkData data({{0, 0}, {10, 0}, {20, 0}}, 100, 100);
+  Rng rng(1);
+  data.AddField("temp", DefaultParams(), rng);
+  data.AssignRelation("hot", {0, 2});
+  const Relation r = data.Materialize("hot", 0);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.tuple(0).node, 0);
+  EXPECT_EQ(r.tuple(1).node, 2);
+}
+
+TEST(NetworkDataDeathTest, DuplicateFieldAborts) {
+  NetworkData data({{0, 0}}, 100, 100);
+  Rng rng(1);
+  data.AddField("temp", DefaultParams(), rng);
+  EXPECT_DEATH(data.AddField("temp", DefaultParams(), rng), "duplicate");
+}
+
+}  // namespace
+}  // namespace sensjoin::data

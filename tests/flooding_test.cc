@@ -1,0 +1,49 @@
+#include "sensjoin/net/flooding.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/common/geometry.h"
+#include "sensjoin/common/rng.h"
+#include "sensjoin/net/topology.h"
+#include "sensjoin/sim/radio.h"
+
+namespace sensjoin::net {
+namespace {
+
+TEST(FloodingTest, ReachesAllConnectedNodesWithOneBroadcastEach) {
+  Rng rng(4);
+  PlacementParams params;
+  params.num_nodes = 200;
+  params.area_width_m = 400;
+  params.area_height_m = 400;
+  auto placement = GenerateConnectedPlacement(params, rng);
+  ASSERT_TRUE(placement.ok());
+  sim::Simulator sim{sim::Radio(placement->positions, params.range_m)};
+  const int reached = FloodQuery(sim, 0, 20);
+  EXPECT_EQ(reached, 200);
+  // Simple flooding: every node rebroadcasts exactly once.
+  EXPECT_EQ(sim.packets_sent_by_kind(sim::MessageKind::kQuery), 200u);
+  for (int i = 0; i < sim.num_nodes(); ++i) {
+    EXPECT_EQ(sim.node(i).stats.packets_sent_by_kind[static_cast<size_t>(
+                  sim::MessageKind::kQuery)],
+              1u);
+  }
+}
+
+TEST(FloodingTest, DisconnectedNodesAreNotReached) {
+  std::vector<Point> pos = {{0, 0}, {40, 0}, {1000, 1000}};
+  sim::Simulator sim{sim::Radio(pos, 50.0)};
+  EXPECT_EQ(FloodQuery(sim, 0, 10), 2);
+}
+
+TEST(FloodingTest, LargeQueriesCostMultiplePacketsPerHop) {
+  std::vector<Point> pos = {{0, 0}, {40, 0}};
+  sim::Simulator sim{sim::Radio(pos, 50.0)};
+  FloodQuery(sim, 0, 100);  // 3 fragments at 40-byte capacity
+  EXPECT_EQ(sim.node(0).stats.packets_sent, 3u);
+}
+
+}  // namespace
+}  // namespace sensjoin::net

@@ -1,0 +1,92 @@
+#include "sensjoin/query/lexer.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sensjoin::query {
+namespace {
+
+std::vector<TokenType> Types(const std::vector<Token>& tokens) {
+  std::vector<TokenType> out;
+  for (const Token& t : tokens) out.push_back(t.type);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitiveAndUppercased) {
+  auto tokens = Tokenize("select FROM WhErE once");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+  EXPECT_EQ((*tokens)[3].text, "ONCE");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kKeyword);
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepTheirSpelling) {
+  auto tokens = Tokenize("Sensors tempValue _x a1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "Sensors");
+  EXPECT_EQ((*tokens)[1].text, "tempValue");
+  EXPECT_EQ((*tokens)[2].text, "_x");
+  EXPECT_EQ((*tokens)[3].text, "a1");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kIdentifier);
+  }
+}
+
+TEST(LexerTest, NumbersIncludingDecimalsAndExponents) {
+  auto tokens = Tokenize("10 0.3 .5 2e3 1.5E-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 10.0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 0.3);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 0.5);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 2000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[4].number, 0.015);
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = Tokenize("< <= > >= = == != <> . , ( ) * + - / |");
+  ASSERT_TRUE(tokens.ok());
+  const std::vector<TokenType> expected = {
+      TokenType::kLt,     TokenType::kLe,    TokenType::kGt,
+      TokenType::kGe,     TokenType::kEq,    TokenType::kEq,
+      TokenType::kNe,     TokenType::kNe,    TokenType::kDot,
+      TokenType::kComma,  TokenType::kLParen, TokenType::kRParen,
+      TokenType::kStar,   TokenType::kPlus,  TokenType::kMinus,
+      TokenType::kSlash,  TokenType::kPipe,  TokenType::kEnd};
+  EXPECT_EQ(Types(*tokens), expected);
+}
+
+TEST(LexerTest, QualifiedAttributeTokenizes) {
+  auto tokens = Tokenize("A.temp");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kDot);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kIdentifier);
+}
+
+TEST(LexerTest, OffsetsPointAtTokenStarts) {
+  auto tokens = Tokenize("ab  12");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 4u);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("a # b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());  // lone '!' invalid, '!=' is fine
+  EXPECT_TRUE(Tokenize("a != b").ok());
+}
+
+}  // namespace
+}  // namespace sensjoin::query

@@ -1,0 +1,128 @@
+#include "sensjoin/query/parser.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace sensjoin::query {
+namespace {
+
+std::string Unparse(const std::string& expr) {
+  auto parsed = ParseExpression(expr);
+  if (!parsed.ok()) return "<error: " + parsed.status().ToString() + ">";
+  return (*parsed)->ToString();
+}
+
+TEST(ExpressionParserTest, Precedence) {
+  EXPECT_EQ(Unparse("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(Unparse("(1 + 2) * 3"), "((1 + 2) * 3)");
+  EXPECT_EQ(Unparse("1 - 2 - 3"), "((1 - 2) - 3)");  // left associative
+  EXPECT_EQ(Unparse("a < b AND c > d OR e = f"),
+            "(((a < b) AND (c > d)) OR (e = f))");
+  EXPECT_EQ(Unparse("NOT a < b"), "NOT ((a < b))");
+}
+
+TEST(ExpressionParserTest, QualifiedRefsAndFunctions) {
+  EXPECT_EQ(Unparse("A.temp - B.temp > 10"), "((A.temp - B.temp) > 10)");
+  EXPECT_EQ(Unparse("distance(A.x, A.y, B.x, B.y)"),
+            "distance(A.x, A.y, B.x, B.y)");
+  EXPECT_EQ(Unparse("ABS(x)"), "abs(x)");  // function names lowercased
+}
+
+TEST(ExpressionParserTest, AbsoluteValueBars) {
+  EXPECT_EQ(Unparse("|A.temp - B.temp| < 0.3"),
+            "(abs((A.temp - B.temp)) < 0.3)");
+  EXPECT_EQ(Unparse("|x| + 1"), "(abs(x) + 1)");
+}
+
+TEST(ExpressionParserTest, UnaryMinusAndPlus) {
+  EXPECT_EQ(Unparse("-x + 3"), "(-(x) + 3)");
+  EXPECT_EQ(Unparse("+5"), "5");
+  EXPECT_EQ(Unparse("--x"), "-(-(x))");
+}
+
+TEST(ExpressionParserTest, Errors) {
+  EXPECT_FALSE(ParseExpression("").ok());
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("(1").ok());
+  EXPECT_FALSE(ParseExpression("f(1,").ok());
+  EXPECT_FALSE(ParseExpression("a b").ok());  // trailing input
+  EXPECT_FALSE(ParseExpression("|a").ok());
+}
+
+TEST(QueryParserTest, ParsesQ1FromThePaper) {
+  auto q = Parse(
+      "SELECT MIN(distance(A.x, A.y, B.x, B.y)) "
+      "FROM Sensors A, Sensors B "
+      "WHERE A.temp - B.temp > 10.0 ONCE");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->select.size(), 1u);
+  EXPECT_EQ(q->select[0].aggregate, AggregateKind::kMin);
+  ASSERT_EQ(q->from.size(), 2u);
+  EXPECT_EQ(q->from[0].relation, "Sensors");
+  EXPECT_EQ(q->from[0].alias, "A");
+  EXPECT_EQ(q->from[1].alias, "B");
+  EXPECT_EQ(q->mode, ParsedQuery::Mode::kOnce);
+  ASSERT_NE(q->where, nullptr);
+  EXPECT_EQ(q->where->ToString(), "((A.temp - B.temp) > 10)");
+}
+
+TEST(QueryParserTest, ParsesQ2FromThePaper) {
+  auto q = Parse(
+      "SELECT |A.hum - B.hum|, |A.pres - B.pres| "
+      "FROM Sensors A, Sensors B "
+      "WHERE |A.temp - B.temp| < 0.3 "
+      "AND distance(A.x, A.y, B.x, B.y) > 100 ONCE");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->select.size(), 2u);
+  EXPECT_EQ(q->select[0].aggregate, AggregateKind::kNone);
+  EXPECT_EQ(q->select[0].expr->ToString(), "abs((A.hum - B.hum))");
+}
+
+TEST(QueryParserTest, SelectStarAndSamplePeriod) {
+  auto q = Parse("SELECT * FROM sensors SAMPLE PERIOD 30");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->select_star);
+  EXPECT_EQ(q->mode, ParsedQuery::Mode::kSamplePeriod);
+  EXPECT_DOUBLE_EQ(q->sample_period_s, 30.0);
+  EXPECT_EQ(q->from[0].alias, "sensors");  // alias defaults to relation
+}
+
+TEST(QueryParserTest, AsAliases) {
+  auto q = Parse("SELECT A.temp AS t FROM Sensors AS A ONCE");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->select[0].label, "t");
+  EXPECT_EQ(q->from[0].alias, "A");
+}
+
+TEST(QueryParserTest, CountStarAndOtherAggregates) {
+  auto q = Parse(
+      "SELECT COUNT(*), MAX(A.temp), AVG(B.hum), SUM(A.pres) "
+      "FROM s A, s B WHERE A.temp = B.temp ONCE");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->select[0].aggregate, AggregateKind::kCount);
+  EXPECT_EQ(q->select[0].expr, nullptr);
+  EXPECT_EQ(q->select[1].aggregate, AggregateKind::kMax);
+  EXPECT_EQ(q->select[2].aggregate, AggregateKind::kAvg);
+  EXPECT_EQ(q->select[3].aggregate, AggregateKind::kSum);
+}
+
+TEST(QueryParserTest, MinWithTwoArgsIsScalarFunction) {
+  auto q = Parse("SELECT min(A.temp, B.temp) FROM s A, s B "
+                 "WHERE A.temp = B.temp ONCE");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->select[0].aggregate, AggregateKind::kNone);
+  EXPECT_EQ(q->select[0].expr->ToString(), "min(A.temp, B.temp)");
+}
+
+TEST(QueryParserTest, Errors) {
+  EXPECT_FALSE(Parse("FROM s ONCE").ok());             // no SELECT
+  EXPECT_FALSE(Parse("SELECT x FROM s").ok());         // no ONCE/PERIOD
+  EXPECT_FALSE(Parse("SELECT x FROM ONCE").ok());      // no relation
+  EXPECT_FALSE(Parse("SELECT x FROM s SAMPLE PERIOD -5").ok());
+  EXPECT_FALSE(Parse("SELECT x FROM s ONCE garbage").ok());
+  EXPECT_FALSE(Parse("SELECT x, FROM s ONCE").ok());
+}
+
+}  // namespace
+}  // namespace sensjoin::query

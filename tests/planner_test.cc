@@ -1,0 +1,108 @@
+#include "sensjoin/join/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/sensjoin.h"
+#include "sensjoin/join/executor_context.h"
+
+namespace sensjoin::join {
+namespace {
+
+testbed::TestbedParams MediumParams(uint64_t seed) {
+  testbed::TestbedParams params;
+  params.placement.num_nodes = 500;
+  params.placement.area_width_m = 600;
+  params.placement.area_height_m = 600;
+  params.seed = seed;
+  return params;
+}
+
+std::vector<char> AllParticipate(const net::RoutingTree& tree) {
+  std::vector<char> p(tree.num_nodes(), 1);
+  p[tree.root()] = 0;
+  return p;
+}
+
+PlannerParams DefaultParams(double fraction) {
+  PlannerParams params;
+  params.full_tuple_bytes = 6;      // 3 attributes
+  params.join_attr_raw_bytes = 2;   // 1 join attribute
+  params.expected_fraction = fraction;
+  return params;
+}
+
+TEST(PlannerTest, LowFractionPrefersSensJoin) {
+  auto tb = testbed::Testbed::Create(MediumParams(3));
+  ASSERT_TRUE(tb.ok());
+  const auto participates = AllParticipate((*tb)->tree());
+  EXPECT_EQ(ChoosePlan((*tb)->tree(), participates, DefaultParams(0.02)),
+            JoinMethod::kSensJoin);
+}
+
+TEST(PlannerTest, FullFractionPrefersExternalJoin) {
+  auto tb = testbed::Testbed::Create(MediumParams(3));
+  ASSERT_TRUE(tb.ok());
+  const auto participates = AllParticipate((*tb)->tree());
+  EXPECT_EQ(ChoosePlan((*tb)->tree(), participates, DefaultParams(1.0)),
+            JoinMethod::kExternalJoin);
+}
+
+TEST(PlannerTest, EstimateIsMonotoneInFraction) {
+  auto tb = testbed::Testbed::Create(MediumParams(4));
+  ASSERT_TRUE(tb.ok());
+  const auto participates = AllParticipate((*tb)->tree());
+  double previous = 0;
+  for (double f : {0.01, 0.05, 0.2, 0.5, 1.0}) {
+    const PlanEstimate e =
+        EstimatePlan((*tb)->tree(), participates, DefaultParams(f));
+    EXPECT_GE(e.sens(), previous);
+    previous = e.sens();
+    // Collection never depends on the fraction.
+    EXPECT_EQ(e.collection,
+              EstimatePlan((*tb)->tree(), participates, DefaultParams(0.01))
+                  .collection);
+  }
+}
+
+TEST(PlannerTest, PredictionsTrackSimulationWithinFactorTwo) {
+  auto tb = testbed::Testbed::Create(MediumParams(5));
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(
+      "SELECT A.hum, B.hum FROM sensors A, sensors B "
+      "WHERE |A.temp - B.temp| < 0.3 "
+      "AND distance(A.x, A.y, B.x, B.y) > 700 ONCE");
+  ASSERT_TRUE(q.ok());
+  auto ext = (*tb)->MakeExternalJoin().Execute(*q, 0);
+  auto sens = (*tb)->MakeSensJoin().Execute(*q, 0);
+  ASSERT_TRUE(ext.ok() && sens.ok());
+  const double fraction =
+      static_cast<double>(ext->result.contributing_nodes.size()) /
+      ((*tb)->simulator().num_nodes() - 1);
+
+  PlannerParams params;
+  params.full_tuple_bytes = q->QueriedTupleBytes(0);
+  params.join_attr_raw_bytes = q->JoinAttrTupleBytes(0);
+  params.expected_fraction = fraction;
+  const PlanEstimate e =
+      EstimatePlan((*tb)->tree(), AllParticipate((*tb)->tree()), params);
+
+  EXPECT_GT(e.external, 0.5 * ext->cost.join_packets);
+  EXPECT_LT(e.external, 2.0 * ext->cost.join_packets);
+  EXPECT_GT(e.sens(), 0.5 * sens->cost.join_packets);
+  EXPECT_LT(e.sens(), 2.0 * sens->cost.join_packets);
+  // And, crucially, the decision is right.
+  EXPECT_EQ(e.Choice(), JoinMethod::kSensJoin);
+}
+
+TEST(PlannerTest, NonParticipantsAreFree) {
+  auto tb = testbed::Testbed::Create(MediumParams(6));
+  ASSERT_TRUE(tb.ok());
+  std::vector<char> nobody((*tb)->tree().num_nodes(), 0);
+  const PlanEstimate e =
+      EstimatePlan((*tb)->tree(), nobody, DefaultParams(0.05));
+  EXPECT_EQ(e.external, 0);
+  EXPECT_EQ(e.sens(), 0);
+}
+
+}  // namespace
+}  // namespace sensjoin::join

@@ -1,0 +1,271 @@
+#include "sensjoin/join/point_set.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/common/rng.h"
+
+namespace sensjoin::join {
+namespace {
+
+std::shared_ptr<const PointSetLayout> SmallLayout() {
+  // Flags digit (2 relations) + three 2-wide Z levels: 8-bit keys.
+  return std::make_shared<const PointSetLayout>(2, std::vector<int>{2, 2, 2});
+}
+
+TEST(PointSetLayoutTest, LevelAndSuffixStructure) {
+  auto layout = SmallLayout();
+  EXPECT_EQ(layout->num_levels(), 4);
+  EXPECT_EQ(layout->level_widths(), (std::vector<int>{2, 2, 2, 2}));
+  EXPECT_EQ(layout->total_key_bits(), 8);
+  EXPECT_EQ(layout->SuffixBits(0), 8);
+  EXPECT_EQ(layout->SuffixBits(1), 6);
+  EXPECT_EQ(layout->SuffixBits(4), 0);
+}
+
+TEST(PointSetLayoutTest, KeyPackingPutsFlagsOnTop) {
+  auto layout = SmallLayout();
+  const uint64_t key = layout->MakeKey(0b10, 0b110101);
+  EXPECT_EQ(key, 0b10110101u);
+  EXPECT_EQ(layout->FlagsOfKey(key), 0b10);
+  EXPECT_EQ(layout->ZOfKey(key), 0b110101u);
+}
+
+TEST(PointSetLayoutTest, NoFlagsLayout) {
+  PointSetLayout layout(0, {2, 2});
+  EXPECT_EQ(layout.total_key_bits(), 4);
+  EXPECT_EQ(layout.MakeKey(0, 0b1010), 0b1010u);
+  EXPECT_EQ(layout.FlagsOfKey(0b1010), 0);
+}
+
+TEST(PointSetTest, InsertContainsAndDedup) {
+  PointSet set(SmallLayout());
+  EXPECT_TRUE(set.empty());
+  set.Insert(5);
+  set.Insert(3);
+  set.Insert(5);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(4));
+  EXPECT_EQ(set.keys(), (std::vector<uint64_t>{3, 5}));
+}
+
+TEST(PointSetTest, FromKeysSortsAndDedups) {
+  PointSet set = PointSet::FromKeys(SmallLayout(), {9, 1, 9, 200, 1});
+  EXPECT_EQ(set.keys(), (std::vector<uint64_t>{1, 9, 200}));
+}
+
+TEST(PointSetTest, UnionAndIntersectSemantics) {
+  auto layout = SmallLayout();
+  PointSet a = PointSet::FromKeys(layout, {1, 2, 3, 100});
+  PointSet b = PointSet::FromKeys(layout, {2, 3, 4});
+  EXPECT_EQ(PointSet::Union(a, b).keys(),
+            (std::vector<uint64_t>{1, 2, 3, 4, 100}));
+  EXPECT_EQ(PointSet::Intersect(a, b).keys(), (std::vector<uint64_t>{2, 3}));
+  PointSet empty(layout);
+  EXPECT_EQ(PointSet::Union(a, empty).keys(), a.keys());
+  EXPECT_TRUE(PointSet::Intersect(a, empty).empty());
+}
+
+TEST(PointSetTest, EmptySetEncodesToNothing) {
+  PointSet set(SmallLayout());
+  EXPECT_EQ(set.EncodedBits(), 0u);
+  auto decoded = PointSet::Decode(SmallLayout(), set.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(PointSetTest, SinglePointIsListedNotSubdivided) {
+  PointSet set(SmallLayout());
+  set.Insert(0b10110101);
+  // List form: '1' + 8 suffix bits + '0' = 10 bits. Any subdivision would
+  // cost at least 1 + 4 mask bits at the root alone plus the subtree.
+  EXPECT_EQ(set.EncodedBits(), 10u);
+}
+
+TEST(PointSetTest, ClusteredPointsCompressBetterThanScattered) {
+  auto layout =
+      std::make_shared<const PointSetLayout>(2, std::vector<int>{2, 2, 2, 2});
+  // 32 points sharing a long prefix vs 32 points spread out.
+  std::vector<uint64_t> clustered;
+  for (uint64_t i = 0; i < 32; ++i) clustered.push_back(0b1000000000 | i);
+  std::vector<uint64_t> scattered;
+  for (uint64_t i = 0; i < 32; ++i) scattered.push_back(i * 31 % 1024);
+  const PointSet c = PointSet::FromKeys(layout, clustered);
+  const PointSet s = PointSet::FromKeys(layout, scattered);
+  ASSERT_EQ(c.size(), 32u);
+  ASSERT_EQ(s.size(), 32u);
+  EXPECT_LT(c.EncodedBits(), s.EncodedBits());
+}
+
+TEST(PointSetTest, QuadtreeBeatsRawListingOnRedundantSets) {
+  // Spatially correlated data: many points, few distinct prefixes
+  // (Sec. V-A: the representation eliminates redundancy).
+  auto layout =
+      std::make_shared<const PointSetLayout>(1, std::vector<int>{3, 3, 3});
+  std::vector<uint64_t> keys;
+  for (uint64_t cluster = 0; cluster < 4; ++cluster) {
+    for (uint64_t i = 0; i < 16; ++i) {
+      keys.push_back((1ull << 9) | (cluster << 7) | (i % 8));
+    }
+  }
+  const PointSet set = PointSet::FromKeys(layout, keys);
+  const size_t raw_bits = set.size() * layout->total_key_bits();
+  EXPECT_LT(set.EncodedBits(), raw_bits / 2);
+}
+
+class PointSetRoundtripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PointSetRoundtripTest, EncodeDecodeRoundtrip) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 60; ++iter) {
+    const int flag_bits = static_cast<int>(rng.UniformInt(0, 2));
+    const int levels = static_cast<int>(rng.UniformInt(1, 5));
+    std::vector<int> widths(levels);
+    for (int& w : widths) w = static_cast<int>(rng.UniformInt(1, 3));
+    auto layout = std::make_shared<const PointSetLayout>(flag_bits, widths);
+    const uint64_t key_space = 1ull << layout->total_key_bits();
+    const int n = static_cast<int>(rng.UniformInt(0, 200));
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < n; ++i) {
+      uint64_t key = rng.NextUint64() % key_space;
+      if (flag_bits > 0 && layout->FlagsOfKey(key) == 0) {
+        key |= 1ull << (layout->total_key_bits() - flag_bits);
+      }
+      keys.push_back(key);
+    }
+    const PointSet original = PointSet::FromKeys(layout, keys);
+    const BitWriter encoded = original.Encode();
+    auto decoded = PointSet::Decode(layout, encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->keys(), original.keys());
+    // Canonicity: re-encoding the decoded set reproduces the exact bits.
+    const BitWriter reencoded = decoded->Encode();
+    EXPECT_EQ(encoded.bytes(), reencoded.bytes());
+    EXPECT_EQ(encoded.size_bits(), reencoded.size_bits());
+  }
+}
+
+TEST_P(PointSetRoundtripTest, UnionCommutesWithEncoding) {
+  Rng rng(GetParam() + 7);
+  auto layout =
+      std::make_shared<const PointSetLayout>(2, std::vector<int>{2, 2, 2});
+  for (int iter = 0; iter < 50; ++iter) {
+    auto random_set = [&](int max_n) {
+      std::vector<uint64_t> keys;
+      const int n = static_cast<int>(rng.UniformInt(0, max_n));
+      for (int i = 0; i < n; ++i) {
+        keys.push_back(rng.UniformInt(64, 255));  // nonzero flags
+      }
+      return PointSet::FromKeys(layout, keys);
+    };
+    const PointSet a = random_set(40);
+    const PointSet b = random_set(40);
+    // Union/intersect on the canonical form, then encode, must equal
+    // decode-merge-encode of the wire forms (the paper computes the
+    // primitives directly on the encoding; Sec. V-D).
+    const PointSet u = PointSet::Union(a, b);
+    auto da = PointSet::Decode(layout, a.Encode());
+    auto db = PointSet::Decode(layout, b.Encode());
+    ASSERT_TRUE(da.ok() && db.ok());
+    const PointSet u2 = PointSet::Union(*da, *db);
+    EXPECT_EQ(u.keys(), u2.keys());
+    EXPECT_EQ(u.Encode().bytes(), u2.Encode().bytes());
+    const PointSet i1 = PointSet::Intersect(a, b);
+    const PointSet i2 = PointSet::Intersect(*da, *db);
+    EXPECT_EQ(i1.keys(), i2.keys());
+  }
+}
+
+TEST_P(PointSetRoundtripTest, EncodedSizeNeverExceedsListForm) {
+  Rng rng(GetParam() + 13);
+  auto layout =
+      std::make_shared<const PointSetLayout>(1, std::vector<int>{2, 2, 2, 2});
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<uint64_t> keys;
+    const int n = static_cast<int>(rng.UniformInt(1, 120));
+    for (int i = 0; i < n; ++i) {
+      keys.push_back(rng.UniformInt(256, 511));
+    }
+    const PointSet set = PointSet::FromKeys(layout, keys);
+    // The cost-based threshold guarantees the encoding is at most the cost
+    // of the root-level flat list.
+    const size_t list_bits = set.size() * (1 + layout->total_key_bits()) + 1;
+    EXPECT_LE(set.EncodedBits(), list_bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PointSetRoundtripTest,
+                         ::testing::Values(4, 44, 444, 4444));
+
+TEST(PointSetStressTest, TenThousandPointsRoundtripInAWideLayout) {
+  // Q2-scale layout: 1 flag bit + 33 coordinate bits.
+  std::vector<int> widths = {3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3};
+  auto layout = std::make_shared<const PointSetLayout>(1, widths);
+  Rng rng(4242);
+  std::vector<uint64_t> keys;
+  keys.reserve(10000);
+  const uint64_t top = 1ull << (layout->total_key_bits() - 1);
+  for (int i = 0; i < 10000; ++i) {
+    keys.push_back(top | (rng.NextUint64() & (top - 1)));
+  }
+  const PointSet set = PointSet::FromKeys(layout, keys);
+  const BitWriter encoded = set.Encode();
+  auto decoded = PointSet::Decode(layout, encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->keys(), set.keys());
+  // Random keys carry no correlation: the cost-based threshold must still
+  // keep the encoding at or below the flat list.
+  EXPECT_LE(set.EncodedBits(),
+            set.size() * (1 + layout->total_key_bits()) + 1);
+}
+
+TEST(PointSetStressTest, SingleDeepPathSubdividesOnlyWhileItPays) {
+  // Two points differing only in their last digit share the whole path;
+  // the encoder must subdivide down to where listing wins.
+  auto layout = std::make_shared<const PointSetLayout>(
+      1, std::vector<int>{2, 2, 2, 2, 2});
+  const uint64_t base = 1ull << 10;  // flag bit set
+  const PointSet set = PointSet::FromKeys(layout, {base | 0, base | 1});
+  auto decoded = PointSet::Decode(layout, set.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->keys(), set.keys());
+  // Both the pure list (2*(1+11)+1 = 25 bits) and any deeper form must not
+  // be exceeded by the chosen encoding.
+  EXPECT_LE(set.EncodedBits(), 25u);
+}
+
+TEST(PointSetDecodeTest, MalformedInputsFailCleanly) {
+  auto layout = SmallLayout();
+  // Truncated stream.
+  BitWriter truncated;
+  truncated.WriteBit(true);
+  truncated.WriteBits(0b101, 3);  // suffix needs 8 bits
+  EXPECT_FALSE(PointSet::Decode(layout, truncated).ok());
+  // Index node with empty mask.
+  BitWriter empty_mask;
+  empty_mask.WriteBit(false);
+  empty_mask.WriteBits(0, 4);
+  EXPECT_FALSE(PointSet::Decode(layout, empty_mask).ok());
+  // Trailing garbage after a valid encoding.
+  PointSet set(layout);
+  set.Insert(0b10000001);
+  BitWriter with_garbage = set.Encode();
+  with_garbage.WriteBits(0b1111, 4);
+  EXPECT_FALSE(PointSet::Decode(layout, with_garbage).ok());
+  // Out-of-order duplicate points in a list.
+  BitWriter dup;
+  dup.WriteBit(true);
+  dup.WriteBits(0b10000001, 8);
+  dup.WriteBit(true);
+  dup.WriteBits(0b10000001, 8);
+  dup.WriteBit(false);
+  EXPECT_FALSE(PointSet::Decode(layout, dup).ok());
+}
+
+}  // namespace
+}  // namespace sensjoin::join

@@ -1,0 +1,101 @@
+#include "sensjoin/sim/radio.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/common/geometry.h"
+#include "sensjoin/common/rng.h"
+
+namespace sensjoin::sim {
+namespace {
+
+TEST(RadioTest, LineTopologyNeighbors) {
+  // Nodes at x = 0, 40, 80, 120 with range 50: chain adjacency.
+  std::vector<Point> pos = {{0, 0}, {40, 0}, {80, 0}, {120, 0}};
+  Radio radio(pos, 50.0);
+  EXPECT_EQ(radio.Neighbors(0), (std::vector<NodeId>{1}));
+  EXPECT_EQ(radio.Neighbors(1), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(radio.Neighbors(2), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(radio.Neighbors(3), (std::vector<NodeId>{2}));
+}
+
+TEST(RadioTest, RangeBoundaryIsInclusive) {
+  std::vector<Point> pos = {{0, 0}, {50, 0}, {100.001, 0}};
+  Radio radio(pos, 50.0);
+  EXPECT_TRUE(radio.InRange(0, 1));
+  EXPECT_FALSE(radio.InRange(1, 2));  // 50.001 apart
+  EXPECT_FALSE(radio.InRange(0, 0));  // never own neighbor
+}
+
+TEST(RadioTest, AdjacencyMatchesBruteForce) {
+  Rng rng(17);
+  std::vector<Point> pos;
+  for (int i = 0; i < 300; ++i) {
+    pos.push_back({rng.UniformDouble(0, 500), rng.UniformDouble(0, 500)});
+  }
+  const double range = 60.0;
+  Radio radio(pos, range);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<NodeId> expected;
+    for (int j = 0; j < 300; ++j) {
+      if (i != j && Distance(pos[i], pos[j]) <= range) expected.push_back(j);
+    }
+    ASSERT_EQ(radio.Neighbors(i), expected) << "node " << i;
+  }
+}
+
+TEST(RadioTest, AdjacencyIsSymmetric) {
+  Rng rng(23);
+  std::vector<Point> pos;
+  for (int i = 0; i < 200; ++i) {
+    pos.push_back({rng.UniformDouble(0, 400), rng.UniformDouble(0, 400)});
+  }
+  Radio radio(pos, 50.0);
+  for (int i = 0; i < 200; ++i) {
+    for (NodeId j : radio.Neighbors(i)) {
+      const auto& back = radio.Neighbors(j);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), i) != back.end());
+    }
+  }
+}
+
+TEST(RadioTest, LinkFailuresAreBidirectionalAndReversible) {
+  std::vector<Point> pos = {{0, 0}, {30, 0}, {60, 0}};
+  Radio radio(pos, 50.0);
+  EXPECT_TRUE(radio.LinkUp(0, 1));
+  radio.FailLink(0, 1);
+  EXPECT_FALSE(radio.LinkUp(0, 1));
+  EXPECT_FALSE(radio.LinkUp(1, 0));
+  EXPECT_TRUE(radio.LinkUp(1, 2));  // other links unaffected
+  EXPECT_EQ(radio.num_failed_links(), 1u);
+  radio.RestoreLink(1, 0);  // restore works with swapped endpoints
+  EXPECT_TRUE(radio.LinkUp(0, 1));
+  EXPECT_EQ(radio.num_failed_links(), 0u);
+}
+
+TEST(RadioTest, FailedLinkNeverUpEvenInRange) {
+  std::vector<Point> pos = {{0, 0}, {10, 0}};
+  Radio radio(pos, 50.0);
+  radio.FailLink(0, 1);
+  EXPECT_TRUE(radio.InRange(0, 1));
+  EXPECT_FALSE(radio.LinkUp(0, 1));
+  radio.RestoreAllLinks();
+  EXPECT_TRUE(radio.LinkUp(0, 1));
+}
+
+TEST(RadioTest, ConnectivityDetection) {
+  std::vector<Point> pos = {{0, 0}, {40, 0}, {80, 0}, {500, 500}};
+  Radio radio(pos, 50.0);
+  EXPECT_FALSE(radio.IsConnected(0));  // node 3 isolated
+  std::vector<Point> connected = {{0, 0}, {40, 0}, {80, 0}};
+  Radio radio2(connected, 50.0);
+  EXPECT_TRUE(radio2.IsConnected(0));
+  // Failing the bridge link disconnects.
+  radio2.FailLink(0, 1);
+  EXPECT_FALSE(radio2.IsConnected(0));
+}
+
+}  // namespace
+}  // namespace sensjoin::sim

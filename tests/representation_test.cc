@@ -1,0 +1,99 @@
+#include "sensjoin/join/representation.h"
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/common/rng.h"
+#include "sensjoin/compress/zlib_like.h"
+
+namespace sensjoin::join {
+namespace {
+
+JoinAttrCodec MakeCodec() {
+  DimensionSpec x{"x", 0, 0, 1000, 1.0};
+  DimensionSpec y{"y", 1, 0, 1000, 1.0};
+  DimensionSpec temp{"temp", 2, 0, 50, 0.1};
+  auto q = Quantizer::Create({x, y, temp});
+  SENSJOIN_CHECK(q.ok());
+  return JoinAttrCodec(std::move(q).value(), 1);
+}
+
+PointSet CorrelatedSet(const JoinAttrCodec& codec, int n, uint64_t seed) {
+  Rng rng(seed);
+  PointSet set = codec.EmptySet();
+  // Clusters of nearby readings, as spatial correlation produces.
+  for (int c = 0; c < n / 20 + 1; ++c) {
+    const double cx = rng.UniformDouble(100, 900);
+    const double cy = rng.UniformDouble(100, 900);
+    const double ct = rng.UniformDouble(10, 40);
+    for (int i = 0; i < 20 && static_cast<int>(set.size()) < n; ++i) {
+      set.Insert(codec.EncodeTuple({cx + rng.UniformDouble(-20, 20),
+                                    cy + rng.UniformDouble(-20, 20),
+                                    ct + rng.UniformDouble(-0.4, 0.4)},
+                                   1));
+    }
+  }
+  return set;
+}
+
+TEST(RepresentationTest, SerializeRawIsTwoBytesPerDim) {
+  const JoinAttrCodec codec = MakeCodec();
+  PointSet set = codec.EmptySet();
+  set.Insert(codec.EncodeTuple({10, 20, 25}, 1));
+  set.Insert(codec.EncodeTuple({700, 800, 30}, 1));
+  const auto bytes = SerializePointsRaw(set, codec);
+  EXPECT_EQ(bytes.size(), 2u * 3 * 2);
+}
+
+TEST(RepresentationTest, RawSerializationRoundtripsCoordinates) {
+  const JoinAttrCodec codec = MakeCodec();
+  PointSet set = codec.EmptySet();
+  const uint64_t key = codec.EncodeTuple({123, 456, 21.7}, 1);
+  set.Insert(key);
+  const auto bytes = SerializePointsRaw(set, codec);
+  const auto coords = codec.KeyCoordinates(key);
+  for (int d = 0; d < 3; ++d) {
+    const uint32_t v = bytes[2 * d] | (bytes[2 * d + 1] << 8);
+    EXPECT_EQ(v, coords[d]);
+  }
+}
+
+TEST(RepresentationTest, EmptySetCostsNothingInAnyRepresentation) {
+  const JoinAttrCodec codec = MakeCodec();
+  const PointSet empty = codec.EmptySet();
+  for (auto repr :
+       {JoinAttrRepresentation::kQuadtree, JoinAttrRepresentation::kRaw,
+        JoinAttrRepresentation::kZlibLike,
+        JoinAttrRepresentation::kBzip2Like}) {
+    EXPECT_EQ(StructureWireBytes(empty, codec, repr), 0u);
+  }
+}
+
+TEST(RepresentationTest, QuadtreeBeatsRawOnCorrelatedSets) {
+  const JoinAttrCodec codec = MakeCodec();
+  for (int n : {50, 200, 800}) {
+    const PointSet set = CorrelatedSet(codec, n, n);
+    const size_t quad =
+        StructureWireBytes(set, codec, JoinAttrRepresentation::kQuadtree);
+    const size_t raw =
+        StructureWireBytes(set, codec, JoinAttrRepresentation::kRaw);
+    EXPECT_LT(quad, raw) << n << " points";
+  }
+}
+
+TEST(RepresentationTest, CompressedSizesMatchTheActualCodecs) {
+  const JoinAttrCodec codec = MakeCodec();
+  const PointSet set = CorrelatedSet(codec, 300, 9);
+  const auto raw = SerializePointsRaw(set, codec);
+  EXPECT_EQ(StructureWireBytes(set, codec, JoinAttrRepresentation::kZlibLike),
+            compress::ZlibLikeCompress(raw).size());
+}
+
+TEST(RepresentationTest, NamesAreStable) {
+  EXPECT_STREQ(JoinAttrRepresentationName(JoinAttrRepresentation::kQuadtree),
+               "quadtree");
+  EXPECT_STREQ(JoinAttrRepresentationName(JoinAttrRepresentation::kRaw),
+               "raw");
+}
+
+}  // namespace
+}  // namespace sensjoin::join

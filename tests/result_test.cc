@@ -1,0 +1,120 @@
+#include "sensjoin/join/result.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/data/schema.h"
+#include "sensjoin/query/query.h"
+
+namespace sensjoin::join {
+namespace {
+
+// Schema: temp(0), hum(1).
+data::Schema MakeSchema() { return data::Schema({{"temp", 2}, {"hum", 2}}); }
+
+data::Tuple MakeTuple(sim::NodeId node, double temp, double hum) {
+  data::Tuple t;
+  t.node = node;
+  t.values = {temp, hum};
+  return t;
+}
+
+query::AnalyzedQuery MustAnalyze(const std::string& sql) {
+  auto q = query::AnalyzedQuery::FromString(sql, MakeSchema());
+  SENSJOIN_CHECK(q.ok()) << q.status();
+  return std::move(q).value();
+}
+
+TEST(ComputeExactJoinTest, EquiJoinRowsAndContributors) {
+  const auto q = MustAnalyze(
+      "SELECT A.hum, B.hum FROM s A, s B WHERE A.temp = B.temp ONCE");
+  const std::vector<data::Tuple> tuples = {
+      MakeTuple(1, 20.0, 40), MakeTuple(2, 21.0, 50), MakeTuple(3, 20.0, 60)};
+  std::vector<const data::Tuple*> side;
+  for (const auto& t : tuples) side.push_back(&t);
+  const JoinResult r = ComputeExactJoin(q, {side, side});
+  // SQL semantics: (1,1), (1,3), (3,1), (3,3), (2,2) all have equal temps.
+  EXPECT_EQ(r.matched_combinations, 5u);
+  EXPECT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.contributing_nodes, (std::vector<sim::NodeId>{1, 2, 3}));
+  EXPECT_EQ(r.column_labels, (std::vector<std::string>{"A.hum", "B.hum"}));
+}
+
+TEST(ComputeExactJoinTest, ThetaJoinIsAsymmetric) {
+  const auto q = MustAnalyze(
+      "SELECT A.hum FROM s A, s B WHERE A.temp - B.temp > 0.5 ONCE");
+  const std::vector<data::Tuple> tuples = {MakeTuple(1, 20.0, 40),
+                                           MakeTuple(2, 21.0, 50)};
+  std::vector<const data::Tuple*> side;
+  for (const auto& t : tuples) side.push_back(&t);
+  const JoinResult r = ComputeExactJoin(q, {side, side});
+  ASSERT_EQ(r.matched_combinations, 1u);  // only (2, 1)
+  EXPECT_DOUBLE_EQ(r.rows[0][0], 50.0);
+}
+
+TEST(ComputeExactJoinTest, DifferentCandidateListsPerTable) {
+  const auto q = MustAnalyze(
+      "SELECT A.hum, B.hum FROM hot A, cold B WHERE A.temp > B.temp ONCE");
+  const data::Tuple hot = MakeTuple(1, 30.0, 10);
+  const data::Tuple cold1 = MakeTuple(2, 10.0, 20);
+  const data::Tuple cold2 = MakeTuple(3, 40.0, 30);
+  const JoinResult r = ComputeExactJoin(q, {{&hot}, {&cold1, &cold2}});
+  ASSERT_EQ(r.matched_combinations, 1u);
+  EXPECT_EQ(r.rows[0], (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(ComputeExactJoinTest, Aggregates) {
+  const auto q = MustAnalyze(
+      "SELECT COUNT(*), MIN(A.hum - B.hum), MAX(A.hum), AVG(B.hum), "
+      "SUM(A.hum) FROM s A, s B WHERE A.temp > B.temp ONCE");
+  const std::vector<data::Tuple> tuples = {
+      MakeTuple(1, 20.0, 40), MakeTuple(2, 21.0, 50), MakeTuple(3, 22.0, 90)};
+  std::vector<const data::Tuple*> side;
+  for (const auto& t : tuples) side.push_back(&t);
+  const JoinResult r = ComputeExactJoin(q, {side, side});
+  // Matches: (2,1), (3,1), (3,2).
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0], 3.0);                       // COUNT
+  EXPECT_DOUBLE_EQ(r.rows[0][1], 10.0);                      // MIN diff
+  EXPECT_DOUBLE_EQ(r.rows[0][2], 90.0);                      // MAX A.hum
+  EXPECT_DOUBLE_EQ(r.rows[0][3], (40.0 + 40.0 + 50.0) / 3);  // AVG B.hum
+  EXPECT_DOUBLE_EQ(r.rows[0][4], 50.0 + 90.0 + 90.0);        // SUM A.hum
+}
+
+TEST(ComputeExactJoinTest, EmptyAggregatesYieldCountZero) {
+  const auto q = MustAnalyze(
+      "SELECT COUNT(*) FROM s A, s B WHERE A.temp - B.temp > 100 ONCE");
+  const data::Tuple t = MakeTuple(1, 20.0, 40);
+  const JoinResult r = ComputeExactJoin(q, {{&t}, {&t}});
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0], 0.0);
+  EXPECT_EQ(r.matched_combinations, 0u);
+}
+
+TEST(ComputeExactJoinTest, SelectStarConcatenatesAllAttributes) {
+  const auto q = MustAnalyze(
+      "SELECT * FROM s A, s B WHERE A.temp = B.temp ONCE");
+  const data::Tuple t = MakeTuple(1, 20.0, 40);
+  const JoinResult r = ComputeExactJoin(q, {{&t}, {&t}});
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0], (std::vector<double>{20, 40, 20, 40}));
+  EXPECT_EQ(r.column_labels,
+            (std::vector<std::string>{"A.temp", "A.hum", "B.temp", "B.hum"}));
+}
+
+TEST(ComputeExactJoinTest, ThreeWayJoin) {
+  const auto q = MustAnalyze(
+      "SELECT A.hum, B.hum, C.hum FROM s A, s B, s C "
+      "WHERE A.temp < B.temp AND B.temp < C.temp ONCE");
+  const std::vector<data::Tuple> tuples = {
+      MakeTuple(1, 1.0, 10), MakeTuple(2, 2.0, 20), MakeTuple(3, 3.0, 30)};
+  std::vector<const data::Tuple*> side;
+  for (const auto& t : tuples) side.push_back(&t);
+  const JoinResult r = ComputeExactJoin(q, {side, side, side});
+  ASSERT_EQ(r.matched_combinations, 1u);
+  EXPECT_EQ(r.rows[0], (std::vector<double>{10, 20, 30}));
+}
+
+}  // namespace
+}  // namespace sensjoin::join

@@ -1,0 +1,206 @@
+// Protocol-level behavior of SENS-Join: Treecut, Selective Filter
+// Forwarding, representation variants and ablation switches.
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/sensjoin.h"
+
+namespace sensjoin {
+namespace {
+
+testbed::TestbedParams MediumParams(uint64_t seed) {
+  testbed::TestbedParams params;
+  params.placement.num_nodes = 400;
+  params.placement.area_width_m = 550;
+  params.placement.area_height_m = 550;
+  params.seed = seed;
+  return params;
+}
+
+const char* kSelectiveQuery =
+    "SELECT A.hum, B.hum FROM sensors A, sensors B "
+    "WHERE |A.temp - B.temp| < 0.3 "
+    "AND distance(A.x, A.y, B.x, B.y) > 600 ONCE";
+
+TEST(TreecutTest, DisablingTreecutIncreasesCollectionPackets) {
+  auto tb = testbed::Testbed::Create(MediumParams(2));
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(kSelectiveQuery);
+  ASSERT_TRUE(q.ok()) << q.status();
+
+  join::ProtocolConfig with_treecut;
+  auto r1 = (*tb)->MakeSensJoin(with_treecut).Execute(*q, 0);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_GT(r1->treecut_exited_nodes, 0u);
+
+  join::ProtocolConfig no_treecut;
+  no_treecut.use_treecut = false;
+  auto r2 = (*tb)->MakeSensJoin(no_treecut).Execute(*q, 0);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(r2->treecut_exited_nodes, 0u);
+
+  // Identical results either way.
+  EXPECT_EQ(r1->result.matched_combinations, r2->result.matched_combinations);
+  // Treecut cuts the later phases off the subtree bottoms: the filter is
+  // not forwarded into cut subtrees, and joining tuples parked at proxies
+  // travel fewer final-phase hops. Collection costs are unchanged (one
+  // packet per node either way near the leaves).
+  ASSERT_GT(r1->result.matched_combinations, 0u);
+  EXPECT_LT(r1->cost.phases.filter_packets + r1->cost.phases.final_packets,
+            r2->cost.phases.filter_packets + r2->cost.phases.final_packets);
+  EXPECT_LE(r1->cost.join_packets, r2->cost.join_packets);
+}
+
+TEST(TreecutTest, DmaxZeroDisablesTreecutEffectively) {
+  auto tb = testbed::Testbed::Create(MediumParams(3));
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(kSelectiveQuery);
+  join::ProtocolConfig config;
+  config.dmax_bytes = 0;
+  auto r = (*tb)->MakeSensJoin(config).Execute(*q, 0);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Only nodes with no tuple and no child data can "exit" at Dmax = 0.
+  EXPECT_EQ(r->treecut_exited_nodes, 0u);
+}
+
+TEST(TreecutTest, DmaxMustStayBelowPacketSize) {
+  auto tb = testbed::Testbed::Create(MediumParams(3));
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(kSelectiveQuery);
+  join::ProtocolConfig config;
+  config.dmax_bytes = 48;
+  auto r = (*tb)->MakeSensJoin(config).Execute(*q, 0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectiveForwardingTest, DisablingItIncreasesFilterPackets) {
+  auto tb = testbed::Testbed::Create(MediumParams(4));
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(kSelectiveQuery);
+
+  auto r_on = (*tb)->MakeSensJoin().Execute(*q, 0);
+  ASSERT_TRUE(r_on.ok());
+
+  join::ProtocolConfig off;
+  off.use_selective_forwarding = false;
+  auto r_off = (*tb)->MakeSensJoin(off).Execute(*q, 0);
+  ASSERT_TRUE(r_off.ok());
+
+  EXPECT_EQ(r_on->result.matched_combinations,
+            r_off->result.matched_combinations);
+  if (r_on->filter_points > 0) {
+    EXPECT_LT(r_on->cost.phases.filter_packets,
+              r_off->cost.phases.filter_packets);
+  }
+}
+
+TEST(RepresentationTest, AllRepresentationsProduceTheSameResult) {
+  auto tb = testbed::Testbed::Create(MediumParams(5));
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(kSelectiveQuery);
+  ASSERT_TRUE(q.ok());
+
+  size_t reference_matches = 0;
+  uint64_t quadtree_collection = 0;
+  uint64_t raw_collection = 0;
+  for (auto repr : {join::JoinAttrRepresentation::kQuadtree,
+                    join::JoinAttrRepresentation::kRaw,
+                    join::JoinAttrRepresentation::kZlibLike,
+                    join::JoinAttrRepresentation::kBzip2Like}) {
+    join::ProtocolConfig config;
+    config.representation = repr;
+    auto r = (*tb)->MakeSensJoin(config).Execute(*q, 0);
+    ASSERT_TRUE(r.ok()) << r.status();
+    if (repr == join::JoinAttrRepresentation::kQuadtree) {
+      reference_matches = r->result.matched_combinations;
+      quadtree_collection = r->cost.phases.collection_packets;
+    } else {
+      EXPECT_EQ(r->result.matched_combinations, reference_matches)
+          << JoinAttrRepresentationName(repr);
+    }
+    if (repr == join::JoinAttrRepresentation::kRaw) {
+      raw_collection = r->cost.phases.collection_packets;
+    }
+  }
+  // The quadtree representation must not be worse than raw tuples.
+  EXPECT_LE(quadtree_collection, raw_collection);
+}
+
+TEST(ProxyTest, TreecutTuplesStillReachTheResult) {
+  // A query whose matches are spread everywhere: every contributing tuple,
+  // including ones parked at Treecut proxies, must appear.
+  auto tb = testbed::Testbed::Create(MediumParams(6));
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(
+      "SELECT A.hum, B.hum FROM sensors A, sensors B "
+      "WHERE |A.temp - B.temp| < 0.05 ONCE");
+  ASSERT_TRUE(q.ok());
+  auto ext = (*tb)->MakeExternalJoin().Execute(*q, 0);
+  auto sens = (*tb)->MakeSensJoin().Execute(*q, 0);
+  ASSERT_TRUE(ext.ok() && sens.ok());
+  EXPECT_GT(sens->treecut_exited_nodes, 0u);
+  EXPECT_EQ(ext->result.matched_combinations,
+            sens->result.matched_combinations);
+  EXPECT_EQ(ext->result.contributing_nodes, sens->result.contributing_nodes);
+}
+
+TEST(FilterMemoryTest, TinyMemoryBudgetStillCorrect) {
+  auto tb = testbed::Testbed::Create(MediumParams(7));
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(kSelectiveQuery);
+  join::ProtocolConfig tiny;
+  tiny.filter_memory_bytes = 0;  // nobody can keep subtree structures
+  auto r_tiny = (*tb)->MakeSensJoin(tiny).Execute(*q, 0);
+  auto r_default = (*tb)->MakeSensJoin().Execute(*q, 0);
+  ASSERT_TRUE(r_tiny.ok() && r_default.ok());
+  EXPECT_EQ(r_tiny->result.matched_combinations,
+            r_default->result.matched_combinations);
+  // Without stored subtree structures the filter cannot be pruned.
+  if (r_default->filter_points > 0) {
+    EXPECT_GE(r_tiny->cost.phases.filter_packets,
+              r_default->cost.phases.filter_packets);
+  }
+}
+
+TEST(HeterogeneousTest, DisjointRelationGroupsJoinCorrectly) {
+  auto tb = testbed::Testbed::Create(MediumParams(8));
+  ASSERT_TRUE(tb.ok());
+  // Split nodes into two relations by id parity (node 0 is the base).
+  std::vector<sim::NodeId> odd;
+  std::vector<sim::NodeId> even;
+  for (int i = 1; i < (*tb)->data().num_nodes(); ++i) {
+    (i % 2 ? odd : even).push_back(i);
+  }
+  (*tb)->data().AssignRelation("odd", odd);
+  (*tb)->data().AssignRelation("even", even);
+  auto q = (*tb)->ParseQuery(
+      "SELECT A.hum, B.hum FROM odd A, even B "
+      "WHERE |A.temp - B.temp| < 0.1 "
+      "AND distance(A.x, A.y, B.x, B.y) > 500 ONCE");
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto ext = (*tb)->MakeExternalJoin().Execute(*q, 0);
+  auto sens = (*tb)->MakeSensJoin().Execute(*q, 0);
+  ASSERT_TRUE(ext.ok() && sens.ok());
+  EXPECT_EQ(ext->result.matched_combinations,
+            sens->result.matched_combinations);
+  // No odd node may appear on the even side and vice versa.
+  for (sim::NodeId n : sens->result.contributing_nodes) {
+    EXPECT_NE(n, 0);
+  }
+}
+
+TEST(ResponseTimeTest, SensJoinTradesTimeForEnergy) {
+  // Sec. VII: SENS-Join response time is bounded by ~2x the external join.
+  auto tb = testbed::Testbed::Create(MediumParams(9));
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(kSelectiveQuery);
+  auto ext = (*tb)->MakeExternalJoin().Execute(*q, 0);
+  auto sens = (*tb)->MakeSensJoin().Execute(*q, 0);
+  ASSERT_TRUE(ext.ok() && sens.ok());
+  EXPECT_GT(sens->response_time_s, 0.0);
+  EXPECT_GT(ext->response_time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace sensjoin

@@ -1,0 +1,97 @@
+#include "sensjoin/common/status.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/common/statusor.h"
+
+namespace sensjoin {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, AllFactoriesSetCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status Chained(int x) {
+  SENSJOIN_RETURN_IF_ERROR(FailsIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_EQ(Chained(-1).code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = ParsePositive(5);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 5);
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = ParsePositive(-1);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+StatusOr<int> Doubled(int x) {
+  SENSJOIN_ASSIGN_OR_RETURN(const int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturn) {
+  ASSERT_TRUE(Doubled(4).ok());
+  EXPECT_EQ(Doubled(4).value(), 8);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> v = Status::Internal("boom");
+  EXPECT_DEATH((void)v.value(), "StatusOr::value");
+}
+
+}  // namespace
+}  // namespace sensjoin

@@ -1,0 +1,88 @@
+#include "sensjoin/testbed/testbed.h"
+
+#include <gtest/gtest.h>
+
+namespace sensjoin::testbed {
+namespace {
+
+TEST(TestbedTest, CreatesPaperDefaultDeployment) {
+  TestbedParams params;
+  params.placement.num_nodes = 300;  // scaled down for test speed
+  params.placement.area_width_m = 470;
+  params.placement.area_height_m = 470;
+  auto tb = Testbed::Create(params);
+  ASSERT_TRUE(tb.ok()) << tb.status();
+  EXPECT_EQ((*tb)->simulator().num_nodes(), 300);
+  EXPECT_EQ((*tb)->tree().num_reachable(), 300);
+  // Default fields: x, y + 4 sensors.
+  EXPECT_EQ((*tb)->data().schema().num_attributes(), 6);
+  EXPECT_TRUE((*tb)->data().schema().Contains("temp"));
+  EXPECT_TRUE((*tb)->data().schema().Contains("light"));
+  // Quantization covers every attribute.
+  for (const auto& attr : (*tb)->data().schema().attributes()) {
+    EXPECT_TRUE((*tb)->quantization().by_attr.count(attr.name) > 0)
+        << attr.name;
+  }
+}
+
+TEST(TestbedTest, SameSeedIsFullyReproducible) {
+  TestbedParams params;
+  params.placement.num_nodes = 200;
+  params.placement.area_width_m = 400;
+  params.placement.area_height_m = 400;
+  params.seed = 77;
+  auto tb1 = Testbed::Create(params);
+  auto tb2 = Testbed::Create(params);
+  ASSERT_TRUE(tb1.ok() && tb2.ok());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ((*tb1)->placement().positions[i], (*tb2)->placement().positions[i]);
+    EXPECT_EQ((*tb1)->data().Sense(i, 0), (*tb2)->data().Sense(i, 0));
+    EXPECT_EQ((*tb1)->tree().parent(i), (*tb2)->tree().parent(i));
+  }
+}
+
+TEST(TestbedTest, QueryDisseminationCostsQueryPackets) {
+  TestbedParams params;
+  params.placement.num_nodes = 150;
+  params.placement.area_width_m = 350;
+  params.placement.area_height_m = 350;
+  auto tb = Testbed::Create(params);
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(
+      "SELECT A.temp FROM sensors A, sensors B WHERE A.temp = B.temp ONCE");
+  ASSERT_TRUE(q.ok());
+  const uint64_t before =
+      (*tb)->simulator().packets_sent_by_kind(sim::MessageKind::kQuery);
+  EXPECT_EQ((*tb)->DisseminateQuery(*q), 150);
+  EXPECT_GT((*tb)->simulator().packets_sent_by_kind(sim::MessageKind::kQuery),
+            before);
+}
+
+TEST(TestbedTest, RebuildTreeAfterFailure) {
+  TestbedParams params;
+  params.placement.num_nodes = 150;
+  params.placement.area_width_m = 350;
+  params.placement.area_height_m = 350;
+  auto tb = Testbed::Create(params);
+  ASSERT_TRUE(tb.ok());
+  // Fail the first tree edge we can find and rebuild.
+  const auto& tree = (*tb)->tree();
+  sim::NodeId child = tree.collection_order().front();
+  (*tb)->simulator().radio().FailLink(child, tree.parent(child));
+  (*tb)->RebuildTree();
+  EXPECT_NE((*tb)->tree().parent(child), sim::kInvalidNode);
+}
+
+TEST(TestbedTest, ParseErrorsSurface) {
+  TestbedParams params;
+  params.placement.num_nodes = 50;
+  params.placement.area_width_m = 200;
+  params.placement.area_height_m = 200;
+  auto tb = Testbed::Create(params);
+  ASSERT_TRUE(tb.ok());
+  EXPECT_FALSE((*tb)->ParseQuery("SELECT bogus FROM sensors ONCE").ok());
+  EXPECT_FALSE((*tb)->ParseQuery("not sql").ok());
+}
+
+}  // namespace
+}  // namespace sensjoin::testbed

@@ -1,0 +1,98 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/sensjoin.h"
+
+namespace sensjoin::sim {
+namespace {
+
+Simulator MakeChain() {
+  std::vector<Point> pos = {{0, 0}, {40, 0}, {80, 0}};
+  return Simulator(Radio(pos, 50.0));
+}
+
+TEST(TraceTest, RecordsUnicastsWithDeliveryState) {
+  Simulator sim = MakeChain();
+  std::vector<TraceRecord> records;
+  sim.SetTraceSink([&](const TraceRecord& r) { records.push_back(r); });
+
+  Message ok;
+  ok.src = 0;
+  ok.dst = 1;
+  ok.kind = MessageKind::kCollection;
+  ok.payload_bytes = 90;  // 3 fragments
+  sim.SendUnicast(ok);
+
+  sim.radio().FailLink(1, 2);
+  Message lost;
+  lost.src = 1;
+  lost.dst = 2;
+  lost.kind = MessageKind::kFinal;
+  lost.payload_bytes = 5;
+  sim.SendUnicast(lost);
+
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].src, 0);
+  EXPECT_EQ(records[0].dst, 1);
+  EXPECT_EQ(records[0].kind, MessageKind::kCollection);
+  EXPECT_EQ(records[0].fragments, 3);
+  EXPECT_EQ(records[0].payload_bytes, 90u);
+  EXPECT_FALSE(records[0].broadcast);
+  EXPECT_TRUE(records[0].delivered);
+  EXPECT_FALSE(records[1].delivered);
+}
+
+TEST(TraceTest, RecordsBroadcasts) {
+  Simulator sim = MakeChain();
+  std::vector<TraceRecord> records;
+  sim.SetTraceSink([&](const TraceRecord& r) { records.push_back(r); });
+  Message msg;
+  msg.src = 1;
+  msg.kind = MessageKind::kBeacon;
+  msg.payload_bytes = 4;
+  sim.Broadcast(msg);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].broadcast);
+  EXPECT_EQ(records[0].dst, kInvalidNode);
+}
+
+TEST(TraceTest, SinkCanBeRemoved) {
+  Simulator sim = MakeChain();
+  int count = 0;
+  sim.SetTraceSink([&](const TraceRecord&) { ++count; });
+  Message msg;
+  msg.src = 0;
+  msg.dst = 1;
+  msg.payload_bytes = 1;
+  sim.SendUnicast(msg);
+  sim.SetTraceSink({});
+  sim.SendUnicast(msg);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(TraceTest, TraceCountsMatchAccounting) {
+  // Trace an entire SENS-Join execution: the sum of traced fragments must
+  // equal the simulator's packet counters.
+  testbed::TestbedParams params;
+  params.placement.num_nodes = 120;
+  params.placement.area_width_m = 320;
+  params.placement.area_height_m = 320;
+  auto tb = testbed::Testbed::Create(params);
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(
+      "SELECT A.hum, B.hum FROM sensors A, sensors B "
+      "WHERE |A.temp - B.temp| < 0.3 "
+      "AND distance(A.x, A.y, B.x, B.y) > 300 ONCE");
+  ASSERT_TRUE(q.ok());
+  uint64_t traced_fragments = 0;
+  (*tb)->simulator().SetTraceSink([&](const sim::TraceRecord& r) {
+    if (IsJoinProcessingKind(r.kind)) traced_fragments += r.fragments;
+  });
+  auto report = (*tb)->MakeSensJoin().Execute(*q, 0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(traced_fragments, report->cost.join_packets);
+}
+
+}  // namespace
+}  // namespace sensjoin::sim

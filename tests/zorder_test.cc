@@ -1,0 +1,106 @@
+#include "sensjoin/join/zorder.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/common/rng.h"
+
+namespace sensjoin::join {
+namespace {
+
+TEST(ZOrderTest, ClassicTwoDimensionalInterleaving) {
+  // Fig. 6c of the paper with our convention: within each level the
+  // earlier dimension contributes the more significant bit, so dimension 0
+  // plays the figure's "y" role and dimension 1 its "x" role.
+  ZOrder z({2, 2});
+  EXPECT_EQ(z.total_bits(), 4);
+  EXPECT_EQ(z.level_widths(), (std::vector<int>{2, 2}));
+  EXPECT_EQ(z.Interleave({0, 0}), 0u);
+  EXPECT_EQ(z.Interleave({0, 1}), 1u);
+  EXPECT_EQ(z.Interleave({1, 0}), 2u);
+  EXPECT_EQ(z.Interleave({1, 1}), 3u);
+  EXPECT_EQ(z.Interleave({0, 2}), 4u);
+  EXPECT_EQ(z.Interleave({2, 0}), 8u);
+  EXPECT_EQ(z.Interleave({3, 3}), 15u);
+}
+
+TEST(ZOrderTest, UnequalWidthsLevelStructure) {
+  // Dim 0 has 3 bits, dim 1 has 1 bit: levels have widths 2, 1, 1.
+  ZOrder z({3, 1});
+  EXPECT_EQ(z.total_bits(), 4);
+  EXPECT_EQ(z.level_widths(), (std::vector<int>{2, 1, 1}));
+  // Level 0 takes MSBs of both dims; afterwards only dim 0 contributes.
+  // coords (0b101, 0b1): level0 = 1,1; level1 = 0; level2 = 1 -> 0b1101.
+  EXPECT_EQ(z.Interleave({0b101, 0b1}), 0b1101u);
+}
+
+TEST(ZOrderTest, ZeroWidthDimensionsContributeNothing) {
+  ZOrder z({0, 2});
+  EXPECT_EQ(z.total_bits(), 2);
+  EXPECT_EQ(z.level_widths(), (std::vector<int>{1, 1}));
+  EXPECT_EQ(z.Interleave({0, 0b10}), 0b10u);
+}
+
+TEST(ZOrderTest, NeighborCellsShareLongPrefixes) {
+  // Locality: points in the same half of each dimension share the top
+  // level's bits.
+  ZOrder z({4, 4});
+  const uint64_t a = z.Interleave({3, 3});
+  const uint64_t b = z.Interleave({4, 4});
+  // 3 = 0011, 4 = 0100: differ at the second level already, but both are in
+  // the lower half (MSB 0) of each dim, so the top level matches.
+  EXPECT_EQ(a >> 6, b >> 6);
+  const uint64_t c = z.Interleave({12, 12});  // upper half
+  EXPECT_NE(a >> 6, c >> 6);
+}
+
+class ZOrderRoundtripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZOrderRoundtripTest, InterleaveDeinterleaveRoundtrip) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const int dims = static_cast<int>(rng.UniformInt(1, 5));
+    std::vector<int> bits(dims);
+    int total = 0;
+    for (int& b : bits) {
+      b = static_cast<int>(rng.UniformInt(0, 12));
+      total += b;
+    }
+    if (total == 0 || total > 62) continue;
+    ZOrder z(bits);
+    std::vector<uint32_t> coords(dims);
+    for (int d = 0; d < dims; ++d) {
+      coords[d] = bits[d] == 0
+                      ? 0
+                      : static_cast<uint32_t>(
+                            rng.UniformInt(0, (1 << bits[d]) - 1));
+    }
+    const uint64_t key = z.Interleave(coords);
+    EXPECT_LT(key, 1ull << z.total_bits());
+    EXPECT_EQ(z.Deinterleave(key), coords);
+  }
+}
+
+TEST_P(ZOrderRoundtripTest, InterleavingIsMonotoneInOrder) {
+  // Distinct coordinate vectors map to distinct keys.
+  Rng rng(GetParam() + 100);
+  ZOrder z({5, 5, 5});
+  std::set<uint64_t> seen;
+  std::set<std::vector<uint32_t>> inputs;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<uint32_t> coords = {
+        static_cast<uint32_t>(rng.UniformInt(0, 31)),
+        static_cast<uint32_t>(rng.UniformInt(0, 31)),
+        static_cast<uint32_t>(rng.UniformInt(0, 31))};
+    if (!inputs.insert(coords).second) continue;
+    EXPECT_TRUE(seen.insert(z.Interleave(coords)).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZOrderRoundtripTest,
+                         ::testing::Values(8, 88, 888));
+
+}  // namespace
+}  // namespace sensjoin::join
