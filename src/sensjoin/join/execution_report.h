@@ -16,6 +16,10 @@ struct ExecutionReport {
   bool success = false;
   int attempts = 1;  ///< 1 + re-executions after link failures
 
+  /// Phase-level recovery re-requests issued (missing subtree contributions
+  /// re-pulled without a full re-execution).
+  size_t recovery_requests = 0;
+
   // Pre-computation statistics (zero for the external join).
   size_t collected_points = 0;  ///< distinct quantized join-attribute tuples
   size_t filter_points = 0;     ///< points surviving the filter join

@@ -28,9 +28,13 @@ StatusOr<ExecutionReport> ExternalJoinExecutor::Execute(
       report.response_time_s = sim_.now() - start_time;
       return report;
     }
-    // Link failure mid-execution: drain in-flight events, let the tree
-    // protocol repair the routes, and re-execute (Sec. IV-F).
+    // Link failure mid-execution: drain in-flight events, wait out the
+    // CTP repair window (scheduled node recoveries can fire meanwhile),
+    // let the tree protocol repair the routes, and re-execute (Sec. IV-F).
     sim_.events().Run();
+    if (config_.retry_backoff_s > 0) {
+      sim_.events().RunUntil(sim_.now() + config_.retry_backoff_s);
+    }
     tree_ = net::RoutingTree::Build(sim_, tree_.root());
   }
   return Status::ResourceExhausted(

@@ -37,6 +37,24 @@ struct ProtocolConfig {
   /// Re-executions after a link failure breaks an execution (Sec. IV-F).
   int max_retries = 3;
 
+  /// Phase-level recovery (extension beyond Sec. IV-F): when a hop send
+  /// fails but both endpoints are still alive and the link is up (i.e. the
+  /// loss was transient, ARQ budget exhausted), the parent re-requests just
+  /// the missing subtree contribution — for Filter-Dissemination from its
+  /// stored per-child filter state — instead of re-executing the whole
+  /// query. Full re-execution with tree rebuild remains the fallback.
+  bool enable_phase_recovery = true;
+
+  /// Re-request rounds per failed hop before falling back to full
+  /// re-execution.
+  int max_recovery_requests = 2;
+
+  /// Simulated wait before a full re-execution (CTP repair time). Advanced
+  /// on the event queue, so crash/recover events scheduled in the fault
+  /// plan can fire between attempts. 0 keeps the seed's instant-retry
+  /// behavior.
+  double retry_backoff_s = 0.0;
+
   /// Debug/fidelity mode: in the quadtree representation, every structure
   /// handed to the radio is actually serialized to its wire bits and parsed
   /// back, and the roundtrip is checked fatally. Proves the Fig. 9 format

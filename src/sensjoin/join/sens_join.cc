@@ -1,5 +1,6 @@
 #include "sensjoin/join/sens_join.h"
 
+#include <algorithm>
 #include <set>
 #include <utility>
 #include <vector>
@@ -49,6 +50,7 @@ StatusOr<ExecutionReport> SensJoinExecutor::Execute(
     return Status::InvalidArgument(
         "Dmax must be below the maximum packet size (Sec. IV-E)");
   }
+  size_t recovery_requests_total = 0;
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
     ExecutionReport report;
     report.attempts = attempt + 1;
@@ -59,12 +61,18 @@ StatusOr<ExecutionReport> SensJoinExecutor::Execute(
     sim_.events().Run();
     if (!failed) {
       report.success = true;
+      report.recovery_requests += recovery_requests_total;
       report.cost = snapshot.DeltaTo(sim_);
       report.response_time_s = sim_.now() - start_time;
       return report;
     }
-    // Link failure: let the tree protocol re-establish routes and
-    // re-execute the query (Sec. IV-F).
+    recovery_requests_total += report.recovery_requests;
+    // Link failure: wait out the CTP repair window (scheduled node
+    // recoveries can fire meanwhile), let the tree protocol re-establish
+    // routes, and re-execute the query (Sec. IV-F).
+    if (config_.retry_backoff_s > 0) {
+      sim_.events().RunUntil(sim_.now() + config_.retry_backoff_s);
+    }
     tree_ = net::RoutingTree::Build(sim_, tree_.root());
   }
   return Status::ResourceExhausted(
@@ -77,6 +85,32 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
                                         bool* failed) {
   *failed = false;
   const ExecutorContext ctx(data_, q, epoch);
+
+  // Hop delivery with phase-level recovery: when a send fails but both
+  // endpoints are alive and the link is up (transient loss that outlasted
+  // the ARQ budget), the receiver re-requests just the missing contribution
+  // (NACK down the hop) and the sender re-sends from stored state, a
+  // bounded number of times. Persistent failures — crashes, downed links —
+  // fall through to the full re-execution with tree rebuild.
+  auto send_with_recovery = [this, report](const sim::Message& msg) -> bool {
+    if (sim_.SendUnicast(msg)) return true;
+    if (!config_.enable_phase_recovery) return false;
+    for (int r = 0; r < config_.max_recovery_requests; ++r) {
+      if (!sim_.node(msg.src).alive || !sim_.node(msg.dst).alive ||
+          !sim_.radio().LinkUp(msg.src, msg.dst)) {
+        return false;  // persistent: needs CTP repair
+      }
+      sim::Message rereq;
+      rereq.src = msg.dst;
+      rereq.dst = msg.src;
+      rereq.kind = sim::MessageKind::kControl;
+      rereq.payload_bytes = 4;  // names the missing contribution
+      sim_.SendUnicast(std::move(rereq));
+      ++report->recovery_requests;
+      if (sim_.SendUnicast(msg)) return true;
+    }
+    return false;
+  };
 
   const std::vector<int> dims = QueryJoinAttrIndices(q);
   SENSJOIN_ASSIGN_OR_RETURN(
@@ -170,7 +204,7 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       msg.dst = tree_.parent(u);
       msg.kind = sim::MessageKind::kCollection;
       msg.payload_bytes = full_bytes;
-      if (!sim_.SendUnicast(std::move(msg))) {
+      if (!send_with_recovery(msg)) {
         *failed = true;
         return Status::Ok();
       }
@@ -203,7 +237,7 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     msg.dst = tree_.parent(u);
     msg.kind = sim::MessageKind::kCollection;
     msg.payload_bytes = StructureWireBytes(out, codec, config_.representation);
-    if (!sim_.SendUnicast(std::move(msg))) {
+    if (!send_with_recovery(msg)) {
       *failed = true;
       return Status::Ok();
     }
@@ -240,19 +274,28 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     if (forward.empty()) continue;  // subtree holds no result tuples
     verify_wire(forward);
 
-    for (sim::NodeId c : targets) {
-      if (!sim_.radio().LinkUp(u, c)) {
-        *failed = true;
-        return Status::Ok();
-      }
-    }
     sim::Message msg;
     msg.src = u;
     msg.kind = sim::MessageKind::kFilter;
     msg.payload_bytes =
         StructureWireBytes(forward, codec, config_.representation);
-    sim_.Broadcast(std::move(msg));
+    std::vector<sim::NodeId> reached;
+    sim_.Broadcast(msg, &reached);
     for (sim::NodeId c : targets) {
+      if (std::find(reached.begin(), reached.end(), c) == reached.end()) {
+        // Detected subtree loss: the child missed the filter broadcast.
+        // Unicast it the pruned filter kept for exactly this purpose by
+        // Selective Filter Forwarding, instead of restarting the query.
+        sim::Message resend;
+        resend.src = u;
+        resend.dst = c;
+        resend.kind = sim::MessageKind::kFilter;
+        resend.payload_bytes = msg.payload_bytes;
+        if (!config_.enable_phase_recovery || !send_with_recovery(resend)) {
+          *failed = true;
+          return Status::Ok();
+        }
+      }
       states[c].filter = forward;
       states[c].got_filter = true;
     }
@@ -298,7 +341,7 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     msg.dst = tree_.parent(u);
     msg.kind = sim::MessageKind::kFinal;
     msg.payload_bytes = payload;
-    if (!sim_.SendUnicast(std::move(msg))) {
+    if (!send_with_recovery(msg)) {
       *failed = true;
       return Status::Ok();
     }

@@ -29,8 +29,12 @@ namespace sensjoin::join {
 ///      join-attribute tuple is in the filter ship complete tuples; the
 ///      base station computes the exact result.
 ///
-/// Link failures abort the attempt; the tree is rebuilt (CTP repair) and
-/// the query re-executed, as Sec. IV-F prescribes.
+/// Failure handling: a transient hop failure (packet loss beyond the ARQ
+/// budget) triggers phase-level recovery — the missing subtree contribution
+/// is re-requested over the same hop, using the stored per-child filter
+/// state during Filter-Dissemination. Persistent failures (crashes, downed
+/// links) abort the attempt; the tree is rebuilt (CTP repair) and the query
+/// re-executed, as Sec. IV-F prescribes.
 class SensJoinExecutor {
  public:
   /// `sim` and `data` must outlive the executor. `quantization` supplies

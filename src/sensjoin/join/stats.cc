@@ -29,7 +29,11 @@ StatsSnapshot::StatsSnapshot(const sim::Simulator& sim)
       filter_(sim.packets_sent_by_kind(sim::MessageKind::kFilter)),
       final_(sim.packets_sent_by_kind(sim::MessageKind::kFinal)),
       bytes_(sim.total_bytes_sent()),
-      energy_(sim.total_energy_mj()) {
+      energy_(sim.total_energy_mj()),
+      retransmitted_(sim.total_packets_retransmitted()),
+      acks_(sim.total_ack_packets()),
+      retransmit_energy_(sim.retransmit_energy_mj()),
+      ack_energy_(sim.ack_energy_mj()) {
   per_node_join_packets_.resize(sim.num_nodes());
   for (int i = 0; i < sim.num_nodes(); ++i) {
     per_node_join_packets_[i] = JoinPacketsOfNode(sim.node(i).stats);
@@ -47,6 +51,11 @@ CostReport StatsSnapshot::DeltaTo(const sim::Simulator& sim) const {
   report.join_packets = report.phases.total();
   report.join_bytes = sim.total_bytes_sent() - bytes_;
   report.energy_mj = sim.total_energy_mj() - energy_;
+  report.retransmitted_packets =
+      sim.total_packets_retransmitted() - retransmitted_;
+  report.ack_packets = sim.total_ack_packets() - acks_;
+  report.retransmit_energy_mj = sim.retransmit_energy_mj() - retransmit_energy_;
+  report.ack_energy_mj = sim.ack_energy_mj() - ack_energy_;
   SENSJOIN_CHECK_EQ(static_cast<int>(per_node_join_packets_.size()),
                     sim.num_nodes());
   report.per_node_packets.resize(sim.num_nodes());

@@ -30,6 +30,14 @@ struct CostReport {
   double energy_mj = 0.0;     ///< tx+rx energy over the execution
   std::vector<uint64_t> per_node_packets;
 
+  /// ARQ fault-tolerance overhead over the execution. Retransmitted data
+  /// fragments are included in the packet totals above and itemized here;
+  /// ack frames are energy-only (outside the paper's packet metric).
+  uint64_t retransmitted_packets = 0;
+  uint64_t ack_packets = 0;
+  double retransmit_energy_mj = 0.0;  ///< energy of retransmitted frames
+  double ack_energy_mj = 0.0;         ///< tx+rx energy of ack frames
+
   uint64_t max_node_packets() const;
 };
 
@@ -49,6 +57,10 @@ class StatsSnapshot {
   uint64_t final_;
   uint64_t bytes_;
   double energy_;
+  uint64_t retransmitted_;
+  uint64_t acks_;
+  double retransmit_energy_;
+  double ack_energy_;
   std::vector<uint64_t> per_node_join_packets_;
 };
 

@@ -36,7 +36,9 @@
 #include "sensjoin/net/routing_tree.h"        // IWYU pragma: export
 #include "sensjoin/net/topology.h"            // IWYU pragma: export
 #include "sensjoin/query/query.h"             // IWYU pragma: export
+#include "sensjoin/sim/fault_model.h"         // IWYU pragma: export
 #include "sensjoin/sim/simulator.h"           // IWYU pragma: export
+#include "sensjoin/testbed/report.h"          // IWYU pragma: export
 #include "sensjoin/testbed/testbed.h"         // IWYU pragma: export
 
 #endif  // SENSJOIN_SENSJOIN_H_

@@ -1,0 +1,27 @@
+#include "sensjoin/sim/fault_model.h"
+
+#include "sensjoin/common/logging.h"
+#include "sensjoin/sim/simulator.h"
+
+namespace sensjoin::sim {
+
+void ApplyFaultPlan(Simulator& sim, const FaultPlan& plan) {
+  Radio& radio = sim.radio();
+  radio.set_default_loss_rate(plan.default_loss_rate);
+  for (const LinkLossOverride& link : plan.link_overrides) {
+    radio.SetLinkLossRate(link.a, link.b, link.loss_rate);
+  }
+  sim.set_arq_params(plan.arq);
+  sim.SeedFaults(plan.seed);
+  for (const CrashEvent& ev : plan.crash_events) {
+    SENSJOIN_CHECK(ev.node >= 0 && ev.node < sim.num_nodes())
+        << "crash event for unknown node " << ev.node;
+    if (ev.recover) {
+      sim.ScheduleRecovery(ev.node, ev.at);
+    } else {
+      sim.ScheduleCrash(ev.node, ev.at);
+    }
+  }
+}
+
+}  // namespace sensjoin::sim

@@ -1,0 +1,79 @@
+#ifndef SENSJOIN_SIM_FAULT_MODEL_H_
+#define SENSJOIN_SIM_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sensjoin/sim/time.h"
+
+namespace sensjoin::sim {
+
+class Simulator;
+
+/// Link-layer automatic repeat request. Real WSN MACs (e.g. 802.15.4 with
+/// macMaxFrameRetries) acknowledge unicast frames and retransmit a bounded
+/// number of times with backoff; the retransmissions are real energy spent
+/// and must appear in the accounting (cf. Buragohain et al., power-aware
+/// routing for sensor databases). Disabled by default so the fault-free
+/// paper experiments are bit-identical to the seed.
+struct ArqParams {
+  bool enabled = false;
+
+  /// Retransmissions per data fragment beyond the initial attempt. A
+  /// fragment that is still unacknowledged afterwards makes the whole
+  /// logical message undeliverable (the sender gives up, upper layers
+  /// recover).
+  int max_retransmissions = 3;
+
+  /// Backoff before the first retransmission; each further retransmission
+  /// multiplies the wait by `backoff_factor` (exponential backoff).
+  double backoff_base_s = 0.008;
+  double backoff_factor = 2.0;
+
+  /// Wire size of an acknowledgement frame (header-only packet).
+  int ack_bytes = 8;
+};
+
+/// Loss-rate override for one (bidirectional) link.
+struct LinkLossOverride {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double loss_rate = 0.0;
+};
+
+/// A scheduled liveness change, fired through the simulator's event queue:
+/// at `at`, the node crashes (recover == false) or reboots (recover ==
+/// true). A rebooted node keeps its identity and sensor data but needs a
+/// routing-tree rebuild to rejoin the collection tree.
+struct CrashEvent {
+  NodeId node = kInvalidNode;
+  SimTime at = 0;
+  bool recover = false;
+};
+
+/// A declarative fault scenario: ambient packet loss, per-link overrides
+/// and node churn, all reproducible under `seed`. Apply with
+/// ApplyFaultPlan before executing queries.
+struct FaultPlan {
+  /// Per-fragment loss probability on every link without an override.
+  double default_loss_rate = 0.0;
+
+  std::vector<LinkLossOverride> link_overrides;
+  std::vector<CrashEvent> crash_events;
+
+  /// Link-layer ARQ policy to install on the simulator.
+  ArqParams arq;
+
+  /// Seed of the drop-decision stream. Runs with equal plans (and equal
+  /// protocol behavior) are exactly reproducible.
+  uint64_t seed = 0x5EED5;
+};
+
+/// Installs `plan` on `sim`: sets loss rates on the radio, the ARQ policy
+/// and drop seed on the simulator, and schedules every crash/recover event
+/// through the simulator's event queue.
+void ApplyFaultPlan(Simulator& sim, const FaultPlan& plan);
+
+}  // namespace sensjoin::sim
+
+#endif  // SENSJOIN_SIM_FAULT_MODEL_H_

@@ -19,6 +19,14 @@ struct NodeStats {
   uint64_t bytes_received = 0;
   double energy_mj = 0.0;
 
+  /// ARQ bookkeeping. Retransmitted data fragments are included in
+  /// `packets_sent` (they are real transmissions) and itemized here;
+  /// acknowledgements are header-only frames kept out of `packets_sent`
+  /// so the paper's packet metric stays comparable, but their energy is
+  /// charged.
+  uint64_t packets_retransmitted = 0;
+  uint64_t ack_packets_sent = 0;
+
   /// Transmissions broken down by message kind, for per-phase accounting.
   std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
       packets_sent_by_kind{};

@@ -18,6 +18,8 @@ const char* MessageKindName(MessageKind kind) {
       return "final";
     case MessageKind::kAppData:
       return "app_data";
+    case MessageKind::kControl:
+      return "control";
     case MessageKind::kNumKinds:
       break;
   }

@@ -22,6 +22,7 @@ enum class MessageKind : uint8_t {
   kFinal,       ///< Final-result tuples upward; also the external join's
                 ///< single collection phase.
   kAppData,     ///< Application payloads outside the join protocols.
+  kControl,     ///< Recovery control traffic (re-requests / NACKs).
   kNumKinds,    ///< Sentinel; keep last.
 };
 

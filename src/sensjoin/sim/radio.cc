@@ -66,10 +66,34 @@ bool Radio::LinkUp(NodeId a, NodeId b) const {
   return InRange(a, b) && failed_links_.find(LinkKey(a, b)) == failed_links_.end();
 }
 
-void Radio::FailLink(NodeId a, NodeId b) { failed_links_.insert(LinkKey(a, b)); }
+void Radio::FailLink(NodeId a, NodeId b) {
+  if (!ValidLink(a, b)) return;
+  failed_links_.insert(LinkKey(a, b));
+}
 
 void Radio::RestoreLink(NodeId a, NodeId b) {
+  if (!ValidLink(a, b)) return;
   failed_links_.erase(LinkKey(a, b));
+}
+
+void Radio::set_default_loss_rate(double p) {
+  default_loss_rate_ = std::clamp(p, 0.0, 1.0);
+}
+
+void Radio::SetLinkLossRate(NodeId a, NodeId b, double p) {
+  if (!ValidLink(a, b)) return;
+  link_loss_[LinkKey(a, b)] = std::clamp(p, 0.0, 1.0);
+}
+
+void Radio::ClearLossRates() {
+  default_loss_rate_ = 0.0;
+  link_loss_.clear();
+}
+
+double Radio::LossRate(NodeId a, NodeId b) const {
+  if (!ValidLink(a, b)) return 0.0;
+  auto it = link_loss_.find(LinkKey(a, b));
+  return it != link_loss_.end() ? it->second : default_loss_rate_;
 }
 
 bool Radio::IsConnected(NodeId root) const {

@@ -2,6 +2,7 @@
 #define SENSJOIN_SIM_RADIO_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -38,21 +39,49 @@ class Radio {
   bool InRange(NodeId a, NodeId b) const;
 
   /// Marks the (bidirectional) link between a and b as down / up again.
+  /// Out-of-range node ids and self-links (a == b) are ignored.
   void FailLink(NodeId a, NodeId b);
   void RestoreLink(NodeId a, NodeId b);
   void RestoreAllLinks() { failed_links_.clear(); }
   size_t num_failed_links() const { return failed_links_.size(); }
+
+  // --- Probabilistic per-link packet loss --------------------------------
+  // A loss rate is the probability that one link-layer fragment is dropped
+  // on its way over the link; the simulator rolls the dice (seeded) per
+  // transmitted fragment. 0 everywhere by default, so the fault-free
+  // experiments are unaffected.
+
+  /// Loss rate applied to every link without an explicit override.
+  /// Clamped to [0, 1].
+  void set_default_loss_rate(double p);
+  double default_loss_rate() const { return default_loss_rate_; }
+
+  /// Sets the loss rate of the (bidirectional) link a-b, overriding the
+  /// default. Invalid ids and self-links are ignored.
+  void SetLinkLossRate(NodeId a, NodeId b, double p);
+
+  /// Drops all per-link overrides and resets the default rate to 0.
+  void ClearLossRates();
+
+  /// Effective loss rate of the link a-b (override if set, else default);
+  /// 0 for invalid links.
+  double LossRate(NodeId a, NodeId b) const;
 
   /// True if every node can reach `root` over up links.
   bool IsConnected(NodeId root) const;
 
  private:
   uint64_t LinkKey(NodeId a, NodeId b) const;
+  bool ValidLink(NodeId a, NodeId b) const {
+    return a != b && a >= 0 && b >= 0 && a < num_nodes() && b < num_nodes();
+  }
 
   std::vector<Point> positions_;
   double range_m_;
   std::vector<std::vector<NodeId>> neighbors_;
   std::unordered_set<uint64_t> failed_links_;
+  double default_loss_rate_ = 0.0;
+  std::unordered_map<uint64_t, double> link_loss_;
 };
 
 }  // namespace sensjoin::sim

@@ -1,5 +1,6 @@
 #include "sensjoin/sim/simulator.h"
 
+#include <cmath>
 #include <utility>
 
 #include "sensjoin/common/logging.h"
@@ -61,30 +62,100 @@ bool Simulator::SendUnicast(Message msg) {
   const size_t frame_bytes =
       msg.payload_bytes +
       static_cast<size_t>(fragments) * packet_params_.header_bytes;
-  AccountTx(msg.src, msg.kind, fragments, frame_bytes);
-  const bool deliverable =
+  const size_t avg_frame_bytes = frame_bytes / fragments;
+  const bool link_ok =
       nodes_[msg.dst].alive && radio_.LinkUp(msg.src, msg.dst);
+  const double loss =
+      LossApplies(msg.kind) ? radio_.LossRate(msg.src, msg.dst) : 0.0;
+
+  // Per-fragment link-layer simulation: one initial attempt and, with ARQ
+  // enabled, up to max_retransmissions more with exponential backoff. An
+  // ack can be lost like any frame; the sender then retransmits and the
+  // receiver sees (and pays for) a duplicate.
+  const int attempts_allowed =
+      1 + (arq_params_.enabled ? arq_params_.max_retransmissions : 0);
+  int tx_fragments = 0;
+  int rx_fragments = 0;
+  int retransmissions = 0;
+  int acks = 0;
+  double backoff_s = 0.0;
+  bool delivered = true;
+  for (int f = 0; f < fragments; ++f) {
+    bool got = false;
+    for (int a = 0; a < attempts_allowed; ++a) {
+      ++tx_fragments;
+      if (a > 0) {
+        ++retransmissions;
+        backoff_s += arq_params_.backoff_base_s *
+                     std::pow(arq_params_.backoff_factor, a - 1);
+      }
+      const bool frag_arrives =
+          link_ok && !(loss > 0.0 && fault_rng_.NextBool(loss));
+      if (frag_arrives) {
+        ++rx_fragments;
+        got = true;
+      }
+      if (!arq_params_.enabled) break;
+      if (frag_arrives) {
+        ++acks;
+        const bool ack_arrives = !(loss > 0.0 && fault_rng_.NextBool(loss));
+        if (ack_arrives) break;
+      }
+    }
+    if (!got) delivered = false;
+  }
+
+  const size_t extra_bytes =
+      static_cast<size_t>(tx_fragments - fragments) * avg_frame_bytes;
+  AccountTx(msg.src, msg.kind, tx_fragments, frame_bytes + extra_bytes);
+  if (retransmissions > 0) {
+    nodes_[msg.src].stats.packets_retransmitted += retransmissions;
+    total_packets_retransmitted_ += retransmissions;
+    retransmit_energy_mj_ += energy_model_.TxCost(retransmissions, extra_bytes);
+  }
+  if (acks > 0) {
+    // Acks travel receiver -> sender; header-only frames, kept out of the
+    // packet metric but charged in full (tx at the receiver, rx at the
+    // sender).
+    const size_t ack_bytes =
+        static_cast<size_t>(acks) * arq_params_.ack_bytes;
+    const double ack_tx = energy_model_.TxCost(acks, ack_bytes);
+    const double ack_rx = energy_model_.RxCost(acks, ack_bytes);
+    nodes_[msg.dst].stats.ack_packets_sent += acks;
+    nodes_[msg.dst].stats.energy_mj += ack_tx;
+    nodes_[msg.src].stats.energy_mj += ack_rx;
+    total_ack_packets_ += acks;
+    total_energy_mj_ += ack_tx + ack_rx;
+    ack_energy_mj_ += ack_tx + ack_rx;
+  }
+  if (rx_fragments > 0) {
+    AccountRx(msg.dst, rx_fragments,
+              rx_fragments == fragments
+                  ? frame_bytes
+                  : static_cast<size_t>(rx_fragments) * avg_frame_bytes);
+  }
   if (trace_sink_) {
     trace_sink_(TraceRecord{events_.now(), msg.src, msg.dst, msg.kind,
                             fragments, msg.payload_bytes,
-                            /*broadcast=*/false, deliverable});
+                            /*broadcast=*/false, delivered, retransmissions});
   }
-  if (!deliverable) return false;
-  AccountRx(msg.dst, fragments, frame_bytes);
-  const SimTime delay = fragments * per_packet_latency_s_;
+  if (!delivered) return false;
+  const SimTime delay = tx_fragments * per_packet_latency_s_ + backoff_s;
   events_.ScheduleAfter(delay, [this, msg = std::move(msg)]() {
     if (receive_handler_) receive_handler_(msg.dst, msg);
   });
   return true;
 }
 
-int Simulator::Broadcast(Message msg) {
+int Simulator::Broadcast(Message msg, std::vector<NodeId>* delivered) {
   SENSJOIN_CHECK(msg.src >= 0 && msg.src < num_nodes());
+  if (delivered) delivered->clear();
   if (!nodes_[msg.src].alive) return 0;
   const int fragments = NumFragments(msg.payload_bytes, packet_params_);
   const size_t frame_bytes =
       msg.payload_bytes +
       static_cast<size_t>(fragments) * packet_params_.header_bytes;
+  const size_t avg_frame_bytes = frame_bytes / fragments;
   AccountTx(msg.src, msg.kind, fragments, frame_bytes);
   if (trace_sink_) {
     trace_sink_(TraceRecord{events_.now(), msg.src, kInvalidNode, msg.kind,
@@ -95,15 +166,42 @@ int Simulator::Broadcast(Message msg) {
   int receivers = 0;
   for (NodeId nb : radio_.Neighbors(msg.src)) {
     if (!nodes_[nb].alive || !radio_.LinkUp(msg.src, nb)) continue;
-    AccountRx(nb, fragments, frame_bytes);
+    // Per-receiver loss rolls; broadcasts carry no acks, so a receiver
+    // missing any fragment misses the logical message.
+    const double loss =
+        LossApplies(msg.kind) ? radio_.LossRate(msg.src, nb) : 0.0;
+    int got = fragments;
+    if (loss > 0.0) {
+      got = 0;
+      for (int f = 0; f < fragments; ++f) {
+        if (!fault_rng_.NextBool(loss)) ++got;
+      }
+    }
+    if (got > 0) {
+      AccountRx(nb, got,
+                got == fragments ? frame_bytes
+                                 : static_cast<size_t>(got) * avg_frame_bytes);
+    }
+    if (got < fragments) continue;
     ++receivers;
-    Message delivered = msg;
-    delivered.dst = nb;
-    events_.ScheduleAfter(delay, [this, delivered = std::move(delivered)]() {
-      if (receive_handler_) receive_handler_(delivered.dst, delivered);
+    if (delivered) delivered->push_back(nb);
+    Message arrival = msg;
+    arrival.dst = nb;
+    events_.ScheduleAfter(delay, [this, arrival = std::move(arrival)]() {
+      if (receive_handler_) receive_handler_(arrival.dst, arrival);
     });
   }
   return receivers;
+}
+
+void Simulator::ScheduleCrash(NodeId id, SimTime at) {
+  SENSJOIN_CHECK(id >= 0 && id < num_nodes());
+  events_.ScheduleAt(at, [this, id] { nodes_[id].alive = false; });
+}
+
+void Simulator::ScheduleRecovery(NodeId id, SimTime at) {
+  SENSJOIN_CHECK(id >= 0 && id < num_nodes());
+  events_.ScheduleAt(at, [this, id] { nodes_[id].alive = true; });
 }
 
 void Simulator::ResetStats() {
@@ -111,6 +209,10 @@ void Simulator::ResetStats() {
   total_packets_sent_ = 0;
   total_bytes_sent_ = 0;
   total_energy_mj_ = 0.0;
+  total_packets_retransmitted_ = 0;
+  total_ack_packets_ = 0;
+  retransmit_energy_mj_ = 0.0;
+  ack_energy_mj_ = 0.0;
   packets_by_kind_.fill(0);
 }
 

@@ -6,8 +6,10 @@
 #include <functional>
 #include <vector>
 
+#include "sensjoin/common/rng.h"
 #include "sensjoin/sim/energy_model.h"
 #include "sensjoin/sim/event_queue.h"
+#include "sensjoin/sim/fault_model.h"
 #include "sensjoin/sim/node.h"
 #include "sensjoin/sim/packet.h"
 #include "sensjoin/sim/radio.h"
@@ -27,6 +29,7 @@ struct TraceRecord {
   size_t payload_bytes = 0;
   bool broadcast = false;
   bool delivered = false;
+  int retransmissions = 0;  ///< ARQ data-fragment retransmissions (unicast)
 };
 
 /// The discrete-event WSN simulator tying together the event queue, the
@@ -65,13 +68,33 @@ class Simulator {
 
   /// Sends a logical message from msg.src to msg.dst over one hop.
   /// Transmission cost is always paid by the sender; the message is
-  /// delivered only if both endpoints are alive and the link is up.
-  /// Returns true if delivery was scheduled.
+  /// delivered only if both endpoints are alive, the link is up, and every
+  /// fragment survives the link's loss rate (with ARQ enabled, within the
+  /// bounded retransmission budget). Returns true if delivery was
+  /// scheduled.
   bool SendUnicast(Message msg);
 
   /// Local broadcast: one transmission (per fragment), every alive neighbor
-  /// with an up link receives the message. Returns the number of receivers.
-  int Broadcast(Message msg);
+  /// with an up link that receives all fragments (per-receiver loss rolls;
+  /// broadcasts are never ARQ-protected) gets the message. Returns the
+  /// number of receivers; if `delivered` is non-null it is filled with
+  /// their ids in ascending order.
+  int Broadcast(Message msg, std::vector<NodeId>* delivered = nullptr);
+
+  // --- Fault injection ---------------------------------------------------
+
+  /// Link-layer ARQ policy for unicasts (off by default).
+  void set_arq_params(const ArqParams& arq) { arq_params_ = arq; }
+  const ArqParams& arq_params() const { return arq_params_; }
+
+  /// Reseeds the fragment-drop decision stream; runs with equal seeds,
+  /// loss rates and traffic are exactly reproducible.
+  void SeedFaults(uint64_t seed) { fault_rng_ = Rng(seed); }
+
+  /// Schedules a node crash / reboot through the event queue. A crashed
+  /// node neither sends nor receives until a recovery event fires.
+  void ScheduleCrash(NodeId id, SimTime at);
+  void ScheduleRecovery(NodeId id, SimTime at);
 
   /// Current simulation time.
   SimTime now() const { return events_.now(); }
@@ -84,6 +107,15 @@ class Simulator {
     return packets_by_kind_[static_cast<size_t>(kind)];
   }
   double total_energy_mj() const { return total_energy_mj_; }
+
+  /// ARQ overhead, itemized. Retransmitted data fragments are part of
+  /// `total_packets_sent` as well; acks are not (see NodeStats).
+  uint64_t total_packets_retransmitted() const {
+    return total_packets_retransmitted_;
+  }
+  uint64_t total_ack_packets() const { return total_ack_packets_; }
+  double retransmit_energy_mj() const { return retransmit_energy_mj_; }
+  double ack_energy_mj() const { return ack_energy_mj_; }
 
   /// Clears all global and per-node counters (topology is untouched).
   void ResetStats();
@@ -103,6 +135,15 @@ class Simulator {
                  size_t frame_bytes);
   void AccountRx(NodeId receiver, int fragments, size_t frame_bytes);
 
+  /// True when `kind` is subject to packet loss. Tree maintenance and
+  /// query floods are modeled as reliable: in the real system they are
+  /// amortized over periodic repetition (CTP beaconing, flood rebroadcasts)
+  /// rather than per-execution ARQ, and keeping them deterministic means a
+  /// fault plan never changes which routing tree gets built.
+  static bool LossApplies(MessageKind kind) {
+    return kind != MessageKind::kBeacon && kind != MessageKind::kQuery;
+  }
+
   EventQueue events_;
   Radio radio_;
   PacketizationParams packet_params_;
@@ -111,10 +152,16 @@ class Simulator {
   ReceiveHandler receive_handler_;
   TraceSink trace_sink_;
   double per_packet_latency_s_ = 0.004;
+  ArqParams arq_params_;
+  Rng fault_rng_{0x5EED5};
 
   uint64_t total_packets_sent_ = 0;
   uint64_t total_bytes_sent_ = 0;
   double total_energy_mj_ = 0.0;
+  uint64_t total_packets_retransmitted_ = 0;
+  uint64_t total_ack_packets_ = 0;
+  double retransmit_energy_mj_ = 0.0;
+  double ack_energy_mj_ = 0.0;
   std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
       packets_by_kind_{};
 };

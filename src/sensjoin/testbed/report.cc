@@ -1,6 +1,7 @@
 #include "sensjoin/testbed/report.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "sensjoin/common/logging.h"
@@ -105,6 +106,36 @@ std::string CostByDepth(const net::RoutingTree& tree,
     for (int i = 0; i < bar; ++i) os << '#';
     os << " " << by_depth[d] << "\n";
   }
+  return os.str();
+}
+
+double ResultCompleteness(const join::JoinResult& truth,
+                          const join::JoinResult& actual) {
+  if (truth.rows.empty()) return 1.0;
+  // Multiset match: a degraded run can only lose rows, but duplicates in
+  // either result must not inflate the score.
+  std::map<std::vector<double>, size_t> want;
+  for (const std::vector<double>& row : truth.rows) ++want[row];
+  size_t delivered = 0;
+  for (const std::vector<double>& row : actual.rows) {
+    auto it = want.find(row);
+    if (it != want.end() && it->second > 0) {
+      --it->second;
+      ++delivered;
+    }
+  }
+  return static_cast<double>(delivered) / static_cast<double>(truth.rows.size());
+}
+
+std::string FaultToleranceSummary(const join::CostReport& cost,
+                                  double completeness) {
+  std::ostringstream os;
+  os << "join packets: " << cost.join_packets << " (retransmitted "
+     << cost.retransmitted_packets << ", acks " << cost.ack_packets << ")\n"
+     << "energy: " << cost.energy_mj << " mJ (retransmissions "
+     << cost.retransmit_energy_mj << " mJ, acks " << cost.ack_energy_mj
+     << " mJ)\n"
+     << "result completeness: " << completeness * 100.0 << "%\n";
   return os.str();
 }
 

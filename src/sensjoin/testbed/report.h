@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "sensjoin/join/result.h"
 #include "sensjoin/join/stats.h"
 #include "sensjoin/net/routing_tree.h"
 #include "sensjoin/net/topology.h"
@@ -28,6 +29,18 @@ std::string TreeSummary(const net::RoutingTree& tree);
 /// join-processing transmissions (where in the tree the cost sits).
 std::string CostByDepth(const net::RoutingTree& tree,
                         const join::CostReport& cost);
+
+/// Fraction of the ground-truth join result delivered by a (possibly
+/// degraded) run: delivered rows over truth rows, matched as multisets.
+/// 1.0 for an empty truth. This is the metric that turns fault-injection
+/// runs from pass/fail into a graceful-degradation curve.
+double ResultCompleteness(const join::JoinResult& truth,
+                          const join::JoinResult& actual);
+
+/// Operator one-liner for a run under faults: join packets, itemized ARQ
+/// overhead (retransmissions, acks, their energy) and result completeness.
+std::string FaultToleranceSummary(const join::CostReport& cost,
+                                  double completeness);
 
 }  // namespace sensjoin::testbed
 

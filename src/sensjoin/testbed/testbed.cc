@@ -109,4 +109,8 @@ void Testbed::RebuildTree() {
   tree_ = net::RoutingTree::Build(*sim_, placement_.base_station_id());
 }
 
+void Testbed::InjectFaults(const sim::FaultPlan& plan) {
+  sim::ApplyFaultPlan(*sim_, plan);
+}
+
 }  // namespace sensjoin::testbed

@@ -71,6 +71,10 @@ class Testbed {
   /// failures).
   void RebuildTree();
 
+  /// Installs a fault scenario (loss rates, ARQ policy, scheduled node
+  /// crashes/recoveries) on the deployment's simulator.
+  void InjectFaults(const sim::FaultPlan& plan);
+
  private:
   Testbed(TestbedParams params, net::Placement placement,
           std::unique_ptr<sim::Simulator> sim,

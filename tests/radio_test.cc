@@ -85,6 +85,47 @@ TEST(RadioTest, FailedLinkNeverUpEvenInRange) {
   EXPECT_TRUE(radio.LinkUp(0, 1));
 }
 
+TEST(RadioTest, InvalidIdsAndSelfLinksAreIgnoredByFailAndRestore) {
+  std::vector<Point> pos = {{0, 0}, {30, 0}, {60, 0}};
+  Radio radio(pos, 50.0);
+  radio.FailLink(-1, 0);
+  radio.FailLink(0, 3);
+  radio.FailLink(7, -2);
+  radio.FailLink(1, 1);  // self-link
+  EXPECT_EQ(radio.num_failed_links(), 0u);
+  EXPECT_TRUE(radio.LinkUp(0, 1));
+  // Restores on garbage are no-ops too, and don't disturb real failures.
+  radio.FailLink(0, 1);
+  radio.RestoreLink(-1, 0);
+  radio.RestoreLink(0, 3);
+  radio.RestoreLink(2, 2);
+  EXPECT_EQ(radio.num_failed_links(), 1u);
+  EXPECT_FALSE(radio.LinkUp(0, 1));
+}
+
+TEST(RadioTest, LossRatesDefaultOverrideAndClamp) {
+  std::vector<Point> pos = {{0, 0}, {30, 0}, {60, 0}};
+  Radio radio(pos, 50.0);
+  EXPECT_DOUBLE_EQ(radio.LossRate(0, 1), 0.0);
+  radio.set_default_loss_rate(0.1);
+  EXPECT_DOUBLE_EQ(radio.LossRate(0, 1), 0.1);
+  radio.SetLinkLossRate(1, 2, 0.5);
+  EXPECT_DOUBLE_EQ(radio.LossRate(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(radio.LossRate(2, 1), 0.5);  // symmetric
+  EXPECT_DOUBLE_EQ(radio.LossRate(0, 1), 0.1);  // others keep the default
+  radio.set_default_loss_rate(3.0);  // clamped to [0, 1]
+  EXPECT_DOUBLE_EQ(radio.LossRate(0, 1), 1.0);
+  radio.SetLinkLossRate(0, 1, -2.0);
+  EXPECT_DOUBLE_EQ(radio.LossRate(0, 1), 0.0);
+  // Invalid endpoints: setters ignored, getter reports no loss.
+  radio.SetLinkLossRate(-1, 5, 0.9);
+  EXPECT_DOUBLE_EQ(radio.LossRate(-1, 5), 0.0);
+  EXPECT_DOUBLE_EQ(radio.LossRate(1, 1), 0.0);
+  radio.ClearLossRates();
+  EXPECT_DOUBLE_EQ(radio.LossRate(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(radio.LossRate(0, 1), 0.0);
+}
+
 TEST(RadioTest, ConnectivityDetection) {
   std::vector<Point> pos = {{0, 0}, {40, 0}, {80, 0}, {500, 500}};
   Radio radio(pos, 50.0);

@@ -66,5 +66,55 @@ TEST(ReportTest, CostByDepthSumsToJoinPackets) {
   EXPECT_EQ(sum, r->cost.join_packets);
 }
 
+join::JoinResult MakeResult(std::vector<std::vector<double>> rows) {
+  join::JoinResult r;
+  r.rows = std::move(rows);
+  return r;
+}
+
+TEST(ReportTest, ResultCompletenessCountsDeliveredTruthRows) {
+  const auto truth = MakeResult({{1, 2}, {3, 4}, {5, 6}, {7, 8}});
+  EXPECT_DOUBLE_EQ(ResultCompleteness(truth, truth), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ResultCompleteness(truth, MakeResult({{1, 2}, {5, 6}})), 0.5);
+  EXPECT_DOUBLE_EQ(ResultCompleteness(truth, MakeResult({})), 0.0);
+  // Rows not in the truth never count.
+  EXPECT_DOUBLE_EQ(
+      ResultCompleteness(truth, MakeResult({{9, 9}, {3, 4}})), 0.25);
+}
+
+TEST(ReportTest, ResultCompletenessIsMultisetAware) {
+  // Two identical truth rows need two deliveries; duplicates in the actual
+  // result cannot inflate the score.
+  const auto truth = MakeResult({{1, 2}, {1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(
+      ResultCompleteness(truth, MakeResult({{1, 2}, {3, 4}})), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(
+      ResultCompleteness(truth, MakeResult({{3, 4}, {3, 4}, {3, 4}})),
+      1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ResultCompleteness(truth, truth), 1.0);
+}
+
+TEST(ReportTest, ResultCompletenessOfEmptyTruthIsOne) {
+  EXPECT_DOUBLE_EQ(
+      ResultCompleteness(MakeResult({}), MakeResult({{1, 2}})), 1.0);
+}
+
+TEST(ReportTest, FaultToleranceSummaryListsOverheadAndCompleteness) {
+  join::CostReport cost;
+  cost.join_packets = 1000;
+  cost.retransmitted_packets = 120;
+  cost.ack_packets = 880;
+  cost.energy_mj = 50.0;
+  cost.retransmit_energy_mj = 6.5;
+  cost.ack_energy_mj = 3.25;
+  const std::string s = FaultToleranceSummary(cost, 0.985);
+  EXPECT_NE(s.find("1000"), std::string::npos);
+  EXPECT_NE(s.find("retransmitted 120"), std::string::npos);
+  EXPECT_NE(s.find("acks 880"), std::string::npos);
+  EXPECT_NE(s.find("6.5"), std::string::npos);
+  EXPECT_NE(s.find("98.5%"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sensjoin::testbed
