@@ -52,22 +52,79 @@ PointSet CollectedSet(const JoinAttrCodec& codec, int n) {
   return set;
 }
 
-void BM_ComputeJoinFilter(benchmark::State& state) {
+void RunFilterJoin(benchmark::State& state, FilterJoinStrategy strategy) {
   const query::AnalyzedQuery q = BenchQuery();
   const JoinAttrCodec codec = BenchCodec();
   const PointSet collected = CollectedSet(codec, state.range(0));
   size_t filter_size = 0;
+  size_t evaluated = 0;
   for (auto _ : state) {
-    const FilterJoinResult r = ComputeJoinFilter(q, codec, collected);
+    const FilterJoinResult r = ComputeJoinFilter(q, codec, collected, strategy);
+    filter_size = r.filter.size();
+    evaluated = r.combinations_evaluated;
+    benchmark::DoNotOptimize(filter_size);
+  }
+  state.counters["points"] = static_cast<double>(collected.size());
+  state.counters["filter"] = static_cast<double>(filter_size);
+  state.counters["evaluated"] = static_cast<double>(evaluated);
+  state.SetItemsProcessed(state.iterations() * collected.size() *
+                          collected.size());
+}
+
+void BM_ComputeJoinFilter(benchmark::State& state) {
+  RunFilterJoin(state, FilterJoinStrategy::kAuto);
+}
+BENCHMARK(BM_ComputeJoinFilter)->Arg(100)->Arg(400)->Arg(1500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ComputeJoinFilterNaive(benchmark::State& state) {
+  RunFilterJoin(state, FilterJoinStrategy::kNaive);
+}
+BENCHMARK(BM_ComputeJoinFilterNaive)->Arg(100)->Arg(400)->Arg(1500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ComputeJoinFilterIndexed(benchmark::State& state) {
+  RunFilterJoin(state, FilterJoinStrategy::kIndexed);
+}
+BENCHMARK(BM_ComputeJoinFilterIndexed)->Arg(100)->Arg(400)->Arg(1500)
+    ->Unit(benchmark::kMillisecond);
+
+// Three-relation chain: a temp band on A-B, a proximity join on B-C. The
+// naive engine is cubic in the collected size, so the arguments stay small.
+query::AnalyzedQuery ThreeWayQuery() {
+  auto q = query::AnalyzedQuery::FromString(
+      "SELECT A.hum, B.hum, C.hum FROM sensors A, sensors B, sensors C "
+      "WHERE |A.temp - B.temp| < 0.3 "
+      "AND distance(B.x, B.y, C.x, C.y) < 200 ONCE",
+      BenchSchema());
+  SENSJOIN_CHECK(q.ok());
+  return std::move(q).value();
+}
+
+void RunThreeWay(benchmark::State& state, FilterJoinStrategy strategy) {
+  const query::AnalyzedQuery q = ThreeWayQuery();
+  const JoinAttrCodec codec = BenchCodec();
+  const PointSet collected = CollectedSet(codec, state.range(0));
+  size_t filter_size = 0;
+  for (auto _ : state) {
+    const FilterJoinResult r = ComputeJoinFilter(q, codec, collected, strategy);
     filter_size = r.filter.size();
     benchmark::DoNotOptimize(filter_size);
   }
   state.counters["points"] = static_cast<double>(collected.size());
   state.counters["filter"] = static_cast<double>(filter_size);
-  state.SetItemsProcessed(state.iterations() * collected.size() *
-                          collected.size());
 }
-BENCHMARK(BM_ComputeJoinFilter)->Arg(100)->Arg(400)->Arg(1500)
+
+void BM_ComputeJoinFilter3WayNaive(benchmark::State& state) {
+  RunThreeWay(state, FilterJoinStrategy::kNaive);
+}
+BENCHMARK(BM_ComputeJoinFilter3WayNaive)->Arg(60)->Arg(150)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ComputeJoinFilter3WayIndexed(benchmark::State& state) {
+  RunThreeWay(state, FilterJoinStrategy::kIndexed);
+}
+BENCHMARK(BM_ComputeJoinFilter3WayIndexed)->Arg(60)->Arg(150)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

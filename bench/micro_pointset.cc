@@ -91,6 +91,50 @@ void BM_PointSetIntersect(benchmark::State& state) {
 }
 BENCHMARK(BM_PointSetIntersect)->Arg(64)->Arg(512)->Arg(4096);
 
+void BM_PointSetInsertLoop(benchmark::State& state) {
+  // Accumulating a subtree structure one key at a time: each Insert pays an
+  // O(n) vector shift.
+  auto layout = BenchLayout();
+  const std::vector<uint64_t> keys = ClusteredKeys(state.range(0), 8);
+  for (auto _ : state) {
+    PointSet set(layout);
+    for (uint64_t k : keys) set.Insert(k);
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_PointSetInsertLoop)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_PointSetInsertAll(benchmark::State& state) {
+  // The same accumulation as one sort-and-merge batch.
+  auto layout = BenchLayout();
+  const std::vector<uint64_t> keys = ClusteredKeys(state.range(0), 8);
+  for (auto _ : state) {
+    PointSet set(layout);
+    std::vector<uint64_t> batch = keys;
+    set.InsertAll(std::move(batch));
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_PointSetInsertAll)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_PointSetEncodedBits(benchmark::State& state) {
+  // Wire-size query after a mutation (the Treecut memory check does this per
+  // node): exercises the size-only cost recursion, not the bit materializer.
+  auto layout = BenchLayout();
+  const PointSet set =
+      PointSet::FromKeys(layout, ClusteredKeys(state.range(0), 9));
+  const uint64_t probe = set.keys().front() ^ 1;
+  for (auto _ : state) {
+    PointSet s = set;
+    s.Insert(probe);
+    benchmark::DoNotOptimize(s.EncodedBits());
+  }
+  state.SetItemsProcessed(state.iterations() * set.size());
+}
+BENCHMARK(BM_PointSetEncodedBits)->Arg(64)->Arg(512)->Arg(4096);
+
 void BM_ZOrderInterleave(benchmark::State& state) {
   ZOrder z({11, 11, 9});
   Rng rng(6);

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Asserts the indexed filter join is not slower than the naive engine.
+
+Reads a google-benchmark JSON file (as written by
+`micro_filterjoin --benchmark_out=...`) and compares
+BM_ComputeJoinFilterNaive/<n> against BM_ComputeJoinFilterIndexed/<n>.
+CI runners are noisy, so this is a regression tripwire, not a performance
+measurement: it fails only if the indexed engine loses to the naive one.
+
+Usage: check_bench_speedup.py <bench.json> [n] [min_ratio]
+"""
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1]
+    n = sys.argv[2] if len(sys.argv) > 2 else "1500"
+    min_ratio = float(sys.argv[3]) if len(sys.argv) > 3 else 1.0
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data["benchmarks"]:
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        times[bench["name"]] = float(bench["real_time"])
+    naive = times.get(f"BM_ComputeJoinFilterNaive/{n}")
+    indexed = times.get(f"BM_ComputeJoinFilterIndexed/{n}")
+    if naive is None or indexed is None:
+        print(f"missing benchmarks for n={n} in {path}: {sorted(times)}")
+        return 1
+    ratio = naive / indexed
+    print(f"naive/{n}: {naive:.3f}  indexed/{n}: {indexed:.3f}  "
+          f"speedup: {ratio:.2f}x (required >= {min_ratio}x)")
+    if ratio < min_ratio:
+        print("FAIL: indexed filter join is slower than the naive engine")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

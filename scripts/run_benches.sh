@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the tracked microbenchmarks and writes their google-benchmark JSON
+# baselines into the repo root (BENCH_filterjoin.json, BENCH_pointset.json).
+# Build with -DCMAKE_BUILD_TYPE=Release first; usage:
+#   scripts/run_benches.sh [build_dir] [out_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+
+run() {
+  local bench="$1" out="$2"
+  echo "===== ${bench} -> ${out} ====="
+  "${BUILD_DIR}/bench/${bench}" \
+    --benchmark_out="${out}" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=1
+}
+
+run micro_filterjoin "${OUT_DIR}/BENCH_filterjoin.json"
+run micro_pointset "${OUT_DIR}/BENCH_pointset.json"

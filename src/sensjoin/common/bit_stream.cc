@@ -1,22 +1,39 @@
 #include "sensjoin/common/bit_stream.h"
 
+#include <algorithm>
+
 #include "sensjoin/common/logging.h"
 
 namespace sensjoin {
 
 void BitWriter::WriteBits(uint64_t value, int count) {
   SENSJOIN_DCHECK(count >= 0 && count <= 64);
-  for (int i = count - 1; i >= 0; --i) {
-    const bool bit = (value >> i) & 1;
-    const size_t byte_index = size_bits_ / 8;
-    const int bit_index = 7 - static_cast<int>(size_bits_ % 8);
-    if (byte_index == bytes_.size()) bytes_.push_back(0);
-    if (bit) bytes_[byte_index] |= static_cast<uint8_t>(1u << bit_index);
-    ++size_bits_;
+  if (count == 0) return;
+  if (count < 64) value &= (1ull << count) - 1;
+  int remaining = count;
+  // Top up the partial last byte.
+  const int used = static_cast<int>(size_bits_ % 8);
+  if (used != 0) {
+    const int take = std::min(8 - used, remaining);
+    const uint64_t chunk = value >> (remaining - take);
+    bytes_.back() |= static_cast<uint8_t>(chunk << (8 - used - take));
+    size_bits_ += take;
+    remaining -= take;
+  }
+  // Whole bytes, then the tail into a fresh byte's high bits.
+  while (remaining >= 8) {
+    remaining -= 8;
+    bytes_.push_back(static_cast<uint8_t>(value >> remaining));
+    size_bits_ += 8;
+  }
+  if (remaining > 0) {
+    bytes_.push_back(static_cast<uint8_t>(value << (8 - remaining)));
+    size_bits_ += remaining;
   }
 }
 
 void BitWriter::Append(const BitWriter& other) {
+  if (other.size_bits_ == 0) return;
   // Fast path: this writer is byte-aligned, copy whole bytes.
   if (size_bits_ % 8 == 0) {
     bytes_.insert(bytes_.end(), other.bytes_.begin(), other.bytes_.end());
@@ -25,16 +42,23 @@ void BitWriter::Append(const BitWriter& other) {
     bytes_.resize((size_bits_ + 7) / 8);
     return;
   }
-  BitReader reader(other);
-  size_t remaining = other.size_bits_;
-  while (remaining >= 64) {
-    WriteBits(reader.ReadBits(64), 64);
-    remaining -= 64;
-  }
-  if (remaining > 0) {
-    WriteBits(reader.ReadBits(static_cast<int>(remaining)),
-              static_cast<int>(remaining));
-  }
+  // Unaligned: the source is byte-aligned on its side, so each of its bytes
+  // lands as one shifted write straddling at most two destination bytes.
+  bytes_.reserve((size_bits_ + other.size_bits_ + 7) / 8);
+  const size_t full = other.size_bits_ / 8;
+  for (size_t i = 0; i < full; ++i) WriteBits(other.bytes_[i], 8);
+  const int rem = static_cast<int>(other.size_bits_ % 8);
+  if (rem > 0) WriteBits(other.bytes_[full] >> (8 - rem), rem);
+}
+
+void BitWriter::Truncate(size_t bits) {
+  SENSJOIN_DCHECK(bits <= size_bits_);
+  size_bits_ = bits;
+  bytes_.resize((bits + 7) / 8);
+  // Re-zero the dropped low bits of the last byte so later writes can OR
+  // into them.
+  const int used = static_cast<int>(bits % 8);
+  if (used != 0) bytes_.back() &= static_cast<uint8_t>(0xffu << (8 - used));
 }
 
 bool BitWriter::BitAt(size_t index) const {

@@ -24,6 +24,13 @@ class BitWriter {
   /// Appends every bit of another writer.
   void Append(const BitWriter& other);
 
+  /// Pre-allocates backing storage for `bits` total bits.
+  void ReserveBits(size_t bits) { bytes_.reserve((bits + 7) / 8); }
+
+  /// Discards every bit at and after position `bits` (rollback point for
+  /// speculative encodes). Requires bits <= size_bits().
+  void Truncate(size_t bits);
+
   /// Number of bits written so far.
   size_t size_bits() const { return size_bits_; }
 

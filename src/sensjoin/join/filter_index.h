@@ -1,0 +1,76 @@
+#ifndef SENSJOIN_JOIN_FILTER_INDEX_H_
+#define SENSJOIN_JOIN_FILTER_INDEX_H_
+
+#include <vector>
+
+#include "sensjoin/join/join_attr_codec.h"
+#include "sensjoin/join/join_filter.h"
+#include "sensjoin/join/point_set.h"
+#include "sensjoin/query/compiled_predicate.h"
+#include "sensjoin/query/constraint.h"
+#include "sensjoin/query/query.h"
+
+namespace sensjoin::join {
+
+/// The indexed execution plan for the base station's pre-computation join:
+/// a table probing order plus, per nesting level, the residual predicates to
+/// evaluate and the compiled probe constraints that restrict that level's
+/// candidates to a contiguous range of a sorted per-dimension key index.
+///
+/// Ordering heuristic (estimated selectivity proxy): the first table is the
+/// one referenced by the most join predicates — placing it early unlocks
+/// constraints against its neighbors — and each following slot greedily
+/// takes the table with the most extractable probe constraints against the
+/// tables already placed, so every level after the first is probed through
+/// an index whenever the predicates allow it. Reordering is free: a full
+/// assignment matches iff every predicate is non-false, independent of the
+/// nesting order, so the result is identical to the naive left-to-right DFS.
+///
+/// Holds borrowed pointers into the query's predicate trees; the plan must
+/// not outlive the AnalyzedQuery.
+class FilterJoinPlan {
+ public:
+  FilterJoinPlan(const query::AnalyzedQuery& q, const JoinAttrCodec& codec);
+
+  /// One probe constraint mapped onto a quantizer dimension.
+  struct Probe {
+    query::ProbeConstraint constraint;
+    int dim;  ///< quantizer dimension index of the constrained attribute
+  };
+
+  /// One nesting level of the indexed DFS.
+  struct Level {
+    int table;  ///< original FROM index assigned at this level
+    /// Predicates whose last referenced table (in probing order) is this
+    /// level's; each is evaluated on every surviving candidate.
+    std::vector<const query::Expr*> preds;
+    std::vector<query::CompiledPredicate> compiled;  ///< parallel to preds
+    std::vector<Probe> probes;
+  };
+
+  const std::vector<Level>& levels() const { return levels_; }
+
+  /// True if at least one level can be probed through an index; when false,
+  /// the indexed path degenerates to the exhaustive DFS and the caller
+  /// should prefer the naive engine.
+  bool has_probes() const { return num_constraints_ > 0; }
+  int num_constraints() const { return num_constraints_; }
+
+ private:
+  std::vector<Level> levels_;
+  int num_constraints_ = 0;
+};
+
+/// Indexed variant of ComputeJoinFilter: probes sorted per-dimension key
+/// indexes instead of enumerating all combinations. Produces a bit-identical
+/// filter and combinations_matched count to the naive engine (constraints
+/// are conservative supersets and every candidate is re-evaluated against
+/// the full predicates); combinations_evaluated is typically much smaller.
+FilterJoinResult ComputeJoinFilterIndexed(const query::AnalyzedQuery& q,
+                                          const JoinAttrCodec& codec,
+                                          const PointSet& collected,
+                                          const FilterJoinPlan& plan);
+
+}  // namespace sensjoin::join
+
+#endif  // SENSJOIN_JOIN_FILTER_INDEX_H_

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "sensjoin/common/logging.h"
+#include "sensjoin/join/filter_index.h"
 #include "sensjoin/query/interval_eval.h"
 
 namespace sensjoin::join {
@@ -26,6 +27,12 @@ class AssignmentContext : public query::IntervalContext {
   const std::vector<const std::vector<query::Interval>*>* assignment_;
 };
 
+/// Exhaustive reference engine: nested-loop DFS over all eligible key
+/// combinations.
+FilterJoinResult ComputeJoinFilterNaive(const query::AnalyzedQuery& q,
+                                        const JoinAttrCodec& codec,
+                                        const PointSet& collected);
+
 }  // namespace
 
 std::vector<int> TableRelationBits(const query::AnalyzedQuery& q) {
@@ -45,7 +52,24 @@ std::vector<int> TableRelationBits(const query::AnalyzedQuery& q) {
 
 FilterJoinResult ComputeJoinFilter(const query::AnalyzedQuery& q,
                                    const JoinAttrCodec& codec,
-                                   const PointSet& collected) {
+                                   const PointSet& collected,
+                                   FilterJoinStrategy strategy) {
+  if (strategy != FilterJoinStrategy::kNaive) {
+    const FilterJoinPlan plan(q, codec);
+    if (plan.has_probes() || strategy == FilterJoinStrategy::kIndexed) {
+      return ComputeJoinFilterIndexed(q, codec, collected, plan);
+    }
+    // kAuto with no extractable constraints: the indexed engine would only
+    // replay the exhaustive DFS with extra bookkeeping.
+  }
+  return ComputeJoinFilterNaive(q, codec, collected);
+}
+
+namespace {
+
+FilterJoinResult ComputeJoinFilterNaive(const query::AnalyzedQuery& q,
+                                        const JoinAttrCodec& codec,
+                                        const PointSet& collected) {
   const std::vector<uint64_t>& keys = collected.keys();
   const int num_tables = q.num_tables();
   const int num_attrs = q.schema().num_attributes();
@@ -123,4 +147,5 @@ FilterJoinResult ComputeJoinFilter(const query::AnalyzedQuery& q,
   return result;
 }
 
+}  // namespace
 }  // namespace sensjoin::join

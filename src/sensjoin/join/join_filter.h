@@ -24,9 +24,23 @@ struct FilterJoinResult {
   /// Combinations that were not certainly false.
   size_t combinations_matched = 0;
 
+  /// True when the indexed engine ran with at least one probe constraint.
+  bool used_index = false;
+  /// Index range lookups performed (indexed engine only).
+  size_t index_probes = 0;
+  /// Probe constraints the planner extracted from the join predicates.
+  size_t constraints_extracted = 0;
+
   FilterJoinResult() : filter(nullptr) {}
   explicit FilterJoinResult(PointSet f) : filter(std::move(f)) {}
 };
+
+/// Engine selection for ComputeJoinFilter. kAuto uses the indexed engine
+/// whenever the planner extracts at least one probe constraint from the
+/// join predicates, and the exhaustive nested-loop DFS otherwise. The two
+/// engines produce bit-identical filters and combinations_matched counts;
+/// kNaive/kIndexed force one engine (reference semantics / benchmarks).
+enum class FilterJoinStrategy { kAuto, kNaive, kIndexed };
 
 /// Maps the FROM-list tables of `q` to relation bit indices (bit r of a
 /// key's flags = membership in the r-th distinct relation of the query, in
@@ -39,9 +53,10 @@ std::vector<int> TableRelationBits(const query::AnalyzedQuery& q);
 /// certainly false, so quantization can only add false positives, never
 /// drop a real result tuple (footnote 2). A key is eligible for table t iff
 /// its relation flags include t's relation.
-FilterJoinResult ComputeJoinFilter(const query::AnalyzedQuery& q,
-                                   const JoinAttrCodec& codec,
-                                   const PointSet& collected);
+FilterJoinResult ComputeJoinFilter(
+    const query::AnalyzedQuery& q, const JoinAttrCodec& codec,
+    const PointSet& collected,
+    FilterJoinStrategy strategy = FilterJoinStrategy::kAuto);
 
 }  // namespace sensjoin::join
 

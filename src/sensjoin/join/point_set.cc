@@ -77,6 +77,21 @@ void PointSet::Insert(uint64_t key) {
   cache_valid_ = false;
 }
 
+void PointSet::InsertAll(std::vector<uint64_t> batch) {
+  if (batch.empty()) return;
+  std::sort(batch.begin(), batch.end());
+  batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+  SENSJOIN_DCHECK(std::all_of(batch.begin(), batch.end(), [&](uint64_t k) {
+    return (k & ~LowMask(layout_->total_key_bits())) == 0;
+  }));
+  std::vector<uint64_t> merged;
+  merged.reserve(keys_.size() + batch.size());
+  std::set_union(keys_.begin(), keys_.end(), batch.begin(), batch.end(),
+                 std::back_inserter(merged));
+  if (merged.size() != keys_.size()) cache_valid_ = false;
+  keys_ = std::move(merged);
+}
+
 bool PointSet::Contains(uint64_t key) const {
   return std::binary_search(keys_.begin(), keys_.end(), key);
 }
@@ -102,30 +117,58 @@ void PointSet::EncodeNode(size_t begin, size_t end, int level,
                           int consumed_bits, BitWriter* out) const {
   const int suffix = layout_->total_key_bits() - consumed_bits;
   SENSJOIN_DCHECK(end > begin);
+  const size_t list_bits =
+      (end - begin) * (1 + static_cast<size_t>(suffix)) + 1;
 
-  // Option 1: list the points relative to the current path.
-  BitWriter list;
+  if (level < layout_->num_levels()) {
+    // Speculatively emit the subdivided form — index node marker, presence
+    // mask, children — straight into `out`, then roll back if listing the
+    // points is at least as short (the cost-based decomposition threshold
+    // subdivides only when strictly shorter).
+    const size_t mark = out->size_bits();
+    const int width = layout_->level_widths()[level];
+    const int digit_shift = suffix - width;
+    const uint64_t num_children = 1ull << width;
+    out->WriteBit(false);
+    uint64_t mask = 0;  // bit (num_children-1-d) set if child d present
+    for (size_t i = begin; i < end; ++i) {
+      mask |= 1ull << (num_children - 1 -
+                       ((keys_[i] >> digit_shift) & LowMask(width)));
+    }
+    out->WriteBits(mask, static_cast<int>(num_children));
+    size_t i = begin;
+    while (i < end) {
+      const uint64_t digit = (keys_[i] >> digit_shift) & LowMask(width);
+      size_t j = i;
+      while (j < end &&
+             ((keys_[j] >> digit_shift) & LowMask(width)) == digit) {
+        ++j;
+      }
+      EncodeNode(i, j, level + 1, consumed_bits + width, out);
+      i = j;
+    }
+    if (out->size_bits() - mark < list_bits) return;
+    out->Truncate(mark);
+  }
+
+  // List the points relative to the current path. Below the deepest level
+  // this is the only form (each point contributes just its presence marker).
   for (size_t i = begin; i < end; ++i) {
-    list.WriteBit(true);
-    list.WriteBits(keys_[i] & LowMask(suffix), suffix);
+    out->WriteBit(true);
+    out->WriteBits(keys_[i] & LowMask(suffix), suffix);
   }
-  list.WriteBit(false);
+  out->WriteBit(false);
+}
 
-  if (level >= layout_->num_levels()) {
-    // All digits consumed; points can only be listed (each contributes just
-    // its presence marker).
-    out->Append(list);
-    return;
-  }
-
-  // Option 2: subdivide — index node marker, presence mask, children.
+size_t PointSet::NodeEncodedBits(size_t begin, size_t end, int level,
+                                 int consumed_bits) const {
+  const int suffix = layout_->total_key_bits() - consumed_bits;
+  const size_t list_bits =
+      (end - begin) * (1 + static_cast<size_t>(suffix)) + 1;
+  if (level >= layout_->num_levels()) return list_bits;
   const int width = layout_->level_widths()[level];
   const int digit_shift = suffix - width;
-  const uint64_t num_children = 1ull << width;
-  BitWriter sub;
-  sub.WriteBit(false);
-  uint64_t mask = 0;  // bit (num_children-1-d) set if child d present
-  BitWriter children;
+  size_t sub_bits = 1 + (1ull << width);
   size_t i = begin;
   while (i < end) {
     const uint64_t digit = (keys_[i] >> digit_shift) & LowMask(width);
@@ -133,32 +176,25 @@ void PointSet::EncodeNode(size_t begin, size_t end, int level,
     while (j < end && ((keys_[j] >> digit_shift) & LowMask(width)) == digit) {
       ++j;
     }
-    mask |= 1ull << (num_children - 1 - digit);
-    EncodeNode(i, j, level + 1, consumed_bits + width, &children);
+    sub_bits += NodeEncodedBits(i, j, level + 1, consumed_bits + width);
     i = j;
   }
-  sub.WriteBits(mask, static_cast<int>(num_children));
-  sub.Append(children);
-
-  // Cost-based decomposition threshold: subdivide only when strictly
-  // shorter.
-  if (sub.size_bits() < list.size_bits()) {
-    out->Append(sub);
-  } else {
-    out->Append(list);
-  }
+  return std::min(sub_bits, list_bits);
 }
 
 BitWriter PointSet::Encode() const {
   BitWriter out;
   if (keys_.empty()) return out;
+  out.ReserveBits(EncodedBits());
   EncodeNode(0, keys_.size(), 0, 0, &out);
+  SENSJOIN_DCHECK(out.size_bits() == EncodedBits());
   return out;
 }
 
 size_t PointSet::EncodedBits() const {
   if (!cache_valid_) {
-    cached_encoded_bits_ = Encode().size_bits();
+    cached_encoded_bits_ =
+        keys_.empty() ? 0 : NodeEncodedBits(0, keys_.size(), 0, 0);
     cache_valid_ = true;
   }
   return cached_encoded_bits_;

@@ -78,6 +78,10 @@ class PointSet {
   /// Inserts one point (InsertJoinAtts).
   void Insert(uint64_t key);
 
+  /// Inserts a batch of (possibly unsorted, duplicated) points in one
+  /// sort-and-merge pass instead of one O(n) vector shift per key.
+  void InsertAll(std::vector<uint64_t> batch);
+
   bool Contains(uint64_t key) const;
 
   /// Set union / intersection (UnionJoinAtts, IntersectJoinAtts). The
@@ -89,7 +93,8 @@ class PointSet {
   /// bits.
   BitWriter Encode() const;
 
-  /// Size of the encoding. O(n log n); cached between mutations.
+  /// Size of the encoding without materializing it: a bottom-up pass over
+  /// the node costs in integer arithmetic. Cached between mutations.
   size_t EncodedBits() const;
   size_t EncodedBytes() const { return (EncodedBits() + 7) / 8; }
 
@@ -105,6 +110,8 @@ class PointSet {
  private:
   void EncodeNode(size_t begin, size_t end, int level, int consumed_bits,
                   BitWriter* out) const;
+  size_t NodeEncodedBits(size_t begin, size_t end, int level,
+                         int consumed_bits) const;
 
   std::shared_ptr<const PointSetLayout> layout_;
   std::vector<uint64_t> keys_;  // sorted, unique

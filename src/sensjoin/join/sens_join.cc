@@ -176,9 +176,12 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       // their destination; their join-attribute tuples still participate
       // in the filter join as potential partners.
       base_candidates = std::move(s.pending_full);
+      std::vector<uint64_t> base_keys;
+      base_keys.reserve(base_candidates.size());
       for (const data::Tuple& t : base_candidates) {
-        s.pending_attrs.Insert(node_key[t.node]);
+        base_keys.push_back(node_key[t.node]);
       }
+      s.pending_attrs.InsertAll(std::move(base_keys));
       s.subtree_attrs = s.pending_attrs;  // powered node: no memory limit
       s.has_subtree_attrs = true;
       continue;
@@ -227,8 +230,13 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     }
 
     PointSet out = s.pending_attrs;
-    for (const data::Tuple& t : s.proxy_tuples) out.Insert(node_key[t.node]);
-    if (info.has_tuple) out.Insert(node_key[u]);
+    std::vector<uint64_t> local_keys;
+    local_keys.reserve(s.proxy_tuples.size() + 1);
+    for (const data::Tuple& t : s.proxy_tuples) {
+      local_keys.push_back(node_key[t.node]);
+    }
+    if (info.has_tuple) local_keys.push_back(node_key[u]);
+    out.InsertAll(std::move(local_keys));
     if (out.empty()) continue;  // nothing in this subtree
     verify_wire(out);
 

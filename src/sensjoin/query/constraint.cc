@@ -1,0 +1,253 @@
+#include "sensjoin/query/constraint.h"
+
+#include <cmath>
+#include <limits>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::query {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const Interval kFullRange{-kInf, kInf};
+const Interval kEmptyRange{kInf, -kInf};
+
+/// True iff the subtree references an attribute of FROM entry `t`.
+bool RefsTable(const Expr& e, int t) {
+  if (e.kind == ExprKind::kAttrRef) return e.table_index == t;
+  for (const auto& a : e.args) {
+    if (RefsTable(*a, t)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+/// Builds the inversion program for one comparison. Walks from the
+/// probe-referencing comparison operand down to the (single, solvable)
+/// attribute reference of the probe table, recording one step per tree
+/// level. Gives up — contributing no constraint — on shapes whose inversion
+/// is either unsound or not contiguous (both operands referencing the probe
+/// table, min/max, division by a probe expression, ...).
+class ConstraintExtractor {
+ public:
+  ConstraintExtractor(int probe_table, std::vector<ProbeConstraint>* out)
+      : probe_(probe_table), out_(out) {}
+
+  void FromPredicate(const Expr& pred) {
+    if (pred.kind == ExprKind::kBinary && pred.binary_op == BinaryOp::kAnd) {
+      // Both conjuncts must hold, so each contributes independently.
+      FromPredicate(*pred.args[0]);
+      FromPredicate(*pred.args[1]);
+      return;
+    }
+    if (pred.kind != ExprKind::kBinary || !IsComparisonOp(pred.binary_op)) {
+      return;  // OR / NOT / non-comparisons: no contiguous bound
+    }
+    const Expr& lhs = *pred.args[0];
+    const Expr& rhs = *pred.args[1];
+    const bool l = RefsTable(lhs, probe_);
+    const bool r = RefsTable(rhs, probe_);
+    if (l == r) return;  // both sides or neither: not invertible
+    const Expr& side = l ? lhs : rhs;
+    const Expr& other = l ? rhs : lhs;
+
+    // Initial target from the comparison. EvalTri declares Lt/Le false only
+    // when side.lo >= / > other.hi, so a non-false outcome guarantees the
+    // side's interval reaches below other.hi (symmetrically above other.lo
+    // for Gt/Ge); Eq is non-false exactly when the intervals intersect.
+    ProbeConstraint c;
+    c.init_other_ = &other;
+    switch (pred.binary_op) {
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+        c.init_ = l ? ProbeConstraint::Init::kUpperFromHi
+                    : ProbeConstraint::Init::kLowerFromLo;
+        break;
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        c.init_ = l ? ProbeConstraint::Init::kLowerFromLo
+                    : ProbeConstraint::Init::kUpperFromHi;
+        break;
+      case BinaryOp::kEq:
+        c.init_ = ProbeConstraint::Init::kRange;
+        break;
+      default:
+        return;  // != excludes one cell range: no contiguous bound
+    }
+    Invert(side, std::move(c));
+  }
+
+ private:
+  using Step = ProbeConstraint::Step;
+  using StepKind = ProbeConstraint::StepKind;
+
+  /// `e` references the probe table and its value is constrained to the
+  /// target carried by `c`. Emits a finished constraint at an attribute
+  /// reference; otherwise extends the program and descends.
+  void Invert(const Expr& e, ProbeConstraint c) {
+    switch (e.kind) {
+      case ExprKind::kAttrRef:
+        SENSJOIN_DCHECK(e.table_index == probe_);
+        c.attr_index_ = e.attr_index;
+        out_->push_back(std::move(c));
+        return;
+      case ExprKind::kUnary:
+        if (e.unary_op != UnaryOp::kNeg) return;
+        c.steps_.push_back({StepKind::kNeg, nullptr});
+        Invert(*e.args[0], std::move(c));
+        return;
+      case ExprKind::kBinary: {
+        const Expr& u = *e.args[0];
+        const Expr& v = *e.args[1];
+        const bool pu = RefsTable(u, probe_);
+        const bool pv = RefsTable(v, probe_);
+        if (pu == pv) return;  // probe on both operands: not solvable
+        switch (e.binary_op) {
+          case BinaryOp::kAdd:
+            c.steps_.push_back({StepKind::kSubOther, pu ? &v : &u});
+            Invert(pu ? u : v, std::move(c));
+            return;
+          case BinaryOp::kSub:
+            if (pu) {
+              c.steps_.push_back({StepKind::kAddOther, &v});
+              Invert(u, std::move(c));
+            } else {
+              c.steps_.push_back({StepKind::kSubFromOther, &u});
+              Invert(v, std::move(c));
+            }
+            return;
+          case BinaryOp::kMul:
+            c.steps_.push_back({StepKind::kDivOther, pu ? &v : &u});
+            Invert(pu ? u : v, std::move(c));
+            return;
+          case BinaryOp::kDiv:
+            if (!pu) return;  // probe in the divisor: u/x is not monotone
+            c.steps_.push_back({StepKind::kMulOther, &v});
+            Invert(u, std::move(c));
+            return;
+          default:
+            return;
+        }
+      }
+      case ExprKind::kFunc:
+        if (e.func == "abs") {
+          c.steps_.push_back({StepKind::kSymHull, nullptr});
+          Invert(*e.args[0], std::move(c));
+          return;
+        }
+        if (e.func == "sqrt") {
+          c.steps_.push_back({StepKind::kSqrtInv, nullptr});
+          Invert(*e.args[0], std::move(c));
+          return;
+        }
+        if (e.func == "distance") {
+          // distance(x1, y1, x2, y2) in target T forces |x1-x2| (and
+          // |y1-y2|) to reach below T.hi: the interval evaluator computes
+          // sqrt(square(dx) + square(dy)) with tight squares, so its lower
+          // end below T.hi implies min|dx| <= T.hi. Each axis difference is
+          // inverted independently and may yield its own constraint.
+          InvertDifference(*e.args[0], *e.args[2], c);
+          InvertDifference(*e.args[1], *e.args[3], std::move(c));
+          return;
+        }
+        return;  // min/max: not invertible toward one operand
+      case ExprKind::kLiteral:
+        return;
+    }
+  }
+
+  /// Inverts dx = u - v (an axis of distance) toward the probe table, with
+  /// the symmetric hull step first: dx must intersect [-T.hi, T.hi].
+  void InvertDifference(const Expr& u, const Expr& v, ProbeConstraint c) {
+    const bool pu = RefsTable(u, probe_);
+    const bool pv = RefsTable(v, probe_);
+    if (pu == pv) return;
+    c.steps_.push_back({StepKind::kSymHull, nullptr});
+    if (pu) {
+      c.steps_.push_back({StepKind::kAddOther, &v});
+      Invert(u, std::move(c));
+    } else {
+      c.steps_.push_back({StepKind::kSubFromOther, &u});
+      Invert(v, std::move(c));
+    }
+  }
+
+  int probe_;
+  std::vector<ProbeConstraint>* out_;
+};
+
+std::vector<ProbeConstraint> ProbeConstraint::Extract(const Expr& pred,
+                                                      int probe_table) {
+  std::vector<ProbeConstraint> out;
+  ConstraintExtractor extractor(probe_table, &out);
+  extractor.FromPredicate(pred);
+  return out;
+}
+
+Interval ProbeConstraint::AllowedRange(const IntervalContext& ctx) const {
+  SENSJOIN_DCHECK(init_other_ != nullptr);
+  const Interval other = EvalInterval(*init_other_, ctx);
+  Interval t;
+  switch (init_) {
+    case Init::kUpperFromHi: t = {-kInf, other.hi}; break;
+    case Init::kLowerFromLo: t = {other.lo, kInf}; break;
+    case Init::kRange: t = other; break;
+  }
+  for (const Step& step : steps_) {
+    if (std::isnan(t.lo) || std::isnan(t.hi)) return kFullRange;
+    if (t.lo > t.hi) return kEmptyRange;
+    switch (step.kind) {
+      case StepKind::kSubOther:
+        t = Sub(t, EvalInterval(*step.other, ctx));
+        break;
+      case StepKind::kAddOther:
+        t = Add(t, EvalInterval(*step.other, ctx));
+        break;
+      case StepKind::kSubFromOther:
+        t = Sub(EvalInterval(*step.other, ctx), t);
+        break;
+      case StepKind::kNeg:
+        t = Neg(t);
+        break;
+      case StepKind::kSymHull:
+        if (t.hi < 0.0) return kEmptyRange;  // |u| has no value below 0
+        t = {-t.hi, t.hi};
+        break;
+      case StepKind::kSqrtInv:
+        if (t.hi < 0.0) return kEmptyRange;  // sqrt(u) is never negative
+        // The evaluator clamps negative radicands to zero, so any u <= 0
+        // maps to sqrt(0); only a strictly positive target floor bounds u.
+        t = {t.lo > 0.0 ? t.lo * t.lo : -kInf, t.hi * t.hi};
+        break;
+      case StepKind::kDivOther: {
+        const Interval d = EvalInterval(*step.other, ctx);
+        // The forward evaluator widens division by a zero-straddling
+        // interval to (-inf, inf): every probe value survives. Non-finite
+        // operands risk inf*0 = NaN in the interval product; give up too.
+        if ((d.lo <= 0.0 && d.hi >= 0.0) || !std::isfinite(d.lo) ||
+            !std::isfinite(d.hi) || !std::isfinite(t.lo) ||
+            !std::isfinite(t.hi)) {
+          return kFullRange;
+        }
+        t = Div(t, d);
+        break;
+      }
+      case StepKind::kMulOther: {
+        const Interval m = EvalInterval(*step.other, ctx);
+        if ((m.lo <= 0.0 && m.hi >= 0.0) || !std::isfinite(m.lo) ||
+            !std::isfinite(m.hi) || !std::isfinite(t.lo) ||
+            !std::isfinite(t.hi)) {
+          return kFullRange;
+        }
+        t = Mul(t, m);
+        break;
+      }
+    }
+  }
+  if (std::isnan(t.lo) || std::isnan(t.hi)) return kFullRange;
+  return t;
+}
+
+}  // namespace sensjoin::query

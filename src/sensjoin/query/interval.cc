@@ -42,6 +42,14 @@ Interval Abs(const Interval& a) {
   return {0.0, std::max(-a.lo, a.hi)};
 }
 
+Interval Square(const Interval& a) {
+  const double lo2 = a.lo * a.lo;
+  const double hi2 = a.hi * a.hi;
+  if (a.lo >= 0.0) return {lo2, hi2};
+  if (a.hi <= 0.0) return {hi2, lo2};
+  return {0.0, std::max(lo2, hi2)};
+}
+
 Interval Sqrt(const Interval& a) {
   const double lo = std::max(0.0, a.lo);
   const double hi = std::max(0.0, a.hi);

@@ -38,6 +38,9 @@ Interval Mul(const Interval& a, const Interval& b);
 Interval Div(const Interval& a, const Interval& b);
 Interval Neg(const Interval& a);
 Interval Abs(const Interval& a);
+/// Tight square: bounded below by 0 when `a` straddles zero, unlike
+/// Mul(a, a), whose lo*hi cross terms admit spurious negative values.
+Interval Square(const Interval& a);
 /// Square root; negative parts of the operand are clamped to zero.
 Interval Sqrt(const Interval& a);
 Interval Min(const Interval& a, const Interval& b);

@@ -53,7 +53,7 @@ Interval EvalInterval(const Expr& expr, const IntervalContext& ctx) {
                                 EvalInterval(*expr.args[2], ctx));
         const Interval dy = Sub(EvalInterval(*expr.args[1], ctx),
                                 EvalInterval(*expr.args[3], ctx));
-        return Sqrt(Add(Mul(dx, dx), Mul(dy, dy)));
+        return Sqrt(Add(Square(dx), Square(dy)));
       }
       SENSJOIN_CHECK(false) << "unknown function" << expr.func;
       return {};

@@ -144,6 +144,59 @@ TEST_P(BitStreamRoundtripTest, AppendEqualsConcatenation) {
   EXPECT_EQ(combined.bytes(), whole.bytes());
 }
 
+TEST_P(BitStreamRoundtripTest, TruncateEqualsNeverWriting) {
+  // Writing A+B, truncating B away, then writing C must produce exactly
+  // the stream of writing A+C — including re-zeroed padding in the last
+  // partial byte so later writes can OR into it.
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter speculative;
+    BitWriter reference;
+    const int prefix_chunks = static_cast<int>(rng.UniformInt(0, 8));
+    for (int i = 0; i < prefix_chunks; ++i) {
+      const int width = static_cast<int>(rng.UniformInt(1, 63));
+      const uint64_t value = rng.NextUint64() & ((1ull << width) - 1);
+      speculative.WriteBits(value, width);
+      reference.WriteBits(value, width);
+    }
+    const size_t mark = speculative.size_bits();
+    const int spec_chunks = static_cast<int>(rng.UniformInt(1, 8));
+    for (int i = 0; i < spec_chunks; ++i) {
+      speculative.WriteBits(rng.NextUint64(), 64);
+    }
+    speculative.Truncate(mark);
+    const int suffix_chunks = static_cast<int>(rng.UniformInt(0, 8));
+    for (int i = 0; i < suffix_chunks; ++i) {
+      const int width = static_cast<int>(rng.UniformInt(1, 63));
+      const uint64_t value = rng.NextUint64() & ((1ull << width) - 1);
+      speculative.WriteBits(value, width);
+      reference.WriteBits(value, width);
+    }
+    ASSERT_EQ(speculative.size_bits(), reference.size_bits());
+    EXPECT_EQ(speculative.bytes(), reference.bytes());
+  }
+}
+
+TEST(BitWriterTest, WriteBitsIgnoresHighBitsAboveCount) {
+  BitWriter masked;
+  masked.WriteBits(~0ull, 5);
+  BitWriter plain;
+  plain.WriteBits(0x1f, 5);
+  EXPECT_EQ(masked.bytes(), plain.bytes());
+  EXPECT_EQ(masked.size_bits(), 5u);
+}
+
+TEST(BitWriterTest, ReserveBitsDoesNotChangeContents) {
+  BitWriter w;
+  w.WriteBits(0b101, 3);
+  w.ReserveBits(4096);
+  w.WriteBits(0xAB, 8);
+  EXPECT_EQ(w.size_bits(), 11u);
+  BitReader r(w);
+  EXPECT_EQ(r.ReadBits(3), 0b101u);
+  EXPECT_EQ(r.ReadBits(8), 0xABu);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BitStreamRoundtripTest,
                          ::testing::Values(1, 2, 3, 4, 5, 11, 42, 1234));
 
