@@ -1,0 +1,61 @@
+// Fuzzes every compress/ decoder on arbitrary bytes (they parse untrusted
+// per-hop buffers) and, in the same run, checks the compressor/decompressor
+// round-trip: compressing the input and decompressing it back must
+// reproduce it exactly. The first byte selects the codec.
+
+#include <cstdint>
+#include <vector>
+
+#include "sensjoin/compress/bzip2_like.h"
+#include "sensjoin/compress/huffman.h"
+#include "sensjoin/compress/rle.h"
+#include "sensjoin/compress/zlib_like.h"
+
+namespace {
+
+using sensjoin::StatusOr;
+
+void CheckRoundtrip(const StatusOr<std::vector<uint8_t>>& got,
+                    const std::vector<uint8_t>& want) {
+  if (!got.ok() || *got != want) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 1) return 0;
+  const uint8_t codec = data[0] % 4;
+  const std::vector<uint8_t> body(data + 1, data + size);
+  // The bzip2-like pipeline sorts rotations, so cap its round-trip input to
+  // keep fuzz throughput reasonable; decoding arbitrary bytes stays uncapped.
+  const std::vector<uint8_t> small(
+      body.begin(), body.begin() + std::min<size_t>(body.size(), 4096));
+
+  switch (codec) {
+    case 0:
+      (void)sensjoin::compress::HuffmanDecompress(body);
+      CheckRoundtrip(sensjoin::compress::HuffmanDecompress(
+                         sensjoin::compress::HuffmanCompress(body)),
+                     body);
+      break;
+    case 1:
+      (void)sensjoin::compress::ZlibLikeDecompress(body);
+      CheckRoundtrip(sensjoin::compress::ZlibLikeDecompress(
+                         sensjoin::compress::ZlibLikeCompress(body)),
+                     body);
+      break;
+    case 2:
+      (void)sensjoin::compress::Bzip2LikeDecompress(body);
+      CheckRoundtrip(sensjoin::compress::Bzip2LikeDecompress(
+                         sensjoin::compress::Bzip2LikeCompress(small)),
+                     small);
+      break;
+    case 3:
+      (void)sensjoin::compress::RleDecode(body);
+      CheckRoundtrip(
+          sensjoin::compress::RleDecode(sensjoin::compress::RleEncode(body)),
+          body);
+      break;
+  }
+  return 0;
+}

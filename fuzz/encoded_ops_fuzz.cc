@@ -1,0 +1,69 @@
+// Fuzzes the streaming operations that run directly on the quadtree wire
+// format: EncodedPointStream, ContainsEncoded and the Union/Intersect
+// co-traversals. These are the routines a memory-constrained node runs on a
+// structure it just received, so they must survive arbitrary bytes. The
+// input is split into two candidate encodings to drive the two-operand
+// merges.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sensjoin/common/bit_stream.h"
+#include "sensjoin/join/encoded_ops.h"
+#include "sensjoin/join/point_set.h"
+
+using sensjoin::BitWriter;
+using sensjoin::join::EncodedPointStream;
+using sensjoin::join::PointSet;
+using sensjoin::join::PointSetLayout;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 4) return 0;
+  const int flag_bits = data[0] % 4;
+  const int num_levels = 1 + data[1] % 6;
+  const int level_width = 1 + (data[1] >> 4) % 3;
+  const auto layout = std::make_shared<PointSetLayout>(
+      flag_bits, std::vector<int>(num_levels, level_width));
+
+  const uint8_t* body = data + 2;
+  const size_t body_bytes = size - 2;
+  const size_t split = body_bytes / 2;
+  const BitWriter a = BitWriter::FromBytes(
+      std::vector<uint8_t>(body, body + split), split * 8);
+  const BitWriter b = BitWriter::FromBytes(
+      std::vector<uint8_t>(body + split, body + body_bytes),
+      (body_bytes - split) * 8);
+
+  // Streaming decode of arbitrary bytes must terminate with a status, and
+  // on success agree with the batch decoder.
+  EncodedPointStream stream(layout.get(), &a);
+  std::vector<uint64_t> streamed;
+  while (auto key = stream.Next()) streamed.push_back(*key);
+  auto batch = PointSet::Decode(layout, a);
+  if (stream.status().ok() != batch.ok()) __builtin_trap();
+  if (batch.ok() && streamed != batch->keys()) __builtin_trap();
+
+  const uint64_t probe =
+      (static_cast<uint64_t>(data[2]) << 8 | data[3]) &
+      ((layout->total_key_bits() >= 64)
+           ? ~0ull
+           : ((1ull << layout->total_key_bits()) - 1));
+  (void)sensjoin::join::ContainsEncoded(*layout, a, probe);
+
+  auto u = sensjoin::join::UnionEncoded(*layout, a, b);
+  auto i = sensjoin::join::IntersectEncoded(*layout, a, b);
+  // When both operands are valid encodings, the streaming merges must agree
+  // with the set operations on the decoded forms.
+  auto db = PointSet::Decode(layout, b);
+  if (batch.ok() && db.ok()) {
+    if (!u.ok() || !i.ok()) __builtin_trap();
+    const BitWriter want_u = PointSet::Union(*batch, *db).Encode();
+    const BitWriter want_i = PointSet::Intersect(*batch, *db).Encode();
+    if (u->bytes() != want_u.bytes() || u->size_bits() != want_u.size_bits() ||
+        i->bytes() != want_i.bytes() || i->size_bits() != want_i.size_bits()) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fuzzes PointSet::Decode, the receiver-side parser of the Fig. 9 quadtree
+// wire format — exactly the bytes a node reassembles from (possibly
+// corrupted) fragments. The first two input bytes choose a layout so the
+// grammar parameters vary too; the rest is the candidate encoding. Decode
+// must never abort, and any accepted input must round-trip through the
+// canonical encoder.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sensjoin/join/point_set.h"
+
+using sensjoin::join::PointSet;
+using sensjoin::join::PointSetLayout;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 3) return 0;
+  const int flag_bits = data[0] % 4;                     // 0..3 relations
+  const int num_levels = 1 + data[1] % 8;                // 1..8 z levels
+  const int level_width = 1 + (data[1] >> 4) % 3;        // 1..3 bits each
+  const auto layout = std::make_shared<PointSetLayout>(
+      flag_bits, std::vector<int>(num_levels, level_width));
+
+  const uint8_t* body = data + 2;
+  const size_t body_bytes = size - 2;
+  // Shave 0..7 trailing bits so unaligned sizes are exercised as well.
+  const size_t size_bits = body_bytes * 8 - (data[0] >> 5);
+
+  auto decoded = PointSet::Decode(layout, body, size_bits);
+  if (!decoded.ok()) return 0;
+
+  // Accepted input: the canonical re-encoding must parse back to the same
+  // set (the encoding of a given key set is unique).
+  auto again = PointSet::Decode(layout, decoded->Encode());
+  if (!again.ok() || !(*again == *decoded)) __builtin_trap();
+  return 0;
+}

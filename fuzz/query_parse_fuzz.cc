@@ -1,0 +1,17 @@
+// Fuzzes the query parser (queries are flooded through the network as
+// text, so the lexer/parser sees whatever arrives). Parse must return a
+// Status for any input, never abort, and a successfully parsed query must
+// survive a second parse of itself (grammar accepts what it accepted).
+
+#include <cstdint>
+#include <string>
+
+#include "sensjoin/query/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  auto parsed = sensjoin::query::Parse(input);
+  (void)parsed;
+  (void)sensjoin::query::ParseExpression(input);
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Driver for fuzz targets when libFuzzer is unavailable (this repo's
+// default toolchain is gcc, which has no -fsanitize=fuzzer). It accepts the
+// subset of the libFuzzer command line the CI job uses — corpus files or
+// directories plus -max_total_time=, -runs= and -seed= — replays every
+// corpus input once, then feeds the target deterministic mutations (bit
+// flips, byte edits, truncations, insertions and cross-corpus splices)
+// until the time or run budget is exhausted. With clang available, CMake
+// links the same target files against real libFuzzer instead and this
+// driver is not built.
+
+#include <csignal>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+constexpr size_t kMaxInputBytes = 64 * 1024;
+
+// The input currently being executed, dumped to ./crash-<pid> if the target
+// traps so the failure can be replayed (pass the file as a corpus operand).
+std::vector<uint8_t> g_current;
+
+void DumpCurrentInput(int sig) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "crash-%d", static_cast<int>(getpid()));
+  std::FILE* f = std::fopen(name, "wb");
+  if (f != nullptr) {
+    std::fwrite(g_current.data(), 1, g_current.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "crashing input (%zu bytes) written to %s\n",
+                 g_current.size(), name);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+int RunOne(const std::vector<uint8_t>& input) {
+  g_current = input;
+  return LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+// Self-contained xorshift so the mutation stream does not depend on the
+// library under test.
+struct XorShift {
+  uint64_t s;
+  uint64_t Next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  size_t Below(size_t n) { return n == 0 ? 0 : Next() % n; }
+};
+
+std::vector<uint8_t> ReadFile(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void Mutate(std::vector<uint8_t>* input, XorShift* rng,
+            const std::vector<std::vector<uint8_t>>& corpus) {
+  const int edits = 1 + static_cast<int>(rng->Below(4));
+  for (int e = 0; e < edits; ++e) {
+    switch (rng->Below(6)) {
+      case 0:  // bit flip
+        if (!input->empty()) {
+          (*input)[rng->Below(input->size())] ^=
+              static_cast<uint8_t>(1u << rng->Below(8));
+        }
+        break;
+      case 1:  // random byte
+        if (!input->empty()) {
+          (*input)[rng->Below(input->size())] =
+              static_cast<uint8_t>(rng->Next());
+        }
+        break;
+      case 2:  // insert a byte
+        if (input->size() < kMaxInputBytes) {
+          input->insert(input->begin() + rng->Below(input->size() + 1),
+                        static_cast<uint8_t>(rng->Next()));
+        }
+        break;
+      case 3:  // erase a byte
+        if (!input->empty()) {
+          input->erase(input->begin() + rng->Below(input->size()));
+        }
+        break;
+      case 4:  // truncate the tail
+        if (!input->empty()) input->resize(rng->Below(input->size() + 1));
+        break;
+      case 5:  // splice a slice of another corpus input onto the tail
+        if (!corpus.empty()) {
+          const std::vector<uint8_t>& other = corpus[rng->Below(corpus.size())];
+          if (!other.empty()) {
+            const size_t from = rng->Below(other.size());
+            size_t take = rng->Below(other.size() - from) + 1;
+            take = std::min(take, kMaxInputBytes - std::min(kMaxInputBytes,
+                                                            input->size()));
+            input->insert(input->end(), other.begin() + from,
+                          other.begin() + from + take);
+          }
+        }
+        break;
+    }
+  }
+  if (input->size() > kMaxInputBytes) input->resize(kMaxInputBytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_total_time = 0.0;
+  long long max_runs = -1;
+  uint64_t seed = 0x5EED5;
+  std::vector<std::vector<uint8_t>> corpus;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::stod(arg.substr(16));
+    } else if (arg.rfind("-runs=", 0) == 0) {
+      max_runs = std::stoll(arg.substr(6));
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(6));
+    } else if (arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "ignoring unsupported flag %s\n", arg.c_str());
+    } else {
+      std::error_code ec;
+      if (std::filesystem::is_directory(arg, ec)) {
+        for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+          if (entry.is_regular_file()) corpus.push_back(ReadFile(entry.path()));
+        }
+      } else if (std::filesystem::is_regular_file(arg, ec)) {
+        corpus.push_back(ReadFile(arg));
+      } else {
+        std::fprintf(stderr, "no such corpus input: %s\n", arg.c_str());
+      }
+    }
+  }
+  if (max_total_time <= 0.0 && max_runs < 0) max_runs = 100000;
+
+  for (int sig : {SIGILL, SIGABRT, SIGSEGV, SIGFPE, SIGBUS}) {
+    std::signal(sig, DumpCurrentInput);
+  }
+
+  long long runs = 0;
+  for (const std::vector<uint8_t>& input : corpus) {
+    RunOne(input);
+    ++runs;
+  }
+
+  XorShift rng{seed ? seed : 1};
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  while ((max_runs < 0 || runs < max_runs) &&
+         (max_total_time <= 0.0 || elapsed() < max_total_time)) {
+    std::vector<uint8_t> input =
+        corpus.empty() ? std::vector<uint8_t>{}
+                       : corpus[rng.Below(corpus.size())];
+    Mutate(&input, &rng, corpus);
+    RunOne(input);
+    ++runs;
+  }
+  std::printf("standalone fuzz driver: %lld runs in %.1fs, no crashes\n",
+              runs, elapsed());
+  return 0;
+}

@@ -6,6 +6,18 @@
 
 namespace sensjoin {
 
+BitWriter BitWriter::FromBytes(std::vector<uint8_t> bytes, size_t size_bits) {
+  SENSJOIN_CHECK(bytes.size() == (size_bits + 7) / 8)
+      << "FromBytes:" << bytes.size() << "bytes cannot hold exactly"
+      << size_bits << "bits";
+  BitWriter w;
+  w.bytes_ = std::move(bytes);
+  w.size_bits_ = size_bits;
+  const int used = static_cast<int>(size_bits % 8);
+  if (used != 0) w.bytes_.back() &= static_cast<uint8_t>(0xffu << (8 - used));
+  return w;
+}
+
 void BitWriter::WriteBits(uint64_t value, int count) {
   SENSJOIN_DCHECK(count >= 0 && count <= 64);
   if (count == 0) return;
@@ -78,6 +90,17 @@ uint64_t BitReader::ReadBits(int count) {
     ++pos_;
   }
   return value;
+}
+
+Status BitReader::TryReadBits(int count, uint64_t* out) {
+  if (count < 0 || count > 64) {
+    return Status::InvalidArgument("bit count outside [0, 64]");
+  }
+  if (RemainingBits() < static_cast<size_t>(count)) {
+    return Status::OutOfRange("BitReader overrun");
+  }
+  *out = ReadBits(count);
+  return Status::Ok();
 }
 
 }  // namespace sensjoin

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sensjoin/common/status.h"
+
 namespace sensjoin {
 
 /// Append-only MSB-first bit buffer. This is the wire format used by the
@@ -13,6 +15,12 @@ namespace sensjoin {
 class BitWriter {
  public:
   BitWriter() = default;
+
+  /// Reconstructs a writer from raw backing bytes holding `size_bits` bits
+  /// (e.g. a bitstring that went over the wire, possibly damaged). `bytes`
+  /// must be exactly the rounded-up byte count; padding bits in the final
+  /// byte are re-zeroed so later appends and equality behave as usual.
+  static BitWriter FromBytes(std::vector<uint8_t> bytes, size_t size_bits);
 
   /// Appends the low `count` bits of `value`, most significant bit first.
   /// Requires count <= 64.
@@ -71,6 +79,19 @@ class BitReader {
 
   /// Reads one bit.
   bool ReadBit() { return ReadBits(1) != 0; }
+
+  /// Bounds-checked variant for untrusted input: reading past the end (or a
+  /// count outside [0, 64]) returns OutOfRange and leaves the position and
+  /// `*out` untouched instead of aborting.
+  Status TryReadBits(int count, uint64_t* out);
+
+  /// Bounds-checked single-bit read.
+  Status TryReadBit(bool* out) {
+    uint64_t v = 0;
+    SENSJOIN_RETURN_IF_ERROR(TryReadBits(1, &v));
+    *out = v != 0;
+    return Status::Ok();
+  }
 
   size_t position_bits() const { return pos_; }
   size_t RemainingBits() const { return size_bits_ - pos_; }

@@ -1,0 +1,48 @@
+#include "sensjoin/common/crc16.h"
+
+#include <array>
+
+namespace sensjoin {
+namespace {
+
+constexpr uint16_t kPoly = 0x1021;
+
+std::array<uint16_t, 256> MakeTable() {
+  std::array<uint16_t, 256> table{};
+  for (int b = 0; b < 256; ++b) {
+    uint16_t crc = static_cast<uint16_t>(b << 8);
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x8000) ? static_cast<uint16_t>((crc << 1) ^ kPoly)
+                           : static_cast<uint16_t>(crc << 1);
+    }
+    table[b] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint16_t Crc16(const uint8_t* data, size_t size) {
+  static const std::array<uint16_t, 256> table = MakeTable();
+  uint16_t crc = 0xFFFF;
+  for (size_t i = 0; i < size; ++i) {
+    crc = static_cast<uint16_t>((crc << 8) ^ table[(crc >> 8) ^ data[i]]);
+  }
+  return crc;
+}
+
+void AppendCrc16(std::vector<uint8_t>* frame) {
+  const uint16_t crc = Crc16(*frame);
+  frame->push_back(static_cast<uint8_t>(crc >> 8));
+  frame->push_back(static_cast<uint8_t>(crc));
+}
+
+bool VerifyCrc16(const std::vector<uint8_t>& frame) {
+  if (frame.size() < 2) return false;
+  const uint16_t expected = Crc16(frame.data(), frame.size() - 2);
+  const uint16_t stored =
+      static_cast<uint16_t>((frame[frame.size() - 2] << 8) | frame.back());
+  return expected == stored;
+}
+
+}  // namespace sensjoin

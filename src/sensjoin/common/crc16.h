@@ -1,0 +1,30 @@
+#ifndef SENSJOIN_COMMON_CRC16_H_
+#define SENSJOIN_COMMON_CRC16_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sensjoin {
+
+/// CRC-16/CCITT-FALSE (polynomial 0x1021, init 0xFFFF, no reflection), the
+/// checksum family used by 802.15.4 frame check sequences. This is the
+/// per-fragment integrity trailer of the fault model's corruption layer
+/// (sim::IntegrityParams): a receiver recomputes the CRC over the payload
+/// and silently drops any fragment whose trailer mismatches.
+uint16_t Crc16(const uint8_t* data, size_t size);
+
+inline uint16_t Crc16(const std::vector<uint8_t>& data) {
+  return Crc16(data.data(), data.size());
+}
+
+/// Appends the big-endian CRC of everything currently in `frame`.
+void AppendCrc16(std::vector<uint8_t>* frame);
+
+/// True when `frame` ends in the correct CRC-16 trailer of the preceding
+/// bytes. Frames shorter than the trailer verify false.
+bool VerifyCrc16(const std::vector<uint8_t>& frame);
+
+}  // namespace sensjoin
+
+#endif  // SENSJOIN_COMMON_CRC16_H_

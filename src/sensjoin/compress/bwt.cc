@@ -47,12 +47,14 @@ BwtResult BwtTransform(const std::vector<uint8_t>& input) {
   return result;
 }
 
-std::vector<uint8_t> BwtInverse(const std::vector<uint8_t>& data,
-                                uint32_t primary_index) {
+StatusOr<std::vector<uint8_t>> BwtInverse(const std::vector<uint8_t>& data,
+                                          uint32_t primary_index) {
   const size_t n = data.size();
   std::vector<uint8_t> out;
   if (n == 0) return out;
-  SENSJOIN_CHECK_LT(primary_index, n);
+  if (primary_index >= n) {
+    return Status::InvalidArgument("bwt: primary index outside data");
+  }
 
   // LF-mapping: for row i of the sorted matrix, lf[i] is the row whose
   // rotation is one step earlier. Built by stable counting sort of the last

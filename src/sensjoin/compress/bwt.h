@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sensjoin/common/statusor.h"
+
 namespace sensjoin::compress {
 
 /// Result of the Burrows-Wheeler transform: the last column of the sorted
@@ -17,10 +19,11 @@ struct BwtResult {
 /// rotation sort (O(n log^2 n), robust to periodic inputs).
 BwtResult BwtTransform(const std::vector<uint8_t>& input);
 
-/// Inverse transform via LF-mapping. `primary_index` must be < data size
-/// (checked fatally for non-empty input).
-std::vector<uint8_t> BwtInverse(const std::vector<uint8_t>& data,
-                                uint32_t primary_index);
+/// Inverse transform via LF-mapping. A `primary_index` outside the data
+/// (possible when the pair was deserialized from untrusted bytes) is an
+/// InvalidArgument error, not a crash; empty data inverts to empty output.
+StatusOr<std::vector<uint8_t>> BwtInverse(const std::vector<uint8_t>& data,
+                                          uint32_t primary_index);
 
 }  // namespace sensjoin::compress
 

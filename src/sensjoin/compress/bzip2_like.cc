@@ -76,10 +76,8 @@ StatusOr<std::vector<uint8_t>> Bzip2LikeDecompress(
     SENSJOIN_ASSIGN_OR_RETURN(std::vector<uint8_t> mtf,
                               HuffmanDecompress(entropy));
     const std::vector<uint8_t> bwt_data = MtfDecode(mtf);
-    if (!bwt_data.empty() && primary >= bwt_data.size()) {
-      return Status::InvalidArgument("bzip2-like: bad primary index");
-    }
-    const std::vector<uint8_t> block = BwtInverse(bwt_data, primary);
+    SENSJOIN_ASSIGN_OR_RETURN(std::vector<uint8_t> block,
+                              BwtInverse(bwt_data, primary));
     rle.insert(rle.end(), block.begin(), block.end());
   }
   if (pos != input.size()) {

@@ -184,6 +184,12 @@ StatusOr<std::vector<uint8_t>> HuffmanDecompress(
     if (!symbols_by_len[l].empty()) first_code[l] = codes[symbols_by_len[l][0]];
   }
 
+  // Every symbol costs at least one bit, so a declared size beyond the
+  // remaining bitstream is malformed — and must be rejected before the
+  // reserve below turns an attacker-chosen u32 into a giant allocation.
+  if (original_size > (input.size() - pos) * 8) {
+    return Status::InvalidArgument("huffman: declared size exceeds bitstream");
+  }
   BitReader reader(input.data() + pos, (input.size() - pos) * 8);
   out.reserve(original_size);
   while (out.size() < original_size) {

@@ -88,16 +88,20 @@ std::vector<Lz77Token> Lz77Parse(const std::vector<uint8_t>& input) {
   return tokens;
 }
 
-std::vector<uint8_t> Lz77Reconstruct(const std::vector<Lz77Token>& tokens) {
+StatusOr<std::vector<uint8_t>> Lz77Reconstruct(
+    const std::vector<Lz77Token>& tokens) {
   std::vector<uint8_t> out;
   for (const Lz77Token& t : tokens) {
     if (!t.is_match) {
       out.push_back(t.literal);
       continue;
     }
-    SENSJOIN_CHECK(t.distance > 0 && t.distance <= out.size())
-        << "invalid LZ77 distance";
-    SENSJOIN_CHECK_GE(t.length, kLz77MinMatch);
+    if (t.distance == 0 || t.distance > out.size()) {
+      return Status::InvalidArgument("lz77: distance outside window");
+    }
+    if (t.length < kLz77MinMatch) {
+      return Status::InvalidArgument("lz77: match shorter than minimum");
+    }
     const size_t start = out.size() - t.distance;
     for (int k = 0; k < t.length; ++k) {
       out.push_back(out[start + k]);  // overlapping copies are intentional

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sensjoin/common/statusor.h"
+
 namespace sensjoin::compress {
 
 /// One LZ77 token: either a literal byte or a back-reference of `length`
@@ -23,9 +25,12 @@ inline constexpr int kLz77WindowSize = 32768;
 /// scheme). Deterministic.
 std::vector<Lz77Token> Lz77Parse(const std::vector<uint8_t>& input);
 
-/// Expands a token stream back into bytes. Out-of-range distances are
-/// checked fatally (tokens from Lz77Parse are always valid).
-std::vector<uint8_t> Lz77Reconstruct(const std::vector<Lz77Token>& tokens);
+/// Expands a token stream back into bytes. Tokens from Lz77Parse are always
+/// valid; streams deserialized from untrusted bytes may not be, so an
+/// out-of-range distance or undersized match length is an error, not a
+/// crash.
+StatusOr<std::vector<uint8_t>> Lz77Reconstruct(
+    const std::vector<Lz77Token>& tokens);
 
 }  // namespace sensjoin::compress
 

@@ -59,11 +59,12 @@ StatusOr<std::vector<Lz77Token>> DeserializeTokens(
   if (!ReadU32(in, &pos, &count)) {
     return Status::InvalidArgument("zlib-like: truncated token count");
   }
-  std::vector<Lz77Token> tokens(count);
+  // Bounds before allocation: a bogus count must not drive a huge reserve.
   const size_t flag_bytes = (count + 7) / 8;
-  if (pos + flag_bytes > in.size()) {
+  if (pos + flag_bytes + count > in.size()) {
     return Status::InvalidArgument("zlib-like: truncated flags");
   }
+  std::vector<Lz77Token> tokens(count);
   size_t matches = 0;
   for (uint32_t i = 0; i < count; ++i) {
     const uint8_t byte = in[pos + i / 8];
@@ -130,24 +131,6 @@ StatusOr<std::vector<uint8_t>> ZlibLikeDecompress(
                             HuffmanDecompress(body));
   SENSJOIN_ASSIGN_OR_RETURN(std::vector<Lz77Token> tokens,
                             DeserializeTokens(serialized));
-  for (const Lz77Token& t : tokens) {
-    if (t.is_match && t.distance == 0) {
-      return Status::InvalidArgument("zlib-like: zero match distance");
-    }
-  }
-  // Validate distances against the running output length to keep
-  // Lz77Reconstruct's CHECK from firing on corrupt input.
-  size_t produced = 0;
-  for (const Lz77Token& t : tokens) {
-    if (t.is_match) {
-      if (t.distance > produced) {
-        return Status::InvalidArgument("zlib-like: distance before start");
-      }
-      produced += t.length;
-    } else {
-      ++produced;
-    }
-  }
   return Lz77Reconstruct(tokens);
 }
 

@@ -64,6 +64,13 @@ std::optional<uint64_t> EncodedPointStream::Next() {
       }
       const uint64_t key =
           (top.prefix << suffix) | reader_.ReadBits(suffix);
+      if (have_last_ && key <= last_key_) {
+        status_ = Status::InvalidArgument("point-set keys not strictly ascending");
+        done_ = true;
+        return std::nullopt;
+      }
+      have_last_ = true;
+      last_key_ = key;
       if (!reader_.ReadBit()) stack_.pop_back();  // end of list
       return key;
     }
@@ -86,6 +93,9 @@ std::optional<uint64_t> EncodedPointStream::Next() {
       }
     }
     if (!descended) stack_.pop_back();
+  }
+  if (!done_ && status_.ok() && reader_.RemainingBits() > 0) {
+    status_ = Status::InvalidArgument("trailing bits after point-set encoding");
   }
   done_ = true;
   return std::nullopt;

@@ -29,7 +29,10 @@ class EncodedPointStream {
   EncodedPointStream(const PointSetLayout* layout, const BitWriter* encoded);
 
   /// The next key, or nullopt at the end. Malformed input is reported
-  /// through status() and ends the stream.
+  /// through status() and ends the stream. Accepts exactly the encodings
+  /// PointSet::Decode accepts: truncation, trailing bits and out-of-order
+  /// keys are all errors, so a corrupted structure cannot slip through the
+  /// streaming path while the batch path would reject it.
   std::optional<uint64_t> Next();
 
   const Status& status() const { return status_; }
@@ -51,6 +54,8 @@ class EncodedPointStream {
   std::vector<Frame> stack_;
   Status status_;
   bool done_;
+  bool have_last_ = false;
+  uint64_t last_key_ = 0;
 };
 
 /// Probes an encoding for one key by following its digit path: O(path)

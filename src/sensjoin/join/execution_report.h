@@ -20,6 +20,12 @@ struct ExecutionReport {
   /// re-pulled without a full re-execution).
   size_t recovery_requests = 0;
 
+  /// Logical messages delivered with an undetected-corrupt payload (only
+  /// possible with the CRC trailer disabled). Each either degraded into a
+  /// dropped contribution (the hardened decoder rejected the damage) or a
+  /// wrong-but-safe structure.
+  size_t corrupted_deliveries = 0;
+
   // Pre-computation statistics (zero for the external join).
   size_t collected_points = 0;  ///< distinct quantized join-attribute tuples
   size_t filter_points = 0;     ///< points surviving the filter join

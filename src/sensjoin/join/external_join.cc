@@ -67,7 +67,14 @@ bool ExternalJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     msg.dst = tree_.parent(u);
     msg.kind = sim::MessageKind::kFinal;
     msg.payload_bytes = payload;
-    if (!sim_.SendUnicast(std::move(msg))) return false;
+    bool corrupted = false;
+    if (!sim_.SendUnicast(std::move(msg), &corrupted)) return false;
+    if (corrupted) {
+      // With the CRC trailer off, garbled tuples slip through the link
+      // layer but are unusable: the subtree's rows are lost.
+      ++report->corrupted_deliveries;
+      continue;
+    }
     std::vector<data::Tuple>& up = pending[tree_.parent(u)];
     up.insert(up.end(), std::make_move_iterator(contribution.begin()),
               std::make_move_iterator(contribution.end()));

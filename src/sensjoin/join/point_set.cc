@@ -250,9 +250,16 @@ Status DecodeNode(const PointSetLayout& layout, BitReader* reader, int level,
 
 StatusOr<PointSet> PointSet::Decode(
     std::shared_ptr<const PointSetLayout> layout, const BitWriter& encoded) {
+  return Decode(std::move(layout), encoded.bytes().data(),
+                encoded.size_bits());
+}
+
+StatusOr<PointSet> PointSet::Decode(
+    std::shared_ptr<const PointSetLayout> layout, const uint8_t* bytes,
+    size_t size_bits) {
   PointSet set(layout);
-  if (encoded.size_bits() == 0) return set;
-  BitReader reader(encoded);
+  if (size_bits == 0) return set;
+  BitReader reader(bytes, size_bits);
   SENSJOIN_RETURN_IF_ERROR(
       DecodeNode(*layout, &reader, 0, 0, 0, &set.keys_));
   if (reader.RemainingBits() > 0) {

@@ -103,6 +103,12 @@ class PointSet {
   static StatusOr<PointSet> Decode(std::shared_ptr<const PointSetLayout> layout,
                                    const BitWriter& encoded);
 
+  /// Same, over a raw byte span holding `size_bits` bits — the form a
+  /// receiver has after reassembling (possibly damaged) fragments. Never
+  /// aborts, whatever the bytes contain.
+  static StatusOr<PointSet> Decode(std::shared_ptr<const PointSetLayout> layout,
+                                   const uint8_t* bytes, size_t size_bits);
+
   friend bool operator==(const PointSet& a, const PointSet& b) {
     return *a.layout_ == *b.layout_ && a.keys_ == b.keys_;
   }

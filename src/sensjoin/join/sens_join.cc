@@ -92,8 +92,9 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
   // (NACK down the hop) and the sender re-sends from stored state, a
   // bounded number of times. Persistent failures — crashes, downed links —
   // fall through to the full re-execution with tree rebuild.
-  auto send_with_recovery = [this, report](const sim::Message& msg) -> bool {
-    if (sim_.SendUnicast(msg)) return true;
+  auto send_with_recovery = [this, report](const sim::Message& msg,
+                                           bool* corrupted = nullptr) -> bool {
+    if (sim_.SendUnicast(msg, corrupted)) return true;
     if (!config_.enable_phase_recovery) return false;
     for (int r = 0; r < config_.max_recovery_requests; ++r) {
       if (!sim_.node(msg.src).alive || !sim_.node(msg.dst).alive ||
@@ -107,7 +108,7 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       rereq.payload_bytes = 4;  // names the missing contribution
       sim_.SendUnicast(std::move(rereq));
       ++report->recovery_requests;
-      if (sim_.SendUnicast(msg)) return true;
+      if (sim_.SendUnicast(msg, corrupted)) return true;
     }
     return false;
   };
@@ -153,6 +154,22 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
 
   const sim::NodeId root = tree_.root();
   std::vector<data::Tuple> base_candidates;
+
+  // With the CRC trailer disabled, a delivery can arrive with a damaged
+  // payload. For the quadtree wire format the damage is materialized on the
+  // actual encoding and run through the hardened decoder: a parseable
+  // result is used as-is (wrong but safe); an unparseable one means the
+  // receiver discards the structure, like a loss the ARQ missed. Other
+  // representations (and full-tuple payloads) have no bit-level wire model,
+  // so there a corrupt delivery always drops the contribution.
+  auto receive_damaged = [this, &codec,
+                          report](const PointSet& sent) -> StatusOr<PointSet> {
+    ++report->corrupted_deliveries;
+    if (config_.representation != JoinAttrRepresentation::kQuadtree) {
+      return Status::InvalidArgument("no wire model for representation");
+    }
+    return PointSet::Decode(codec.layout(), sim_.DamagePayload(sent.Encode()));
+  };
 
   // Fidelity check (tests): everything handed to the radio must survive an
   // actual serialize/parse roundtrip through the Fig. 9 wire format.
@@ -207,9 +224,15 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       msg.dst = tree_.parent(u);
       msg.kind = sim::MessageKind::kCollection;
       msg.payload_bytes = full_bytes;
-      if (!send_with_recovery(msg)) {
+      bool corrupted = false;
+      if (!send_with_recovery(msg, &corrupted)) {
         *failed = true;
         return Status::Ok();
+      }
+      if (corrupted) {
+        // Garbled full tuples are unusable; the subtree's rows are lost.
+        ++report->corrupted_deliveries;
+        continue;
       }
       NodeState& p = states[tree_.parent(u)];
       p.pending_full.insert(p.pending_full.end(),
@@ -245,13 +268,20 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     msg.dst = tree_.parent(u);
     msg.kind = sim::MessageKind::kCollection;
     msg.payload_bytes = StructureWireBytes(out, codec, config_.representation);
-    if (!send_with_recovery(msg)) {
+    bool corrupted = false;
+    if (!send_with_recovery(msg, &corrupted)) {
       *failed = true;
       return Status::Ok();
     }
     s.sent_attrs = true;
     NodeState& p = states[tree_.parent(u)];
-    p.pending_attrs = PointSet::Union(p.pending_attrs, out);
+    if (corrupted) {
+      auto damaged = receive_damaged(out);
+      if (!damaged.ok()) continue;  // parent discards the garbled structure
+      p.pending_attrs = PointSet::Union(p.pending_attrs, *damaged);
+    } else {
+      p.pending_attrs = PointSet::Union(p.pending_attrs, out);
+    }
     p.any_attrs_child = true;
   }
   sim_.events().Run();
@@ -288,9 +318,26 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     msg.payload_bytes =
         StructureWireBytes(forward, codec, config_.representation);
     std::vector<sim::NodeId> reached;
-    sim_.Broadcast(msg, &reached);
+    std::vector<sim::NodeId> corrupted_rx;
+    sim_.Broadcast(msg, &reached, &corrupted_rx);
     for (sim::NodeId c : targets) {
-      if (std::find(reached.begin(), reached.end(), c) == reached.end()) {
+      bool have = false;
+      PointSet child_filter = forward;
+      if (std::find(reached.begin(), reached.end(), c) != reached.end()) {
+        if (std::find(corrupted_rx.begin(), corrupted_rx.end(), c) !=
+            corrupted_rx.end()) {
+          auto damaged = receive_damaged(forward);
+          if (damaged.ok()) {
+            child_filter = std::move(*damaged);
+            have = true;
+          }
+          // Unparseable filter: as good as a missed broadcast — fall
+          // through to the unicast resend.
+        } else {
+          have = true;
+        }
+      }
+      if (!have) {
         // Detected subtree loss: the child missed the filter broadcast.
         // Unicast it the pruned filter kept for exactly this purpose by
         // Selective Filter Forwarding, instead of restarting the query.
@@ -299,12 +346,22 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
         resend.dst = c;
         resend.kind = sim::MessageKind::kFilter;
         resend.payload_bytes = msg.payload_bytes;
-        if (!config_.enable_phase_recovery || !send_with_recovery(resend)) {
+        bool corrupted = false;
+        if (!config_.enable_phase_recovery ||
+            !send_with_recovery(resend, &corrupted)) {
           *failed = true;
           return Status::Ok();
         }
+        child_filter = forward;
+        if (corrupted) {
+          auto damaged = receive_damaged(forward);
+          // A resend that arrives garbled and unparseable leaves the child
+          // without a filter: its subtree ships nothing in phase 2.
+          if (!damaged.ok()) continue;
+          child_filter = std::move(*damaged);
+        }
       }
-      states[c].filter = forward;
+      states[c].filter = std::move(child_filter);
       states[c].got_filter = true;
     }
   }
@@ -349,9 +406,15 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     msg.dst = tree_.parent(u);
     msg.kind = sim::MessageKind::kFinal;
     msg.payload_bytes = payload;
-    if (!send_with_recovery(msg)) {
+    bool corrupted = false;
+    if (!send_with_recovery(msg, &corrupted)) {
       *failed = true;
       return Status::Ok();
+    }
+    if (corrupted) {
+      // Garbled result rows are discarded upstream.
+      ++report->corrupted_deliveries;
+      continue;
     }
     std::vector<data::Tuple>& up = pending_final[tree_.parent(u)];
     up.insert(up.end(), std::make_move_iterator(contribution.begin()),

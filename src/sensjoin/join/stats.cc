@@ -33,7 +33,12 @@ StatsSnapshot::StatsSnapshot(const sim::Simulator& sim)
       retransmitted_(sim.total_packets_retransmitted()),
       acks_(sim.total_ack_packets()),
       retransmit_energy_(sim.retransmit_energy_mj()),
-      ack_energy_(sim.ack_energy_mj()) {
+      ack_energy_(sim.ack_energy_mj()),
+      corrupted_(sim.total_corrupted_packets()),
+      undetected_corrupted_(sim.total_undetected_corrupted_packets()),
+      crc_bytes_(sim.crc_bytes_sent()),
+      integrity_retransmit_energy_(sim.integrity_retransmit_energy_mj()),
+      crc_energy_(sim.crc_energy_mj()) {
   per_node_join_packets_.resize(sim.num_nodes());
   for (int i = 0; i < sim.num_nodes(); ++i) {
     per_node_join_packets_[i] = JoinPacketsOfNode(sim.node(i).stats);
@@ -56,6 +61,13 @@ CostReport StatsSnapshot::DeltaTo(const sim::Simulator& sim) const {
   report.ack_packets = sim.total_ack_packets() - acks_;
   report.retransmit_energy_mj = sim.retransmit_energy_mj() - retransmit_energy_;
   report.ack_energy_mj = sim.ack_energy_mj() - ack_energy_;
+  report.corrupted_packets = sim.total_corrupted_packets() - corrupted_;
+  report.undetected_corrupted_packets =
+      sim.total_undetected_corrupted_packets() - undetected_corrupted_;
+  report.crc_bytes_sent = sim.crc_bytes_sent() - crc_bytes_;
+  report.integrity_retransmit_energy_mj =
+      sim.integrity_retransmit_energy_mj() - integrity_retransmit_energy_;
+  report.crc_energy_mj = sim.crc_energy_mj() - crc_energy_;
   SENSJOIN_CHECK_EQ(static_cast<int>(per_node_join_packets_.size()),
                     sim.num_nodes());
   report.per_node_packets.resize(sim.num_nodes());

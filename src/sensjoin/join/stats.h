@@ -38,6 +38,18 @@ struct CostReport {
   double retransmit_energy_mj = 0.0;  ///< energy of retransmitted frames
   double ack_energy_mj = 0.0;         ///< tx+rx energy of ack frames
 
+  /// Integrity-layer overhead (zero unless a corruption model is active).
+  /// Detected corruptions are fragments the receiver's CRC rejected;
+  /// undetected ones were accepted with a damaged payload (CRC disabled).
+  /// Integrity retransmissions are the ARQ subset triggered by CRC
+  /// rejections; their energy is inside retransmit_energy_mj and itemized
+  /// here. CRC trailer bytes are inside join_bytes and itemized here.
+  uint64_t corrupted_packets = 0;
+  uint64_t undetected_corrupted_packets = 0;
+  uint64_t crc_bytes_sent = 0;
+  double integrity_retransmit_energy_mj = 0.0;
+  double crc_energy_mj = 0.0;
+
   uint64_t max_node_packets() const;
 };
 
@@ -61,6 +73,11 @@ class StatsSnapshot {
   uint64_t acks_;
   double retransmit_energy_;
   double ack_energy_;
+  uint64_t corrupted_;
+  uint64_t undetected_corrupted_;
+  uint64_t crc_bytes_;
+  double integrity_retransmit_energy_;
+  double crc_energy_;
   std::vector<uint64_t> per_node_join_packets_;
 };
 

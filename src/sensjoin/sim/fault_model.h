@@ -41,6 +41,35 @@ struct LinkLossOverride {
   double loss_rate = 0.0;
 };
 
+/// Corruption-rate override for one (bidirectional) link.
+struct LinkCorruptionOverride {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double corruption_rate = 0.0;
+};
+
+/// The per-fragment integrity layer: every data fragment carries a CRC-16
+/// trailer (the 802.15.4 FCS analog; common/crc16.h), so a receiver detects
+/// a corrupted payload and silently drops the fragment — from the sender's
+/// point of view, a detected corruption is exactly a loss, and it feeds the
+/// same ARQ retransmissions and phase-level recovery. The trailer bytes and
+/// the retransmissions that corruption triggers are charged in the energy
+/// model and itemized in CostReport. With `crc_enabled == false` (the
+/// ablation knob) corrupted fragments are accepted and the damaged payload
+/// reaches the application decoders.
+struct IntegrityParams {
+  bool crc_enabled = true;
+
+  /// Wire size of the per-fragment CRC trailer. CRC-16 is the WSN-typical
+  /// choice (TinyOS/802.15.4 frames); a detected corruption escapes only
+  /// with probability 2^-16, which the simulator rounds to zero.
+  int crc_bytes = 2;
+
+  /// Fraction of corruption events that truncate the payload instead of
+  /// flipping bits (radios lose frame tails on late symbol-sync errors).
+  double truncation_fraction = 0.25;
+};
+
 /// A scheduled liveness change, fired through the simulator's event queue:
 /// at `at`, the node crashes (recover == false) or reboots (recover ==
 /// true). A rebooted node keeps its identity and sensor data but needs a
@@ -61,12 +90,28 @@ struct FaultPlan {
   std::vector<LinkLossOverride> link_overrides;
   std::vector<CrashEvent> crash_events;
 
+  /// Per-fragment corruption probability (bit flips / truncation) on every
+  /// link without an override, rolled for fragments that survive the loss
+  /// roll. Like loss, zero-corruption runs draw no randomness, so they stay
+  /// bit-identical to the seed; beacons and query floods are exempt.
+  double default_corruption_rate = 0.0;
+  std::vector<LinkCorruptionOverride> corruption_overrides;
+
   /// Link-layer ARQ policy to install on the simulator.
   ArqParams arq;
+
+  /// Integrity layer for the corruption model. The CRC trailer is installed
+  /// (and its bytes charged) only when the plan actually configures
+  /// corruption, so corruption-free plans leave every frame — and thus
+  /// packet counts, bytes and energy — bit-identical to the seed.
+  IntegrityParams integrity;
 
   /// Seed of the drop-decision stream. Runs with equal plans (and equal
   /// protocol behavior) are exactly reproducible.
   uint64_t seed = 0x5EED5;
+
+  /// True when any corruption rate (default or override) is non-zero.
+  bool HasCorruption() const;
 };
 
 /// Installs `plan` on `sim`: sets loss rates on the radio, the ARQ policy

@@ -27,6 +27,11 @@ struct NodeStats {
   uint64_t packets_retransmitted = 0;
   uint64_t ack_packets_sent = 0;
 
+  /// Fragments that arrived with a damaged payload (whether or not the CRC
+  /// trailer caught it). Included in `packets_received`: the radio listened
+  /// to the whole frame either way.
+  uint64_t corrupted_packets_received = 0;
+
   /// Transmissions broken down by message kind, for per-phase accounting.
   std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
       packets_sent_by_kind{};

@@ -96,6 +96,26 @@ double Radio::LossRate(NodeId a, NodeId b) const {
   return it != link_loss_.end() ? it->second : default_loss_rate_;
 }
 
+void Radio::set_default_corruption_rate(double p) {
+  default_corruption_rate_ = std::clamp(p, 0.0, 1.0);
+}
+
+void Radio::SetLinkCorruptionRate(NodeId a, NodeId b, double p) {
+  if (!ValidLink(a, b)) return;
+  link_corruption_[LinkKey(a, b)] = std::clamp(p, 0.0, 1.0);
+}
+
+void Radio::ClearCorruptionRates() {
+  default_corruption_rate_ = 0.0;
+  link_corruption_.clear();
+}
+
+double Radio::CorruptionRate(NodeId a, NodeId b) const {
+  if (!ValidLink(a, b)) return 0.0;
+  auto it = link_corruption_.find(LinkKey(a, b));
+  return it != link_corruption_.end() ? it->second : default_corruption_rate_;
+}
+
 bool Radio::IsConnected(NodeId root) const {
   const int n = num_nodes();
   if (n == 0) return true;

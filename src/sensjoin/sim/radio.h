@@ -67,6 +67,29 @@ class Radio {
   /// 0 for invalid links.
   double LossRate(NodeId a, NodeId b) const;
 
+  // --- Probabilistic per-link payload corruption -------------------------
+  // A corruption rate is the probability that one link-layer fragment
+  // arrives with damaged payload bits (bit flips or truncation) instead of
+  // being dropped outright. The simulator rolls per fragment that survives
+  // the loss roll; 0 everywhere by default, so corruption-free runs draw no
+  // extra randomness and stay bit-identical.
+
+  /// Corruption rate applied to every link without an explicit override.
+  /// Clamped to [0, 1].
+  void set_default_corruption_rate(double p);
+  double default_corruption_rate() const { return default_corruption_rate_; }
+
+  /// Sets the corruption rate of the (bidirectional) link a-b, overriding
+  /// the default. Invalid ids and self-links are ignored.
+  void SetLinkCorruptionRate(NodeId a, NodeId b, double p);
+
+  /// Drops all per-link overrides and resets the default rate to 0.
+  void ClearCorruptionRates();
+
+  /// Effective corruption rate of the link a-b (override if set, else
+  /// default); 0 for invalid links.
+  double CorruptionRate(NodeId a, NodeId b) const;
+
   /// True if every node can reach `root` over up links.
   bool IsConnected(NodeId root) const;
 
@@ -82,6 +105,8 @@ class Radio {
   std::unordered_set<uint64_t> failed_links_;
   double default_loss_rate_ = 0.0;
   std::unordered_map<uint64_t, double> link_loss_;
+  double default_corruption_rate_ = 0.0;
+  std::unordered_map<uint64_t, double> link_corruption_;
 };
 
 }  // namespace sensjoin::sim

@@ -54,47 +54,78 @@ void Simulator::AccountRx(NodeId receiver, int fragments, size_t frame_bytes) {
   total_energy_mj_ += cost;
 }
 
-bool Simulator::SendUnicast(Message msg) {
+bool Simulator::SendUnicast(Message msg, bool* corrupted) {
   SENSJOIN_CHECK(msg.src >= 0 && msg.src < num_nodes());
   SENSJOIN_CHECK(msg.dst >= 0 && msg.dst < num_nodes());
+  if (corrupted) *corrupted = false;
   if (!nodes_[msg.src].alive) return false;
   const int fragments = NumFragments(msg.payload_bytes, packet_params_);
+  const bool crc_active =
+      integrity_params_.crc_enabled && LossApplies(msg.kind);
+  const size_t trailer_bytes =
+      crc_active ? static_cast<size_t>(fragments) * integrity_params_.crc_bytes
+                 : 0;
   const size_t frame_bytes =
       msg.payload_bytes +
-      static_cast<size_t>(fragments) * packet_params_.header_bytes;
+      static_cast<size_t>(fragments) * packet_params_.header_bytes +
+      trailer_bytes;
   const size_t avg_frame_bytes = frame_bytes / fragments;
   const bool link_ok =
       nodes_[msg.dst].alive && radio_.LinkUp(msg.src, msg.dst);
   const double loss =
       LossApplies(msg.kind) ? radio_.LossRate(msg.src, msg.dst) : 0.0;
+  const double corrupt =
+      LossApplies(msg.kind) ? radio_.CorruptionRate(msg.src, msg.dst) : 0.0;
 
   // Per-fragment link-layer simulation: one initial attempt and, with ARQ
   // enabled, up to max_retransmissions more with exponential backoff. An
   // ack can be lost like any frame; the sender then retransmits and the
-  // receiver sees (and pays for) a duplicate.
+  // receiver sees (and pays for) a duplicate. Corruption is rolled only for
+  // fragments that physically arrive: with the CRC trailer the receiver
+  // detects the damage, drops the frame and sends no ack (to the sender
+  // this attempt is exactly a loss); without it the damaged frame is
+  // accepted and acked.
   const int attempts_allowed =
       1 + (arq_params_.enabled ? arq_params_.max_retransmissions : 0);
   int tx_fragments = 0;
   int rx_fragments = 0;
   int retransmissions = 0;
+  int integrity_retransmissions = 0;
+  int detected_fragments = 0;
+  int undetected_fragments = 0;
   int acks = 0;
   double backoff_s = 0.0;
   bool delivered = true;
+  bool payload_corrupted = false;
   for (int f = 0; f < fragments; ++f) {
     bool got = false;
+    bool prev_crc_reject = false;
     for (int a = 0; a < attempts_allowed; ++a) {
       ++tx_fragments;
       if (a > 0) {
         ++retransmissions;
+        if (prev_crc_reject) ++integrity_retransmissions;
         backoff_s += arq_params_.backoff_base_s *
                      std::pow(arq_params_.backoff_factor, a - 1);
       }
+      prev_crc_reject = false;
       const bool frag_arrives =
           link_ok && !(loss > 0.0 && fault_rng_.NextBool(loss));
-      if (frag_arrives) {
-        ++rx_fragments;
-        got = true;
+      if (frag_arrives) ++rx_fragments;  // the receiver heard the frame
+      const bool frag_corrupt =
+          frag_arrives && corrupt > 0.0 && fault_rng_.NextBool(corrupt);
+      if (frag_corrupt) {
+        nodes_[msg.dst].stats.corrupted_packets_received += 1;
+        if (crc_active) {
+          ++detected_fragments;
+          prev_crc_reject = true;
+          if (!arq_params_.enabled) break;
+          continue;  // dropped by the receiver; retry like a loss
+        }
+        ++undetected_fragments;
+        payload_corrupted = true;
       }
+      if (frag_arrives) got = true;
       if (!arq_params_.enabled) break;
       if (frag_arrives) {
         ++acks;
@@ -112,6 +143,22 @@ bool Simulator::SendUnicast(Message msg) {
     nodes_[msg.src].stats.packets_retransmitted += retransmissions;
     total_packets_retransmitted_ += retransmissions;
     retransmit_energy_mj_ += energy_model_.TxCost(retransmissions, extra_bytes);
+  }
+  if (integrity_retransmissions > 0) {
+    integrity_retransmit_energy_mj_ += energy_model_.TxCost(
+        integrity_retransmissions,
+        static_cast<size_t>(integrity_retransmissions) * avg_frame_bytes);
+  }
+  total_corrupted_packets_ += detected_fragments;
+  total_undetected_corrupted_packets_ += undetected_fragments;
+  if (crc_active) {
+    const size_t tx_crc =
+        static_cast<size_t>(tx_fragments) * integrity_params_.crc_bytes;
+    const size_t rx_crc =
+        static_cast<size_t>(rx_fragments) * integrity_params_.crc_bytes;
+    crc_bytes_sent_ += tx_crc;
+    crc_energy_mj_ +=
+        energy_model_.TxCost(0, tx_crc) + energy_model_.RxCost(0, rx_crc);
   }
   if (acks > 0) {
     // Acks travel receiver -> sender; header-only frames, kept out of the
@@ -137,9 +184,11 @@ bool Simulator::SendUnicast(Message msg) {
   if (trace_sink_) {
     trace_sink_(TraceRecord{events_.now(), msg.src, msg.dst, msg.kind,
                             fragments, msg.payload_bytes,
-                            /*broadcast=*/false, delivered, retransmissions});
+                            /*broadcast=*/false, delivered, retransmissions,
+                            detected_fragments + undetected_fragments});
   }
   if (!delivered) return false;
+  if (corrupted) *corrupted = payload_corrupted;
   const SimTime delay = tx_fragments * per_packet_latency_s_ + backoff_s;
   events_.ScheduleAfter(delay, [this, msg = std::move(msg)]() {
     if (receive_handler_) receive_handler_(msg.dst, msg);
@@ -147,51 +196,114 @@ bool Simulator::SendUnicast(Message msg) {
   return true;
 }
 
-int Simulator::Broadcast(Message msg, std::vector<NodeId>* delivered) {
+int Simulator::Broadcast(Message msg, std::vector<NodeId>* delivered,
+                         std::vector<NodeId>* corrupted) {
   SENSJOIN_CHECK(msg.src >= 0 && msg.src < num_nodes());
   if (delivered) delivered->clear();
+  if (corrupted) corrupted->clear();
   if (!nodes_[msg.src].alive) return 0;
   const int fragments = NumFragments(msg.payload_bytes, packet_params_);
+  const bool crc_active =
+      integrity_params_.crc_enabled && LossApplies(msg.kind);
+  const size_t trailer_bytes =
+      crc_active ? static_cast<size_t>(fragments) * integrity_params_.crc_bytes
+                 : 0;
   const size_t frame_bytes =
       msg.payload_bytes +
-      static_cast<size_t>(fragments) * packet_params_.header_bytes;
+      static_cast<size_t>(fragments) * packet_params_.header_bytes +
+      trailer_bytes;
   const size_t avg_frame_bytes = frame_bytes / fragments;
   AccountTx(msg.src, msg.kind, fragments, frame_bytes);
-  if (trace_sink_) {
-    trace_sink_(TraceRecord{events_.now(), msg.src, kInvalidNode, msg.kind,
-                            fragments, msg.payload_bytes,
-                            /*broadcast=*/true, /*delivered=*/true});
+  if (crc_active) {
+    crc_bytes_sent_ += trailer_bytes;
+    crc_energy_mj_ += energy_model_.TxCost(0, trailer_bytes);
   }
+  int trace_corrupted = 0;
   const SimTime delay = fragments * per_packet_latency_s_;
   int receivers = 0;
   for (NodeId nb : radio_.Neighbors(msg.src)) {
     if (!nodes_[nb].alive || !radio_.LinkUp(msg.src, nb)) continue;
-    // Per-receiver loss rolls; broadcasts carry no acks, so a receiver
-    // missing any fragment misses the logical message.
+    // Per-receiver loss and corruption rolls; broadcasts carry no acks, so
+    // a receiver missing any fragment — including one its CRC check
+    // rejects — misses the logical message.
     const double loss =
         LossApplies(msg.kind) ? radio_.LossRate(msg.src, nb) : 0.0;
-    int got = fragments;
-    if (loss > 0.0) {
-      got = 0;
+    const double corrupt =
+        LossApplies(msg.kind) ? radio_.CorruptionRate(msg.src, nb) : 0.0;
+    int heard = fragments;    // frames physically received (rx cost)
+    int accepted = fragments; // frames kept after the CRC check
+    int frag_corruptions = 0;
+    bool rx_corrupted = false;
+    if (loss > 0.0 || corrupt > 0.0) {
+      heard = 0;
+      accepted = 0;
       for (int f = 0; f < fragments; ++f) {
-        if (!fault_rng_.NextBool(loss)) ++got;
+        if (loss > 0.0 && fault_rng_.NextBool(loss)) continue;
+        ++heard;
+        if (corrupt > 0.0 && fault_rng_.NextBool(corrupt)) {
+          ++frag_corruptions;
+          if (crc_active) {
+            ++total_corrupted_packets_;
+            continue;
+          }
+          ++total_undetected_corrupted_packets_;
+          rx_corrupted = true;
+        }
+        ++accepted;
       }
     }
-    if (got > 0) {
-      AccountRx(nb, got,
-                got == fragments ? frame_bytes
-                                 : static_cast<size_t>(got) * avg_frame_bytes);
+    if (heard > 0) {
+      AccountRx(nb, heard,
+                heard == fragments
+                    ? frame_bytes
+                    : static_cast<size_t>(heard) * avg_frame_bytes);
+      if (crc_active) {
+        crc_energy_mj_ += energy_model_.RxCost(
+            0, static_cast<size_t>(heard) * integrity_params_.crc_bytes);
+      }
     }
-    if (got < fragments) continue;
+    if (frag_corruptions > 0) {
+      nodes_[nb].stats.corrupted_packets_received += frag_corruptions;
+      trace_corrupted += frag_corruptions;
+    }
+    if (accepted < fragments) continue;
     ++receivers;
     if (delivered) delivered->push_back(nb);
+    if (corrupted && rx_corrupted) corrupted->push_back(nb);
     Message arrival = msg;
     arrival.dst = nb;
     events_.ScheduleAfter(delay, [this, arrival = std::move(arrival)]() {
       if (receive_handler_) receive_handler_(arrival.dst, arrival);
     });
   }
+  if (trace_sink_) {
+    trace_sink_(TraceRecord{events_.now(), msg.src, kInvalidNode, msg.kind,
+                            fragments, msg.payload_bytes,
+                            /*broadcast=*/true, /*delivered=*/true,
+                            /*retransmissions=*/0, trace_corrupted});
+  }
   return receivers;
+}
+
+BitWriter Simulator::DamagePayload(const BitWriter& payload) {
+  const size_t bits = payload.size_bits();
+  if (bits == 0) return BitWriter{};
+  std::vector<uint8_t> bytes = payload.bytes();
+  if (fault_rng_.NextBool(integrity_params_.truncation_fraction)) {
+    // Tail truncation: the radio lost symbol sync partway through.
+    const size_t keep = static_cast<size_t>(
+        fault_rng_.UniformInt(0, static_cast<int64_t>(bits) - 1));
+    bytes.resize((keep + 7) / 8);
+    return BitWriter::FromBytes(std::move(bytes), keep);
+  }
+  // A short burst of bit flips.
+  const int flips = static_cast<int>(fault_rng_.UniformInt(1, 3));
+  for (int i = 0; i < flips; ++i) {
+    const size_t pos = static_cast<size_t>(
+        fault_rng_.UniformInt(0, static_cast<int64_t>(bits) - 1));
+    bytes[pos / 8] ^= static_cast<uint8_t>(0x80u >> (pos % 8));
+  }
+  return BitWriter::FromBytes(std::move(bytes), bits);
 }
 
 void Simulator::ScheduleCrash(NodeId id, SimTime at) {
@@ -213,6 +325,11 @@ void Simulator::ResetStats() {
   total_ack_packets_ = 0;
   retransmit_energy_mj_ = 0.0;
   ack_energy_mj_ = 0.0;
+  total_corrupted_packets_ = 0;
+  total_undetected_corrupted_packets_ = 0;
+  crc_bytes_sent_ = 0;
+  integrity_retransmit_energy_mj_ = 0.0;
+  crc_energy_mj_ = 0.0;
   packets_by_kind_.fill(0);
 }
 

@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "sensjoin/common/bit_stream.h"
 #include "sensjoin/common/rng.h"
 #include "sensjoin/sim/energy_model.h"
 #include "sensjoin/sim/event_queue.h"
@@ -30,6 +31,7 @@ struct TraceRecord {
   bool broadcast = false;
   bool delivered = false;
   int retransmissions = 0;  ///< ARQ data-fragment retransmissions (unicast)
+  int corrupted_fragments = 0;  ///< fragments damaged in flight (any attempt)
 };
 
 /// The discrete-event WSN simulator tying together the event queue, the
@@ -70,22 +72,45 @@ class Simulator {
   /// Transmission cost is always paid by the sender; the message is
   /// delivered only if both endpoints are alive, the link is up, and every
   /// fragment survives the link's loss rate (with ARQ enabled, within the
-  /// bounded retransmission budget). Returns true if delivery was
-  /// scheduled.
-  bool SendUnicast(Message msg);
+  /// bounded retransmission budget). A fragment that survives loss may
+  /// still be corrupted in flight: with the CRC trailer enabled the
+  /// receiver detects and drops it exactly like a loss (it feeds the same
+  /// ARQ budget); with CRC disabled the fragment is accepted and, when the
+  /// message is delivered, `*corrupted` is set so the protocol layer can
+  /// materialize the damage on its payload (DamagePayload). Returns true
+  /// if delivery was scheduled.
+  bool SendUnicast(Message msg, bool* corrupted = nullptr);
 
   /// Local broadcast: one transmission (per fragment), every alive neighbor
   /// with an up link that receives all fragments (per-receiver loss rolls;
   /// broadcasts are never ARQ-protected) gets the message. Returns the
   /// number of receivers; if `delivered` is non-null it is filled with
-  /// their ids in ascending order.
-  int Broadcast(Message msg, std::vector<NodeId>* delivered = nullptr);
+  /// their ids in ascending order. Corruption is rolled per receiver like
+  /// loss: with CRC enabled a corrupted fragment counts as missed; with CRC
+  /// disabled the receiver accepts the damaged message and is additionally
+  /// listed in `corrupted` (a subset of `delivered`).
+  int Broadcast(Message msg, std::vector<NodeId>* delivered = nullptr,
+                std::vector<NodeId>* corrupted = nullptr);
 
   // --- Fault injection ---------------------------------------------------
 
   /// Link-layer ARQ policy for unicasts (off by default).
   void set_arq_params(const ArqParams& arq) { arq_params_ = arq; }
   const ArqParams& arq_params() const { return arq_params_; }
+
+  /// Per-fragment CRC integrity layer (off by default so the seed's frames
+  /// are untouched; ApplyFaultPlan enables it with the corruption model).
+  void set_integrity_params(const IntegrityParams& p) {
+    integrity_params_ = p;
+  }
+  const IntegrityParams& integrity_params() const { return integrity_params_; }
+
+  /// Materializes one undetected-corruption event on a payload bitstring:
+  /// truncation or a small burst of bit flips, drawn from the seeded fault
+  /// RNG (so damaged runs stay reproducible). Protocol layers call this for
+  /// messages delivered with `corrupted == true` before handing the bytes
+  /// to their (hardened) decoders.
+  BitWriter DamagePayload(const BitWriter& payload);
 
   /// Reseeds the fragment-drop decision stream; runs with equal seeds,
   /// loss rates and traffic are exactly reproducible.
@@ -116,6 +141,23 @@ class Simulator {
   uint64_t total_ack_packets() const { return total_ack_packets_; }
   double retransmit_energy_mj() const { return retransmit_energy_mj_; }
   double ack_energy_mj() const { return ack_energy_mj_; }
+
+  /// Integrity-layer accounting. Detected corruptions are fragments the
+  /// receiver's CRC check rejected (they behave like losses); undetected
+  /// ones were accepted with a damaged payload (CRC disabled). Integrity
+  /// retransmissions are the subset of ARQ retransmissions whose previous
+  /// attempt failed the CRC check rather than being lost; their energy is
+  /// included in retransmit_energy_mj() and itemized here. CRC trailer
+  /// bytes are part of the frame bytes and itemized here.
+  uint64_t total_corrupted_packets() const { return total_corrupted_packets_; }
+  uint64_t total_undetected_corrupted_packets() const {
+    return total_undetected_corrupted_packets_;
+  }
+  uint64_t crc_bytes_sent() const { return crc_bytes_sent_; }
+  double integrity_retransmit_energy_mj() const {
+    return integrity_retransmit_energy_mj_;
+  }
+  double crc_energy_mj() const { return crc_energy_mj_; }
 
   /// Clears all global and per-node counters (topology is untouched).
   void ResetStats();
@@ -153,6 +195,7 @@ class Simulator {
   TraceSink trace_sink_;
   double per_packet_latency_s_ = 0.004;
   ArqParams arq_params_;
+  IntegrityParams integrity_params_{.crc_enabled = false};
   Rng fault_rng_{0x5EED5};
 
   uint64_t total_packets_sent_ = 0;
@@ -162,6 +205,11 @@ class Simulator {
   uint64_t total_ack_packets_ = 0;
   double retransmit_energy_mj_ = 0.0;
   double ack_energy_mj_ = 0.0;
+  uint64_t total_corrupted_packets_ = 0;
+  uint64_t total_undetected_corrupted_packets_ = 0;
+  uint64_t crc_bytes_sent_ = 0;
+  double integrity_retransmit_energy_mj_ = 0.0;
+  double crc_energy_mj_ = 0.0;
   std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
       packets_by_kind_{};
 };

@@ -134,8 +134,17 @@ std::string FaultToleranceSummary(const join::CostReport& cost,
      << cost.retransmitted_packets << ", acks " << cost.ack_packets << ")\n"
      << "energy: " << cost.energy_mj << " mJ (retransmissions "
      << cost.retransmit_energy_mj << " mJ, acks " << cost.ack_energy_mj
-     << " mJ)\n"
-     << "result completeness: " << completeness * 100.0 << "%\n";
+     << " mJ)\n";
+  if (cost.corrupted_packets > 0 || cost.undetected_corrupted_packets > 0 ||
+      cost.crc_bytes_sent > 0) {
+    os << "integrity: " << cost.corrupted_packets
+       << " corrupted fragments caught by CRC, "
+       << cost.undetected_corrupted_packets << " undetected; trailer "
+       << cost.crc_bytes_sent << " B / " << cost.crc_energy_mj
+       << " mJ, corruption-triggered retransmissions "
+       << cost.integrity_retransmit_energy_mj << " mJ\n";
+  }
+  os << "result completeness: " << completeness * 100.0 << "%\n";
   return os.str();
 }
 

@@ -38,7 +38,9 @@ double ResultCompleteness(const join::JoinResult& truth,
                           const join::JoinResult& actual);
 
 /// Operator one-liner for a run under faults: join packets, itemized ARQ
-/// overhead (retransmissions, acks, their energy) and result completeness.
+/// overhead (retransmissions, acks, their energy), integrity-layer counters
+/// when a corruption model was active (CRC-caught vs undetected fragments,
+/// trailer bytes/energy) and result completeness.
 std::string FaultToleranceSummary(const join::CostReport& cost,
                                   double completeness);
 

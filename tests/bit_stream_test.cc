@@ -197,6 +197,87 @@ TEST(BitWriterTest, ReserveBitsDoesNotChangeContents) {
   EXPECT_EQ(r.ReadBits(8), 0xABu);
 }
 
+TEST(BitReaderTest, TryReadBitsPastEndFailsWithoutAdvancing) {
+  BitWriter w;
+  w.WriteBits(0b1011, 4);
+  BitReader r(w);
+  uint64_t out = 0;
+  ASSERT_TRUE(r.TryReadBits(3, &out).ok());
+  EXPECT_EQ(out, 0b101u);
+  // Requesting more bits than remain must fail and leave the position
+  // untouched so the caller can report how far it got.
+  const Status overrun = r.TryReadBits(2, &out);
+  EXPECT_EQ(overrun.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.position_bits(), 3u);
+  ASSERT_TRUE(r.TryReadBits(1, &out).ok());
+  EXPECT_EQ(out, 1u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BitReaderTest, TryReadBitsOnEmptyStream) {
+  BitWriter w;
+  BitReader r(w);
+  uint64_t out = 0;
+  EXPECT_EQ(r.TryReadBits(1, &out).code(), StatusCode::kOutOfRange);
+  bool bit = false;
+  EXPECT_EQ(r.TryReadBit(&bit).code(), StatusCode::kOutOfRange);
+}
+
+TEST(BitReaderTest, TryReadBitsZeroWidth) {
+  BitWriter w;
+  BitReader r(w);
+  uint64_t out = 0xDEAD;
+  // Zero-width reads succeed even at end-of-stream and yield zero.
+  ASSERT_TRUE(r.TryReadBits(0, &out).ok());
+  EXPECT_EQ(out, 0u);
+  EXPECT_EQ(r.position_bits(), 0u);
+}
+
+TEST(BitReaderTest, TryReadBitsRejectsInvalidWidths) {
+  BitWriter w;
+  w.WriteBits(~0ull, 64);
+  w.WriteBits(~0ull, 64);
+  BitReader r(w);
+  uint64_t out = 0;
+  EXPECT_EQ(r.TryReadBits(-1, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.TryReadBits(65, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.position_bits(), 0u);
+}
+
+TEST(BitReaderTest, TryReadBitsSixtyFourBitBoundary) {
+  const uint64_t v = 0x0123456789ABCDEFull;
+  BitWriter w;
+  w.WriteBit(true);  // misalign so the 64-bit read spans 9 bytes
+  w.WriteBits(v, 64);
+  BitReader r(w);
+  bool bit = false;
+  ASSERT_TRUE(r.TryReadBit(&bit).ok());
+  EXPECT_TRUE(bit);
+  uint64_t out = 0;
+  ASSERT_TRUE(r.TryReadBits(64, &out).ok());
+  EXPECT_EQ(out, v);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(r.TryReadBits(64, &out).code(), StatusCode::kOutOfRange);
+}
+
+TEST(BitWriterTest, FromBytesRoundtrip) {
+  BitWriter w;
+  w.WriteBits(0b10110, 5);
+  const BitWriter copy = BitWriter::FromBytes(w.bytes(), w.size_bits());
+  EXPECT_EQ(copy.size_bits(), 5u);
+  EXPECT_EQ(copy.bytes(), w.bytes());
+}
+
+TEST(BitWriterTest, FromBytesRezerosPaddingBits) {
+  // Garbage in the padding bits of the last byte must be cleared so later
+  // appends OR into clean space.
+  const BitWriter w = BitWriter::FromBytes({0xFF}, 3);
+  EXPECT_EQ(w.bytes()[0], 0xE0);
+  BitWriter appended = w;
+  appended.WriteBits(0, 5);
+  EXPECT_EQ(appended.bytes()[0], 0xE0);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BitStreamRoundtripTest,
                          ::testing::Values(1, 2, 3, 4, 5, 11, 42, 1234));
 

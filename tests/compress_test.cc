@@ -107,7 +107,7 @@ TEST(Lz77Test, ParseReconstructRoundtrip) {
   for (const auto& input :
        {Bytes("abababababababab"), Bytes("no repeats here!?"),
         RepetitiveBytes(rng, 5000), RandomBytes(rng, 3000)}) {
-    EXPECT_EQ(Lz77Reconstruct(Lz77Parse(input)), input);
+    EXPECT_EQ(*Lz77Reconstruct(Lz77Parse(input)), input);
   }
 }
 
@@ -124,7 +124,7 @@ TEST(Lz77Test, OverlappingMatchRoundtrip) {
   std::vector<uint8_t> runs(1000, 'z');  // classic distance-1 overlap
   const auto tokens = Lz77Parse(runs);
   EXPECT_LT(tokens.size(), 10u);
-  EXPECT_EQ(Lz77Reconstruct(tokens), runs);
+  EXPECT_EQ(*Lz77Reconstruct(tokens), runs);
 }
 
 // ---- BWT / MTF / RLE ----------------------------------------------------
@@ -133,7 +133,7 @@ TEST(BwtTest, KnownTransform) {
   // Classic example: "banana" rotations sorted -> last column "nnbaaa".
   const BwtResult r = BwtTransform(Bytes("banana"));
   EXPECT_EQ(std::string(r.data.begin(), r.data.end()), "nnbaaa");
-  EXPECT_EQ(BwtInverse(r.data, r.primary_index), Bytes("banana"));
+  EXPECT_EQ(*BwtInverse(r.data, r.primary_index), Bytes("banana"));
 }
 
 TEST(BwtTest, RoundtripIncludingPeriodicInputs) {
@@ -143,7 +143,7 @@ TEST(BwtTest, RoundtripIncludingPeriodicInputs) {
         Bytes("mississippi"), RandomBytes(rng, 2000),
         RepetitiveBytes(rng, 2000)}) {
     const BwtResult r = BwtTransform(input);
-    EXPECT_EQ(BwtInverse(r.data, r.primary_index), input);
+    EXPECT_EQ(*BwtInverse(r.data, r.primary_index), input);
   }
 }
 
@@ -251,6 +251,69 @@ TEST(CodecErrorTest, CorruptStreamsFailCleanly) {
   EXPECT_FALSE(Bzip2LikeDecompress(b).ok());
   EXPECT_FALSE(ZlibLikeDecompress({}).ok());
   EXPECT_FALSE(Bzip2LikeDecompress({1, 2}).ok());
+}
+
+TEST(CodecErrorTest, HuffmanHugeDeclaredSizeIsRejected) {
+  // A bit-flipped header can declare a near-4GB original size; the decoder
+  // must reject it before reserving that much memory.
+  auto compressed = HuffmanCompress(Bytes("payload payload payload"));
+  compressed[0] = 0xFF;
+  compressed[1] = 0xFF;
+  compressed[2] = 0xFF;
+  compressed[3] = 0xFF;
+  const auto result = HuffmanDecompress(compressed);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecErrorTest, ZlibLikeHugeTokenCountIsRejected) {
+  // Hand-build a compressed-mode stream whose token section declares ~4G
+  // tokens but carries none. The count must be bounds-checked against the
+  // stream before the token vector is allocated.
+  const std::vector<uint8_t> tokens = {0xF0, 0xFF, 0xFF, 0xFF};
+  std::vector<uint8_t> stream = HuffmanCompress(tokens);
+  stream.insert(stream.begin(), 1);  // mode tag: compressed
+  const auto result = ZlibLikeDecompress(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecErrorTest, Lz77BadTokensAreRejected) {
+  Lz77Token literal;
+  literal.literal = 'x';
+  Lz77Token bad_distance;
+  bad_distance.is_match = true;
+  bad_distance.length = kLz77MinMatch;
+  bad_distance.distance = 2;  // only 1 byte of history exists
+  EXPECT_FALSE(Lz77Reconstruct({literal, bad_distance}).ok());
+
+  Lz77Token zero_distance = bad_distance;
+  zero_distance.distance = 0;
+  EXPECT_FALSE(Lz77Reconstruct({literal, zero_distance}).ok());
+
+  Lz77Token short_match;
+  short_match.is_match = true;
+  short_match.length = kLz77MinMatch - 1;
+  short_match.distance = 1;
+  EXPECT_FALSE(Lz77Reconstruct({literal, short_match}).ok());
+}
+
+TEST(CodecErrorTest, BwtBadPrimaryIndexIsRejected) {
+  const auto bwt = BwtTransform(Bytes("banana"));
+  const auto result =
+      BwtInverse(bwt.data, static_cast<uint32_t>(bwt.data.size()));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(BwtInverse({}, 0)->empty());
+}
+
+TEST(CodecErrorTest, RleTruncatedRunIsRejected) {
+  // Four equal bytes announce a run, so dropping the count byte truncates
+  // the stream mid-token.
+  auto encoded = RleEncode(std::vector<uint8_t>(40, 7));
+  ASSERT_FALSE(encoded.empty());
+  encoded.pop_back();
+  EXPECT_FALSE(RleDecode(encoded).ok());
 }
 
 }  // namespace

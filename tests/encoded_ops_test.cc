@@ -54,6 +54,33 @@ TEST(EncodedPointStreamTest, TruncatedEncodingReportsError) {
   EXPECT_FALSE(stream.status().ok());
 }
 
+TEST(EncodedPointStreamTest, RejectsExactlyWhatBatchDecodeRejects) {
+  // Regression from fuzzing: the streaming decoder must be as strict as
+  // PointSet::Decode, or a corrupted structure could be accepted on one
+  // path and rejected on the other.
+  auto layout = TestLayout();
+  auto drain = [&layout](const BitWriter& enc) {
+    EncodedPointStream stream(layout.get(), &enc);
+    while (stream.Next().has_value()) {
+    }
+    return stream.status().ok();
+  };
+  // Trailing garbage after a complete root node.
+  BitWriter trailing = PointSet::FromKeys(layout, {64, 65}).Encode();
+  trailing.WriteBits(0b101, 3);
+  EXPECT_FALSE(drain(trailing));
+  EXPECT_FALSE(PointSet::Decode(layout, trailing).ok());
+  // Out-of-order keys inside a list node.
+  BitWriter unordered;
+  unordered.WriteBit(true);
+  unordered.WriteBits(0b10000001, 8);
+  unordered.WriteBit(true);
+  unordered.WriteBits(0b10000000, 8);
+  unordered.WriteBit(false);
+  EXPECT_FALSE(drain(unordered));
+  EXPECT_FALSE(PointSet::Decode(layout, unordered).ok());
+}
+
 class EncodedOpsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(EncodedOpsPropertyTest, StreamMatchesDecode) {
