@@ -3,9 +3,15 @@
 // collection); later epochs ship only cell changes. Expected shape: the
 // steady-state collection cost drops well below the snapshot executor's,
 // while filter/final costs track the (stable) result size.
+//
+// The delta executor carries state from epoch to epoch, so it stays a
+// sequential loop on the main thread. The per-epoch snapshot references
+// are independent, so they run as ParallelRunner trials on per-trial
+// testbeds, byte-identical to a sequential run.
 
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "sensjoin/join/continuous.h"
 #include "sensjoin/sensjoin.h"
@@ -16,31 +22,52 @@
 namespace sensjoin::bench {
 namespace {
 
-void Main(uint64_t seed) {
+constexpr int kEpochs = 6;
+
+struct Snapshot {
+  uint64_t join_packets = 0;
+  uint64_t matched_combinations = 0;
+};
+
+void Main(uint64_t seed, int threads) {
+  const testbed::ParallelRunner runner(threads);
   auto tb = MustCreateTestbed(PaperDefaultParams(seed));
   std::cout << "Extension -- continuous queries with delta collection "
                "(33% ratio, 5% fraction), seed "
             << seed << "\n\n";
   const Calibration cal = CalibrateFraction(
       *tb, [](double d) { return RatioQueryOneJoinAttr(3, d); }, 0.0, 25.0,
-      0.05, /*increasing=*/false);
+      0.05, /*increasing=*/false, /*epoch=*/0, /*iterations=*/22, &runner);
   auto q = tb->ParseQuery(cal.sql);
   SENSJOIN_CHECK(q.ok());
 
   join::ProtocolConfig config;
   config.use_treecut = false;  // continuous mode runs without Treecut
+
+  auto snapshots =
+      runner.Run(kEpochs, seed, [&](const testbed::TrialContext& ctx) {
+        auto snap_tb = MustCreateTestbed(PaperDefaultParams(seed));
+        auto sq = snap_tb->ParseQuery(cal.sql);
+        SENSJOIN_CHECK(sq.ok());
+        auto r = snap_tb->MakeSensJoin(config).Execute(
+            *sq, static_cast<uint64_t>(ctx.trial));
+        SENSJOIN_CHECK(r.ok());
+        return Snapshot{r->cost.join_packets,
+                        r->result.matched_combinations};
+      });
+  SENSJOIN_CHECK(snapshots.ok()) << snapshots.status();
+
   join::ContinuousSensJoinExecutor continuous(
       tb->simulator(), tb->tree(), tb->data(), tb->quantization(), config);
 
   TablePrinter table({"epoch", "changed nodes", "delta collection", "filter",
                       "final", "total", "snapshot total"});
-  for (uint64_t epoch = 0; epoch < 6; ++epoch) {
+  for (uint64_t epoch = 0; epoch < kEpochs; ++epoch) {
     auto delta = continuous.ExecuteEpoch(*q, epoch);
     SENSJOIN_CHECK(delta.ok()) << delta.status();
-    auto snapshot = tb->MakeSensJoin(config).Execute(*q, epoch);
-    SENSJOIN_CHECK(snapshot.ok());
+    const Snapshot& snapshot = (*snapshots)[epoch];
     SENSJOIN_CHECK(delta->result.matched_combinations ==
-                   snapshot->result.matched_combinations)
+                   snapshot.matched_combinations)
         << "delta and snapshot executions disagree";
     table.AddRow({epoch == 0 ? "0 (bootstrap)" : Fmt(epoch),
                   Fmt(delta->delta_changed_nodes),
@@ -48,7 +75,7 @@ void Main(uint64_t seed) {
                   Fmt(delta->cost.phases.filter_packets),
                   Fmt(delta->cost.phases.final_packets),
                   Fmt(delta->cost.join_packets),
-                  Fmt(snapshot->cost.join_packets)});
+                  Fmt(snapshot.join_packets)});
   }
   table.Print(std::cout);
 }
@@ -57,7 +84,8 @@ void Main(uint64_t seed) {
 }  // namespace sensjoin::bench
 
 int main(int argc, char** argv) {
+  const int threads = sensjoin::testbed::ParseThreadsFlag(&argc, argv);
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
-  sensjoin::bench::Main(seed);
+  sensjoin::bench::Main(seed, threads);
   return 0;
 }

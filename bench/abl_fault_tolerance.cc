@@ -6,9 +6,15 @@
 // contribution). Sweeps ambient loss rate x permanent node crashes and
 // reports cost, itemized ARQ overhead and result completeness against the
 // fault-free ground truth, for SENS-Join and the external join.
+//
+// Every sweep cell builds its own faulty testbeds (fault RNG seeded from
+// the cell parameters), so the cells run as ParallelRunner trials; rows
+// come back in trial order, byte-identical to a sequential run.
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "sensjoin/sensjoin.h"
 #include "util/table.h"
@@ -74,7 +80,8 @@ RunOutcome Run(Executor executor, const query::AnalyzedQuery& q) {
   return out;
 }
 
-void Main(uint64_t seed, int num_nodes) {
+void Main(uint64_t seed, int num_nodes, int threads) {
+  const testbed::ParallelRunner runner(threads);
   std::cout << "Ablation -- fault tolerance: loss rate x node crashes, seed "
             << seed << ", " << num_nodes << " nodes\n"
             << "ARQ on (3 retransmissions), phase-level recovery on, "
@@ -92,45 +99,55 @@ void Main(uint64_t seed, int num_nodes) {
       << "the fault-free run has no result rows at " << num_nodes
       << " nodes (nothing to crash); try the default 250 nodes or more";
 
+  const std::vector<double> kLoss = {0.0, 0.05, 0.10, 0.20};
+  const std::vector<int> kCrashes = {0, 1, 3};
+  auto rows = runner.Run(
+      static_cast<int>(kLoss.size() * kCrashes.size()), seed,
+      [&](const testbed::TrialContext& ctx) {
+        const double loss = kLoss[ctx.trial / kCrashes.size()];
+        const int crashes = kCrashes[ctx.trial % kCrashes.size()];
+        auto sens_tb = MustCreateTestbed(PaperDefaultParams(seed, num_nodes));
+        sens_tb->InjectFaults(
+            MakePlan(*sens_tb, contributors, loss, crashes, seed));
+        ArmFaults(*sens_tb);
+        auto sq = sens_tb->ParseQuery(kQuery);
+        SENSJOIN_CHECK(sq.ok());
+        const RunOutcome sens =
+            Run(sens_tb->MakeSensJoin(FaultyConfig()), *sq);
+
+        auto ext_tb = MustCreateTestbed(PaperDefaultParams(seed, num_nodes));
+        ext_tb->InjectFaults(
+            MakePlan(*ext_tb, contributors, loss, crashes, seed));
+        ArmFaults(*ext_tb);
+        auto eq = ext_tb->ParseQuery(kQuery);
+        SENSJOIN_CHECK(eq.ok());
+        const RunOutcome ext =
+            Run(ext_tb->MakeExternalJoin(FaultyConfig()), *eq);
+
+        return std::vector<std::string>{
+            Percent(loss, 1.0), Fmt(static_cast<uint64_t>(crashes)),
+            sens.ok ? Fmt(sens.report.cost.join_packets) : "fail",
+            sens.ok ? Fmt(sens.report.cost.retransmitted_packets) : "-",
+            sens.ok ? Fmt(sens.report.cost.retransmit_energy_mj) : "-",
+            sens.ok ? Fmt(static_cast<uint64_t>(sens.report.attempts)) : "-",
+            sens.ok
+                ? Fmt(static_cast<uint64_t>(sens.report.recovery_requests))
+                : "-",
+            sens.ok ? Percent(testbed::ResultCompleteness(truth->result,
+                                                          sens.report.result),
+                              1.0)
+                    : "0%",
+            ext.ok ? Fmt(ext.report.cost.join_packets) : "fail",
+            ext.ok ? Percent(testbed::ResultCompleteness(truth->result,
+                                                         ext.report.result),
+                             1.0)
+                   : "0%"};
+      });
+  SENSJOIN_CHECK(rows.ok()) << rows.status();
+
   TablePrinter table({"loss", "crashes", "sens pkts", "retx", "retx mJ",
                       "att", "recov", "compl", "ext pkts", "ext compl"});
-  for (double loss : {0.0, 0.05, 0.10, 0.20}) {
-    for (int crashes : {0, 1, 3}) {
-      auto sens_tb = MustCreateTestbed(PaperDefaultParams(seed, num_nodes));
-      sens_tb->InjectFaults(
-          MakePlan(*sens_tb, contributors, loss, crashes, seed));
-      ArmFaults(*sens_tb);
-      auto sq = sens_tb->ParseQuery(kQuery);
-      SENSJOIN_CHECK(sq.ok());
-      const RunOutcome sens = Run(sens_tb->MakeSensJoin(FaultyConfig()), *sq);
-
-      auto ext_tb = MustCreateTestbed(PaperDefaultParams(seed, num_nodes));
-      ext_tb->InjectFaults(
-          MakePlan(*ext_tb, contributors, loss, crashes, seed));
-      ArmFaults(*ext_tb);
-      auto eq = ext_tb->ParseQuery(kQuery);
-      SENSJOIN_CHECK(eq.ok());
-      const RunOutcome ext = Run(ext_tb->MakeExternalJoin(FaultyConfig()), *eq);
-
-      table.AddRow(
-          {Percent(loss, 1.0), Fmt(static_cast<uint64_t>(crashes)),
-           sens.ok ? Fmt(sens.report.cost.join_packets) : "fail",
-           sens.ok ? Fmt(sens.report.cost.retransmitted_packets) : "-",
-           sens.ok ? Fmt(sens.report.cost.retransmit_energy_mj) : "-",
-           sens.ok ? Fmt(static_cast<uint64_t>(sens.report.attempts)) : "-",
-           sens.ok ? Fmt(static_cast<uint64_t>(sens.report.recovery_requests))
-                   : "-",
-           sens.ok ? Percent(testbed::ResultCompleteness(truth->result,
-                                                         sens.report.result),
-                             1.0)
-                   : "0%",
-           ext.ok ? Fmt(ext.report.cost.join_packets) : "fail",
-           ext.ok ? Percent(testbed::ResultCompleteness(truth->result,
-                                                        ext.report.result),
-                            1.0)
-                  : "0%"});
-    }
-  }
+  for (std::vector<std::string>& row : *rows) table.AddRow(std::move(row));
   table.Print(std::cout);
 
   // Second sweep: payload corruption x CRC trailer. With the CRC on, every
@@ -138,50 +155,59 @@ void Main(uint64_t seed, int num_nodes) {
   // corruption-triggered retransmissions); with it off, damaged payloads
   // reach the decoders and completeness degrades instead.
   std::cout << "\nPayload corruption x CRC trailer (no loss, no crashes):\n";
+  const std::vector<double> kCorr = {0.02, 0.05, 0.10};
+  auto irows = runner.Run(
+      static_cast<int>(kCorr.size()) * 2, seed,
+      [&](const testbed::TrialContext& ctx) {
+        const double corr = kCorr[ctx.trial / 2];
+        const bool crc = ctx.trial % 2 == 0;
+        auto corrupt_plan = [&](uint64_t salt) {
+          sim::FaultPlan plan;
+          plan.default_corruption_rate = corr;
+          plan.arq.enabled = true;
+          plan.arq.max_retransmissions = 6;
+          plan.integrity.crc_enabled = crc;
+          plan.seed = seed * 1000 + salt;
+          return plan;
+        };
+        auto sens_tb = MustCreateTestbed(PaperDefaultParams(seed, num_nodes));
+        sens_tb->InjectFaults(corrupt_plan(1));
+        auto sq = sens_tb->ParseQuery(kQuery);
+        SENSJOIN_CHECK(sq.ok());
+        const RunOutcome sens =
+            Run(sens_tb->MakeSensJoin(FaultyConfig()), *sq);
+
+        auto ext_tb = MustCreateTestbed(PaperDefaultParams(seed, num_nodes));
+        ext_tb->InjectFaults(corrupt_plan(2));
+        auto eq = ext_tb->ParseQuery(kQuery);
+        SENSJOIN_CHECK(eq.ok());
+        const RunOutcome ext =
+            Run(ext_tb->MakeExternalJoin(FaultyConfig()), *eq);
+
+        return std::vector<std::string>{
+            Percent(corr, 1.0), crc ? "on" : "off",
+            sens.ok ? Fmt(sens.report.cost.join_packets) : "fail",
+            sens.ok ? Fmt(sens.report.cost.corrupted_packets) : "-",
+            sens.ok ? Fmt(sens.report.cost.undetected_corrupted_packets)
+                    : "-",
+            sens.ok ? Fmt(sens.report.cost.integrity_retransmit_energy_mj)
+                    : "-",
+            sens.ok ? Fmt(sens.report.cost.crc_bytes_sent) : "-",
+            sens.ok ? Percent(testbed::ResultCompleteness(truth->result,
+                                                          sens.report.result),
+                              1.0)
+                    : "0%",
+            ext.ok ? Fmt(ext.report.cost.join_packets) : "fail",
+            ext.ok ? Percent(testbed::ResultCompleteness(truth->result,
+                                                         ext.report.result),
+                             1.0)
+                   : "0%"};
+      });
+  SENSJOIN_CHECK(irows.ok()) << irows.status();
+
   TablePrinter itable({"corr", "crc", "sens pkts", "corrupted", "undetect",
                        "integ mJ", "crc B", "compl", "ext pkts", "ext compl"});
-  for (double corr : {0.02, 0.05, 0.10}) {
-    for (bool crc : {true, false}) {
-      auto corrupt_plan = [&](uint64_t salt) {
-        sim::FaultPlan plan;
-        plan.default_corruption_rate = corr;
-        plan.arq.enabled = true;
-        plan.arq.max_retransmissions = 6;
-        plan.integrity.crc_enabled = crc;
-        plan.seed = seed * 1000 + salt;
-        return plan;
-      };
-      auto sens_tb = MustCreateTestbed(PaperDefaultParams(seed, num_nodes));
-      sens_tb->InjectFaults(corrupt_plan(1));
-      auto sq = sens_tb->ParseQuery(kQuery);
-      SENSJOIN_CHECK(sq.ok());
-      const RunOutcome sens = Run(sens_tb->MakeSensJoin(FaultyConfig()), *sq);
-
-      auto ext_tb = MustCreateTestbed(PaperDefaultParams(seed, num_nodes));
-      ext_tb->InjectFaults(corrupt_plan(2));
-      auto eq = ext_tb->ParseQuery(kQuery);
-      SENSJOIN_CHECK(eq.ok());
-      const RunOutcome ext = Run(ext_tb->MakeExternalJoin(FaultyConfig()), *eq);
-
-      itable.AddRow(
-          {Percent(corr, 1.0), crc ? "on" : "off",
-           sens.ok ? Fmt(sens.report.cost.join_packets) : "fail",
-           sens.ok ? Fmt(sens.report.cost.corrupted_packets) : "-",
-           sens.ok ? Fmt(sens.report.cost.undetected_corrupted_packets) : "-",
-           sens.ok ? Fmt(sens.report.cost.integrity_retransmit_energy_mj)
-                   : "-",
-           sens.ok ? Fmt(sens.report.cost.crc_bytes_sent) : "-",
-           sens.ok ? Percent(testbed::ResultCompleteness(truth->result,
-                                                         sens.report.result),
-                             1.0)
-                   : "0%",
-           ext.ok ? Fmt(ext.report.cost.join_packets) : "fail",
-           ext.ok ? Percent(testbed::ResultCompleteness(truth->result,
-                                                        ext.report.result),
-                            1.0)
-                  : "0%"});
-    }
-  }
+  for (std::vector<std::string>& row : *irows) itable.AddRow(std::move(row));
   itable.Print(std::cout);
 
   std::cout << "\nSample fault summary (10% loss, 1 crash, SENS-Join):\n";
@@ -224,8 +250,9 @@ void Main(uint64_t seed, int num_nodes) {
 }  // namespace sensjoin::bench
 
 int main(int argc, char** argv) {
+  const int threads = sensjoin::testbed::ParseThreadsFlag(&argc, argv);
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
   const int num_nodes = argc > 2 ? std::atoi(argv[2]) : 250;
-  sensjoin::bench::Main(seed, num_nodes);
+  sensjoin::bench::Main(seed, num_nodes, threads);
   return 0;
 }

@@ -3,9 +3,15 @@
 // result, for the 33% (a) and 60% (b) join-attribute ratios. Expected
 // shape: SENS-Join wins below a crossover fraction in the 60-80% region,
 // with the largest savings at low fractions and at the smaller ratio.
+//
+// Every target fraction is an independent (calibrate, execute) unit, so
+// the seven targets of each panel run as ParallelRunner trials on
+// per-trial testbeds. Calibration is deterministic in the seed, so the
+// rows are byte-identical to a sequential run at any --threads value.
 
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "sensjoin/sensjoin.h"
 #include "util/calibration.h"
@@ -15,45 +21,70 @@
 namespace sensjoin::bench {
 namespace {
 
-void RunPanel(testbed::Testbed& tb, const char* title, bool one_join_attr) {
+const std::vector<double> kTargets = {0.02, 0.05, 0.10, 0.20,
+                                      0.40, 0.60, 0.80};
+
+struct Row {
+  double achieved = 0.0;
+  uint64_t ext_packets = 0;
+  uint64_t sens_packets = 0;
+  uint64_t collection = 0;
+  uint64_t filter = 0;
+  uint64_t final_pkts = 0;
+};
+
+void RunPanel(uint64_t seed, const testbed::ParallelRunner& runner,
+              const char* title, bool one_join_attr) {
   std::cout << "\n" << title << "\n";
+  auto rows = runner.Run(
+      static_cast<int>(kTargets.size()), seed,
+      [&](const testbed::TrialContext& ctx) {
+        const double target = kTargets[ctx.trial];
+        auto tb = MustCreateTestbed(PaperDefaultParams(seed));
+        Calibration cal;
+        if (one_join_attr) {
+          cal = CalibrateFraction(
+              *tb, [](double d) { return RatioQueryOneJoinAttr(3, d); },
+              /*lo=*/0.0, /*hi=*/25.0, target, /*increasing=*/false);
+        } else {
+          cal = CalibrateFraction(
+              *tb, [](double d) { return RatioQueryThreeJoinAttrs(5, d); },
+              /*lo=*/0.0, /*hi=*/1500.0, target, /*increasing=*/false);
+        }
+        auto q = tb->ParseQuery(cal.sql);
+        SENSJOIN_CHECK(q.ok()) << q.status();
+        auto ext = tb->MakeExternalJoin().Execute(*q, 0);
+        auto sens = tb->MakeSensJoin().Execute(*q, 0);
+        SENSJOIN_CHECK(ext.ok() && sens.ok());
+        return Row{cal.fraction, ext->cost.join_packets,
+                   sens->cost.join_packets,
+                   sens->cost.phases.collection_packets,
+                   sens->cost.phases.filter_packets,
+                   sens->cost.phases.final_packets};
+      });
+  SENSJOIN_CHECK(rows.ok()) << rows.status();
+
   TablePrinter table({"target", "achieved", "external pkts", "sens pkts",
                       "collection", "filter", "final", "savings"});
-  for (double target : {0.02, 0.05, 0.10, 0.20, 0.40, 0.60, 0.80}) {
-    Calibration cal;
-    if (one_join_attr) {
-      cal = CalibrateFraction(
-          tb, [](double d) { return RatioQueryOneJoinAttr(3, d); },
-          /*lo=*/0.0, /*hi=*/25.0, target, /*increasing=*/false);
-    } else {
-      cal = CalibrateFraction(
-          tb, [](double d) { return RatioQueryThreeJoinAttrs(5, d); },
-          /*lo=*/0.0, /*hi=*/1500.0, target, /*increasing=*/false);
-    }
-    auto q = tb.ParseQuery(cal.sql);
-    SENSJOIN_CHECK(q.ok()) << q.status();
-    auto ext = tb.MakeExternalJoin().Execute(*q, 0);
-    auto sens = tb.MakeSensJoin().Execute(*q, 0);
-    SENSJOIN_CHECK(ext.ok() && sens.ok());
-    table.AddRow({Percent(target, 1.0), Percent(cal.fraction, 1.0),
-                  Fmt(ext->cost.join_packets), Fmt(sens->cost.join_packets),
-                  Fmt(sens->cost.phases.collection_packets),
-                  Fmt(sens->cost.phases.filter_packets),
-                  Fmt(sens->cost.phases.final_packets),
-                  Savings(sens->cost.join_packets, ext->cost.join_packets)});
+  for (size_t i = 0; i < kTargets.size(); ++i) {
+    const Row& r = (*rows)[i];
+    table.AddRow({Percent(kTargets[i], 1.0), Percent(r.achieved, 1.0),
+                  Fmt(r.ext_packets), Fmt(r.sens_packets), Fmt(r.collection),
+                  Fmt(r.filter), Fmt(r.final_pkts),
+                  Savings(r.sens_packets, r.ext_packets)});
   }
   table.Print(std::cout);
 }
 
-void Main(uint64_t seed) {
-  auto tb = MustCreateTestbed(PaperDefaultParams(seed));
+void Main(uint64_t seed, int threads) {
+  const testbed::ParallelRunner runner(threads);
   std::cout << "Fig. 10 -- overall savings of SENS-Join vs external join\n"
             << "network: 1500 nodes, 1050x1050 m, range 50 m, 48 B packets, "
                "seed "
             << seed << "\n";
-  RunPanel(*tb, "(a) 33% join attributes (1 join attr of 3 queried)",
+  RunPanel(seed, runner, "(a) 33% join attributes (1 join attr of 3 queried)",
            /*one_join_attr=*/true);
-  RunPanel(*tb, "(b) 60% join attributes (3 join attrs of 5 queried)",
+  RunPanel(seed, runner, "(b) 60% join attributes (3 join attrs of 5 queried)",
            /*one_join_attr=*/false);
 }
 
@@ -61,7 +92,8 @@ void Main(uint64_t seed) {
 }  // namespace sensjoin::bench
 
 int main(int argc, char** argv) {
+  const int threads = sensjoin::testbed::ParseThreadsFlag(&argc, argv);
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
-  sensjoin::bench::Main(seed);
+  sensjoin::bench::Main(seed, threads);
   return 0;
 }

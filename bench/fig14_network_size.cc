@@ -2,9 +2,15 @@
 // constant density), 33% join-attribute ratio, 5% result fraction.
 // Expected shape: relative savings roughly constant, growing slightly
 // (superlinearly) with the size of the network.
+//
+// Each network size already built its own testbed, so the sweep maps
+// directly onto ParallelRunner trials; rows are collected in trial order,
+// keeping the table byte-identical to a sequential run.
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "sensjoin/sensjoin.h"
 #include "util/calibration.h"
@@ -14,29 +20,37 @@
 namespace sensjoin::bench {
 namespace {
 
-void Main(uint64_t seed) {
+void Main(uint64_t seed, int threads) {
+  const testbed::ParallelRunner runner(threads);
   std::cout << "Fig. 14 -- influence of the network size "
                "(constant density, 5% fraction, 33% ratio), seed "
             << seed << "\n\n";
+  const std::vector<int> kSizes = {1000, 1500, 2000, 2500};
+  auto rows = runner.Run(
+      static_cast<int>(kSizes.size()), seed,
+      [&](const testbed::TrialContext& ctx) {
+        const int n = kSizes[ctx.trial];
+        auto tb = MustCreateTestbed(PaperDefaultParams(seed, n));
+        const Calibration cal = CalibrateFraction(
+            *tb, [](double d) { return RatioQueryOneJoinAttr(3, d); }, 0.0,
+            25.0, 0.05, /*increasing=*/false);
+        auto q = tb->ParseQuery(cal.sql);
+        SENSJOIN_CHECK(q.ok());
+        auto ext = tb->MakeExternalJoin().Execute(*q, 0);
+        auto sens = tb->MakeSensJoin().Execute(*q, 0);
+        SENSJOIN_CHECK(ext.ok() && sens.ok());
+        return std::vector<std::string>{
+            Fmt(static_cast<uint64_t>(n)),
+            Fmt(tb->params().placement.area_width_m, 0),
+            Fmt(static_cast<uint64_t>(tb->tree().max_depth())),
+            Fmt(ext->cost.join_packets), Fmt(sens->cost.join_packets),
+            Savings(sens->cost.join_packets, ext->cost.join_packets)};
+      });
+  SENSJOIN_CHECK(rows.ok()) << rows.status();
+
   TablePrinter table({"nodes", "area (m)", "tree depth", "external pkts",
                       "sens pkts", "savings"});
-  for (int n : {1000, 1500, 2000, 2500}) {
-    auto tb = MustCreateTestbed(PaperDefaultParams(seed, n));
-    const Calibration cal = CalibrateFraction(
-        *tb, [](double d) { return RatioQueryOneJoinAttr(3, d); }, 0.0, 25.0,
-        0.05, /*increasing=*/false);
-    auto q = tb->ParseQuery(cal.sql);
-    SENSJOIN_CHECK(q.ok());
-    auto ext = tb->MakeExternalJoin().Execute(*q, 0);
-    auto sens = tb->MakeSensJoin().Execute(*q, 0);
-    SENSJOIN_CHECK(ext.ok() && sens.ok());
-    table.AddRow(
-        {Fmt(static_cast<uint64_t>(n)),
-         Fmt(tb->params().placement.area_width_m, 0),
-         Fmt(static_cast<uint64_t>(tb->tree().max_depth())),
-         Fmt(ext->cost.join_packets), Fmt(sens->cost.join_packets),
-         Savings(sens->cost.join_packets, ext->cost.join_packets)});
-  }
+  for (std::vector<std::string>& row : *rows) table.AddRow(std::move(row));
   table.Print(std::cout);
 }
 
@@ -44,7 +58,8 @@ void Main(uint64_t seed) {
 }  // namespace sensjoin::bench
 
 int main(int argc, char** argv) {
+  const int threads = sensjoin::testbed::ParseThreadsFlag(&argc, argv);
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
-  sensjoin::bench::Main(seed);
+  sensjoin::bench::Main(seed, threads);
   return 0;
 }

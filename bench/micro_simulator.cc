@@ -1,0 +1,166 @@
+// Microbenchmarks (google-benchmark) for the simulator hot paths and the
+// parallel experiment engine: event-queue throughput (events/sec), radio
+// fragmentation throughput (fragments/sec), and whole experiment trials
+// per second at 1..N worker threads. The trials series feeds the tracked
+// BENCH_runtime.json baseline; scripts/check_bench_speedup.py compares
+// the 1-thread and 4-thread rates on multi-core runners.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sensjoin/sensjoin.h"
+
+namespace sensjoin {
+namespace {
+
+constexpr const char* kTrialQuery =
+    "SELECT A.hum, B.hum FROM sensors A, sensors B "
+    "WHERE |A.temp - B.temp| < 0.3 "
+    "AND distance(A.x, A.y, B.x, B.y) > 200 ONCE";
+
+testbed::TestbedParams SmallParams(uint64_t seed) {
+  testbed::TestbedParams params;
+  params.placement.num_nodes = 120;
+  params.placement.area_width_m = 300;
+  params.placement.area_height_m = 300;
+  params.seed = seed;
+  return params;
+}
+
+/// Schedule-then-drain throughput of the slot-pooled event queue.
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    uint64_t fired = 0;
+    for (int i = 0; i < n; ++i) {
+      q.ScheduleAt(static_cast<sim::SimTime>(i) * 1e-4,
+                   [&fired] { ++fired; });
+    }
+    while (q.RunOne()) {
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+/// Same with half the events canceled: exercises the generation check and
+/// the free-list recycling that replaced the id->callback hash map.
+void BM_EventQueueCancelHalf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<sim::EventId> ids(static_cast<size_t>(n));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    uint64_t fired = 0;
+    for (int i = 0; i < n; ++i) {
+      ids[i] = q.ScheduleAt(static_cast<sim::SimTime>(i) * 1e-4,
+                            [&fired] { ++fired; });
+    }
+    for (int i = 0; i < n; i += 2) q.Cancel(ids[i]);
+    while (q.RunOne()) {
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueCancelHalf)->Arg(1024)->Arg(16384);
+
+/// ARQ-style timer churn: every event cancels its own timeout and arms the
+/// next one, so one pool slot is recycled over and over.
+void BM_EventQueueSlotRecycle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      const sim::EventId timeout = q.ScheduleAt(
+          static_cast<sim::SimTime>(i) * 1e-4 + 1.0, [] {});
+      q.ScheduleAt(static_cast<sim::SimTime>(i) * 1e-4,
+                   [&q, timeout] { q.Cancel(timeout); });
+    }
+    while (q.RunOne()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueSlotRecycle)->Arg(1024)->Arg(16384);
+
+/// Link-layer fragmentation throughput: one-hop unicasts of a multi-
+/// fragment payload between a tree node and its parent, event deliveries
+/// drained inline. Reported rate is fragments (link packets) per second.
+void BM_SimulatorUnicastFragments(benchmark::State& state) {
+  auto tb = testbed::Testbed::Create(SmallParams(11));
+  SENSJOIN_CHECK(tb.ok()) << tb.status();
+  sim::Simulator& sim = (*tb)->simulator();
+  const net::RoutingTree& tree = (*tb)->tree();
+  sim::NodeId src = sim::kInvalidNode;
+  for (int i = 0; i < sim.num_nodes(); ++i) {
+    if (i != tree.root() && tree.InTree(i)) {
+      src = i;
+      break;
+    }
+  }
+  SENSJOIN_CHECK(src != sim::kInvalidNode);
+  const sim::NodeId dst = tree.parent(src);
+  constexpr size_t kPayloadBytes = 200;
+  const int fragments =
+      sim::NumFragments(kPayloadBytes, sim.packet_params());
+  uint64_t received = 0;
+  auto previous = sim.SetReceiveHandler(
+      [&received](sim::NodeId, const sim::Message&) { ++received; });
+  for (auto _ : state) {
+    sim::Message msg;
+    msg.src = src;
+    msg.dst = dst;
+    msg.kind = sim::MessageKind::kAppData;
+    msg.payload_bytes = kPayloadBytes;
+    benchmark::DoNotOptimize(sim.SendUnicast(std::move(msg)));
+    while (sim.events().RunOne()) {
+    }
+  }
+  sim.SetReceiveHandler(std::move(previous));
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(state.iterations() * fragments);
+}
+BENCHMARK(BM_SimulatorUnicastFragments);
+
+/// Whole experiment trials (testbed build + SENS-Join execution) per
+/// second through the ParallelRunner at a fixed thread count. Real time,
+/// not CPU time: the work runs on pool threads, and the speedup of
+/// interest is wall-clock. On a single-core host all thread counts
+/// degenerate to the sequential rate.
+void BM_TestbedTrials(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const testbed::ParallelRunner runner(threads);
+  constexpr int kTrials = 8;
+  for (auto _ : state) {
+    const Status status = runner.RunTrials(
+        kTrials, /*sweep_seed=*/42,
+        [](const testbed::TrialContext& ctx) -> Status {
+          auto tb = testbed::Testbed::Create(SmallParams(ctx.seed));
+          SENSJOIN_RETURN_IF_ERROR(tb.status());
+          auto q = (*tb)->ParseQuery(kTrialQuery);
+          SENSJOIN_RETURN_IF_ERROR(q.status());
+          auto report = (*tb)->MakeSensJoin().Execute(*q, /*epoch=*/0);
+          SENSJOIN_RETURN_IF_ERROR(report.status());
+          benchmark::DoNotOptimize(report->cost.join_packets);
+          return Status::Ok();
+        });
+    SENSJOIN_CHECK(status.ok()) << status;
+  }
+  state.SetItemsProcessed(state.iterations() * kTrials);
+}
+BENCHMARK(BM_TestbedTrials)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sensjoin
+
+// main() comes from benchmark::benchmark_main.

@@ -3,6 +3,11 @@
 // depleted, the network ceases operation" (Sec. VI "Metric"). This harness
 // converts per-node energy per execution into the number of query
 // executions a battery budget sustains before the first node dies.
+//
+// The two methods run as ParallelRunner trials (each already built its
+// own testbed); the rows are assembled on the main thread (the SENS-Join
+// row is expressed relative to the external lifetime), byte-identical to
+// a sequential run.
 
 #include <algorithm>
 #include <cstdlib>
@@ -18,7 +23,13 @@ namespace {
 
 constexpr double kBatteryBudgetJ = 100.0;  // usable radio budget per node
 
-void Main(uint64_t seed) {
+struct Lifetime {
+  double max_energy = 0.0;
+  uint64_t executions = 0;
+};
+
+void Main(uint64_t seed, int threads) {
+  const testbed::ParallelRunner runner(threads);
   std::cout << "Network lifetime projection (" << kBatteryBudgetJ
             << " J radio budget per node, 33% ratio, 5% fraction), seed "
             << seed << "\n\n";
@@ -26,7 +37,9 @@ void Main(uint64_t seed) {
       {"method", "max node energy/exec (mJ)", "executions until first death",
        "lifetime vs external"});
 
-  auto run = [&](bool sens) {
+  // Trial 0: external join; trial 1: SENS-Join.
+  auto results = runner.Run(2, seed, [&](const testbed::TrialContext& ctx) {
+    const bool sens = ctx.trial == 1;
     auto tb = MustCreateTestbed(PaperDefaultParams(seed));
     const Calibration cal = CalibrateFraction(
         *tb, [](double d) { return RatioQueryOneJoinAttr(3, d); }, 0.0, 25.0,
@@ -46,16 +59,17 @@ void Main(uint64_t seed) {
     }
     const uint64_t executions =
         static_cast<uint64_t>(kBatteryBudgetJ * 1000.0 / max_energy);
-    return std::pair<double, uint64_t>(max_energy, executions);
-  };
+    return Lifetime{max_energy, executions};
+  });
+  SENSJOIN_CHECK(results.ok()) << results.status();
 
-  const auto [ext_energy, ext_lifetime] = run(false);
-  const auto [sens_energy, sens_lifetime] = run(true);
-  table.AddRow({"External Join", Fmt(ext_energy, 2), Fmt(ext_lifetime),
+  const Lifetime& ext = (*results)[0];
+  const Lifetime& sens = (*results)[1];
+  table.AddRow({"External Join", Fmt(ext.max_energy, 2), Fmt(ext.executions),
                 "1.0x"});
-  table.AddRow({"SENS-Join", Fmt(sens_energy, 2), Fmt(sens_lifetime),
-                Fmt(static_cast<double>(sens_lifetime) /
-                        std::max<uint64_t>(1, ext_lifetime),
+  table.AddRow({"SENS-Join", Fmt(sens.max_energy, 2), Fmt(sens.executions),
+                Fmt(static_cast<double>(sens.executions) /
+                        std::max<uint64_t>(1, ext.executions),
                     1) +
                     "x"});
   table.Print(std::cout);
@@ -67,7 +81,8 @@ void Main(uint64_t seed) {
 }  // namespace sensjoin::bench
 
 int main(int argc, char** argv) {
+  const int threads = sensjoin::testbed::ParseThreadsFlag(&argc, argv);
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
-  sensjoin::bench::Main(seed);
+  sensjoin::bench::Main(seed, threads);
   return 0;
 }

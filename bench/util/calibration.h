@@ -5,6 +5,7 @@
 #include <string>
 
 #include "sensjoin/query/query.h"
+#include "sensjoin/testbed/parallel.h"
 #include "sensjoin/testbed/testbed.h"
 
 namespace sensjoin::bench {
@@ -13,8 +14,14 @@ namespace sensjoin::bench {
 /// result, computed over ground-truth (materialized) data without touching
 /// the network. This is the paper's primary workload parameter
 /// ("fraction of nodes in the result", Sec. VI "Parameters").
+///
+/// When `runner` is non-null and has more than one thread, the pairwise
+/// contributor scan is chunked across it; the result is identical either
+/// way. Pass nullptr from code that is itself running inside a parallel
+/// trial.
 double ResultNodeFraction(testbed::Testbed& tb, const query::AnalyzedQuery& q,
-                          uint64_t epoch);
+                          uint64_t epoch,
+                          const testbed::ParallelRunner* runner = nullptr);
 
 /// Outcome of a predicate-parameter calibration.
 struct Calibration {
@@ -29,10 +36,17 @@ struct Calibration {
 /// (e.g., a widening range condition) or shrinks (a growing difference
 /// threshold). The paper varies join conditions exactly this way to sweep
 /// the fraction axis.
+///
+/// The testbed's ground-truth tuples are materialized once and reused
+/// across all bisection probes when the workload allows it (no per-table
+/// selection predicates, stable FROM list — true for every harness in
+/// bench/), instead of re-sensing the whole deployment per probe. Probes
+/// whose shape does change fall back to per-probe materialization, so the
+/// result never depends on the cache.
 Calibration CalibrateFraction(
     testbed::Testbed& tb, const std::function<std::string(double)>& make_sql,
     double lo, double hi, double target, bool increasing, uint64_t epoch = 0,
-    int iterations = 22);
+    int iterations = 22, const testbed::ParallelRunner* runner = nullptr);
 
 }  // namespace sensjoin::bench
 

@@ -1,22 +1,32 @@
 #!/usr/bin/env python3
-"""Asserts the indexed filter join is not slower than the naive engine.
+"""Performance regression tripwires for the tracked benchmark baselines.
 
-Reads a google-benchmark JSON file (as written by
-`micro_filterjoin --benchmark_out=...`) and compares
-BM_ComputeJoinFilterNaive/<n> against BM_ComputeJoinFilterIndexed/<n>.
-CI runners are noisy, so this is a regression tripwire, not a performance
-measurement: it fails only if the indexed engine loses to the naive one.
+Two modes:
 
-Usage: check_bench_speedup.py <bench.json> [n] [min_ratio]
+Filter-join mode (default):
+    check_bench_speedup.py <bench.json> [n] [min_ratio]
+  Reads a google-benchmark JSON file (as written by
+  `micro_filterjoin --benchmark_out=...`) and compares
+  BM_ComputeJoinFilterNaive/<n> against BM_ComputeJoinFilterIndexed/<n>.
+  CI runners are noisy, so this is a regression tripwire, not a
+  performance measurement: it fails only if the indexed engine loses to
+  the naive one.
+
+Runtime mode:
+    check_bench_speedup.py --runtime <BENCH_runtime.json> [min_ratio]
+  Asserts the parallel experiment engine actually scales: the micro
+  trials/sec rate at 4 threads must be >= min_ratio (default 2.0) times
+  the 1-thread rate, and at least two sweep benches must show
+  threads_1_s / threads_4_s >= min_ratio. The assertion only fires when
+  the baseline was recorded on a host with >= 4 CPUs (host_cpus field);
+  on smaller hosts there is no parallelism to measure, so the check
+  prints the numbers and passes.
 """
 import json
 import sys
 
 
-def main() -> int:
-    path = sys.argv[1]
-    n = sys.argv[2] if len(sys.argv) > 2 else "1500"
-    min_ratio = float(sys.argv[3]) if len(sys.argv) > 3 else 1.0
+def check_filterjoin(path: str, n: str, min_ratio: float) -> int:
     with open(path) as f:
         data = json.load(f)
     times = {}
@@ -36,6 +46,65 @@ def main() -> int:
         print("FAIL: indexed filter join is slower than the naive engine")
         return 1
     return 0
+
+
+def check_runtime(path: str, min_ratio: float) -> int:
+    with open(path) as f:
+        doc = json.load(f)
+    host_cpus = int(doc.get("host_cpus", 1))
+    enforce = host_cpus >= 4
+    if not enforce:
+        print(f"host_cpus={host_cpus} < 4: parallel speedup not "
+              "measurable on this host; reporting numbers only")
+
+    failures = []
+
+    trials = doc.get("micro", {}).get("trials_per_sec", {})
+    t1, t4 = trials.get("1"), trials.get("4")
+    if t1 and t4:
+        ratio = t4 / t1
+        print(f"micro trials/sec: 1t={t1:.1f}  4t={t4:.1f}  "
+              f"speedup: {ratio:.2f}x (required >= {min_ratio}x)")
+        if enforce and ratio < min_ratio:
+            failures.append("micro trials_per_sec 4t/1t below threshold")
+    else:
+        print(f"micro trials_per_sec missing from {path}")
+        if enforce:
+            failures.append("micro trials_per_sec missing")
+
+    passing = 0
+    measured = 0
+    for name, timing in sorted(doc.get("benches", {}).items()):
+        t1s = timing.get("threads_1_s")
+        t4s = timing.get("threads_4_s")
+        if not t1s or not t4s:
+            continue
+        measured += 1
+        ratio = t1s / t4s
+        ok = ratio >= min_ratio
+        passing += ok
+        print(f"{name}: 1t={t1s:.2f}s  4t={t4s:.2f}s  "
+              f"speedup: {ratio:.2f}x{'' if ok else '  (below threshold)'}")
+    print(f"{passing}/{measured} sweep benches at >= {min_ratio}x "
+          "(required: >= 2 benches)")
+    if enforce and passing < 2:
+        failures.append("fewer than 2 sweep benches met the speedup bar")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if args and args[0] == "--runtime":
+        path = args[1]
+        min_ratio = float(args[2]) if len(args) > 2 else 2.0
+        return check_runtime(path, min_ratio)
+    path = args[0]
+    n = args[1] if len(args) > 1 else "1500"
+    min_ratio = float(args[2]) if len(args) > 2 else 1.0
+    return check_filterjoin(path, n, min_ratio)
 
 
 if __name__ == "__main__":

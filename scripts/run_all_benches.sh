@@ -1,21 +1,57 @@
 #!/usr/bin/env bash
 # Regenerates every figure/table of the paper plus the ablations and
-# extension benchmarks. Usage: scripts/run_all_benches.sh [build_dir] [seed]
+# extension benchmarks, recording per-bench wall-clock into the "benches"
+# section of BENCH_runtime.json. Sweep-heavy benches are additionally run
+# with --threads 4 so the tracked baseline captures the parallel speedup
+# (their printed tables are byte-identical at any thread count). Any bench
+# exiting non-zero fails the whole script.
+# Usage: scripts/run_all_benches.sh [build_dir] [seed] [out_dir]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 SEED="${2:-42}"
+OUT_DIR="${3:-.}"
 
-for bench in \
-    fig10_overall_savings fig11_per_node_load fig12_ratio_three_attrs \
-    fig13_ratio_one_attr fig14_network_size fig15_step_breakdown \
-    fig16_quadtree_influence tbl_compression tbl_packet_size \
-    tbl_baselines tbl_lifetime abl_treecut abl_filter_forwarding \
-    abl_resolution abl_geometry abl_planner abl_continuous; do
-  echo "===== ${bench} ====="
-  "${BUILD_DIR}/bench/${bench}" "${SEED}"
+ALL_BENCHES=(
+  fig10_overall_savings fig11_per_node_load fig12_ratio_three_attrs
+  fig13_ratio_one_attr fig14_network_size fig15_step_breakdown
+  fig16_quadtree_influence tbl_compression tbl_packet_size
+  tbl_baselines tbl_lifetime abl_treecut abl_filter_forwarding
+  abl_resolution abl_geometry abl_planner abl_continuous
+  abl_fault_tolerance
+)
+
+# Benches with enough independent trials for the 4-thread run to matter;
+# these get a second, timed execution at --threads 4.
+SWEEP_BENCHES=(
+  fig10_overall_savings fig13_ratio_one_attr fig15_step_breakdown
+  abl_treecut abl_resolution abl_planner abl_fault_tolerance
+)
+
+TIMINGS="$(mktemp)"
+trap 'rm -f "${TIMINGS}"' EXIT
+
+timed_run() {
+  local bench="$1" label="$2"
+  shift 2
+  local start end
+  start=$(date +%s%N)
+  "${BUILD_DIR}/bench/${bench}" "$@"
+  end=$(date +%s%N)
+  echo "${bench} ${label} $(( (end - start) / 1000000 ))" >> "${TIMINGS}"
+}
+
+for bench in "${ALL_BENCHES[@]}"; do
+  echo "===== ${bench} (--threads 1) ====="
+  timed_run "${bench}" threads_1 --threads 1 "${SEED}"
   echo
 done
+
+for bench in "${SWEEP_BENCHES[@]}"; do
+  echo "===== ${bench} (--threads 4) ====="
+  timed_run "${bench}" threads_4 --threads 4 "${SEED}" > /dev/null
+done
+echo
 
 echo "===== micro_pointset ====="
 "${BUILD_DIR}/bench/micro_pointset"
@@ -25,3 +61,31 @@ echo "===== micro_compress ====="
 echo
 echo "===== micro_filterjoin ====="
 "${BUILD_DIR}/bench/micro_filterjoin"
+
+python3 - "${TIMINGS}" "${OUT_DIR}/BENCH_runtime.json" <<'PY'
+import json
+import os
+import sys
+
+timings_path, out_path = sys.argv[1], sys.argv[2]
+
+doc = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+
+benches = {}
+with open(timings_path) as f:
+    for line in f:
+        name, label, ms = line.split()
+        benches.setdefault(name, {})[label + "_s"] = int(ms) / 1000.0
+
+doc["schema"] = "sensjoin-runtime-v1"
+doc["host_cpus"] = os.cpu_count() or 1
+doc["benches"] = benches
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote benches section of {out_path}")
+PY

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Runs the tracked microbenchmarks and writes their google-benchmark JSON
-# baselines into the repo root (BENCH_filterjoin.json, BENCH_pointset.json).
+# baselines into the repo root (BENCH_filterjoin.json, BENCH_pointset.json),
+# plus the simulator/parallel-engine runtime baseline (BENCH_runtime.json:
+# events/sec, fragments/sec, and experiment trials/sec at 1/2/4 threads).
 # Build with -DCMAKE_BUILD_TYPE=Release first; usage:
 #   scripts/run_benches.sh [build_dir] [out_dir]
 set -euo pipefail
@@ -19,3 +21,51 @@ run() {
 
 run micro_filterjoin "${OUT_DIR}/BENCH_filterjoin.json"
 run micro_pointset "${OUT_DIR}/BENCH_pointset.json"
+
+# The simulator/parallel-engine microbench is distilled into the "micro"
+# section of BENCH_runtime.json (run_all_benches.sh fills the "benches"
+# wall-clock section of the same file).
+RAW_JSON="$(mktemp)"
+trap 'rm -f "${RAW_JSON}"' EXIT
+run micro_simulator "${RAW_JSON}"
+python3 - "${RAW_JSON}" "${OUT_DIR}/BENCH_runtime.json" <<'PY'
+import json
+import os
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+rates = {}
+for bench in raw["benchmarks"]:
+    if bench.get("run_type", "iteration") != "iteration":
+        continue
+    rates[bench["name"]] = float(bench.get("items_per_second", 0.0))
+
+doc = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+
+doc["schema"] = "sensjoin-runtime-v1"
+doc["host_cpus"] = os.cpu_count() or 1
+doc["micro"] = {
+    "events_per_sec": {
+        "schedule_run_16384": rates.get("BM_EventQueueScheduleRun/16384"),
+        "cancel_half_16384": rates.get("BM_EventQueueCancelHalf/16384"),
+        "slot_recycle_16384": rates.get("BM_EventQueueSlotRecycle/16384"),
+    },
+    "fragments_per_sec": rates.get("BM_SimulatorUnicastFragments"),
+    "trials_per_sec": {
+        "1": rates.get("BM_TestbedTrials/1/real_time"),
+        "2": rates.get("BM_TestbedTrials/2/real_time"),
+        "4": rates.get("BM_TestbedTrials/4/real_time"),
+    },
+}
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote micro section of {out_path}")
+PY

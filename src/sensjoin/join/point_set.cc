@@ -105,6 +105,25 @@ PointSet PointSet::Union(const PointSet& a, const PointSet& b) {
   return out;
 }
 
+void PointSet::UnionInPlace(const PointSet& other,
+                            std::vector<uint64_t>* scratch) {
+  SENSJOIN_CHECK(*layout_ == *other.layout_);
+  if (other.keys_.empty()) return;
+  if (keys_.empty()) {
+    keys_ = other.keys_;
+    cache_valid_ = false;
+    return;
+  }
+  std::vector<uint64_t> local;
+  std::vector<uint64_t>& merged = scratch != nullptr ? *scratch : local;
+  merged.clear();
+  merged.reserve(keys_.size() + other.keys_.size());
+  std::set_union(keys_.begin(), keys_.end(), other.keys_.begin(),
+                 other.keys_.end(), std::back_inserter(merged));
+  keys_.swap(merged);  // the old buffer stays in `merged` for reuse
+  cache_valid_ = false;
+}
+
 PointSet PointSet::Intersect(const PointSet& a, const PointSet& b) {
   SENSJOIN_CHECK(*a.layout_ == *b.layout_);
   PointSet out(a.layout_);
@@ -184,11 +203,16 @@ size_t PointSet::NodeEncodedBits(size_t begin, size_t end, int level,
 
 BitWriter PointSet::Encode() const {
   BitWriter out;
-  if (keys_.empty()) return out;
-  out.ReserveBits(EncodedBits());
-  EncodeNode(0, keys_.size(), 0, 0, &out);
-  SENSJOIN_DCHECK(out.size_bits() == EncodedBits());
+  EncodeTo(&out);
   return out;
+}
+
+void PointSet::EncodeTo(BitWriter* out) const {
+  out->Clear();  // keeps the backing capacity for reuse across nodes
+  if (keys_.empty()) return;
+  out->ReserveBits(EncodedBits());
+  EncodeNode(0, keys_.size(), 0, 0, out);
+  SENSJOIN_DCHECK(out->size_bits() == EncodedBits());
 }
 
 size_t PointSet::EncodedBits() const {

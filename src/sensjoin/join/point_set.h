@@ -89,9 +89,21 @@ class PointSet {
   static PointSet Union(const PointSet& a, const PointSet& b);
   static PointSet Intersect(const PointSet& a, const PointSet& b);
 
+  /// Merges `other` into this set without allocating a result PointSet.
+  /// `scratch` (optional) receives the previous key buffer, so a caller
+  /// folding many sets in a loop recycles one allocation instead of
+  /// paying a fresh vector per union — the per-node accumulation path of
+  /// the collection phase.
+  void UnionInPlace(const PointSet& other,
+                    std::vector<uint64_t>* scratch = nullptr);
+
   /// Serializes to the quadtree bitstring. An empty set encodes to zero
   /// bits.
   BitWriter Encode() const;
+
+  /// Same, into a caller-owned writer (cleared first, backing capacity
+  /// kept), so per-node encode loops reuse one scratch buffer.
+  void EncodeTo(BitWriter* out) const;
 
   /// Size of the encoding without materializing it: a bottom-up pass over
   /// the node costs in integer arithmetic. Cached between mutations.

@@ -173,17 +173,20 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
 
   // Fidelity check (tests): everything handed to the radio must survive an
   // actual serialize/parse roundtrip through the Fig. 9 wire format.
-  auto verify_wire = [this, &codec](const PointSet& set) {
+  auto verify_wire = [this, &codec,
+                      scratch = BitWriter{}](const PointSet& set) mutable {
     if (!config_.verify_wire_roundtrip ||
         config_.representation != JoinAttrRepresentation::kQuadtree) {
       return;
     }
-    auto decoded = PointSet::Decode(codec.layout(), set.Encode());
+    set.EncodeTo(&scratch);  // one encoding buffer across all nodes
+    auto decoded = PointSet::Decode(codec.layout(), scratch);
     SENSJOIN_CHECK(decoded.ok()) << decoded.status();
     SENSJOIN_CHECK(*decoded == set) << "wire roundtrip mismatch";
   };
 
   // ---- Phase 1a: Join-Attribute-Collection with Treecut (Fig. 2) --------
+  std::vector<uint64_t> union_scratch;  // recycled across per-node unions
   for (sim::NodeId u : tree_.collection_order()) {
     NodeState& s = states[u];
     const ExecutorContext::NodeInfo& info = ctx.info(u);
@@ -252,7 +255,10 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       s.has_subtree_attrs = true;
     }
 
-    PointSet out = s.pending_attrs;
+    // After this iteration u's accumulated structure is only needed as
+    // `out` (subtree_attrs already holds its copy when selective
+    // forwarding kept one), so hand the buffer over instead of cloning.
+    PointSet out = std::move(s.pending_attrs);
     std::vector<uint64_t> local_keys;
     local_keys.reserve(s.proxy_tuples.size() + 1);
     for (const data::Tuple& t : s.proxy_tuples) {
@@ -278,9 +284,9 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     if (corrupted) {
       auto damaged = receive_damaged(out);
       if (!damaged.ok()) continue;  // parent discards the garbled structure
-      p.pending_attrs = PointSet::Union(p.pending_attrs, *damaged);
+      p.pending_attrs.UnionInPlace(*damaged, &union_scratch);
     } else {
-      p.pending_attrs = PointSet::Union(p.pending_attrs, out);
+      p.pending_attrs.UnionInPlace(out, &union_scratch);
     }
     p.any_attrs_child = true;
   }

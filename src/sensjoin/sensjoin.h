@@ -38,6 +38,7 @@
 #include "sensjoin/query/query.h"             // IWYU pragma: export
 #include "sensjoin/sim/fault_model.h"         // IWYU pragma: export
 #include "sensjoin/sim/simulator.h"           // IWYU pragma: export
+#include "sensjoin/testbed/parallel.h"        // IWYU pragma: export
 #include "sensjoin/testbed/report.h"          // IWYU pragma: export
 #include "sensjoin/testbed/testbed.h"         // IWYU pragma: export
 

@@ -9,30 +9,50 @@ namespace sensjoin::sim {
 EventId EventQueue::ScheduleAt(SimTime t, Callback cb) {
   SENSJOIN_CHECK(t >= now_) << "scheduling into the past: t=" << t
                             << "now=" << now_;
-  const EventId id = next_id_++;
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.active = true;
+  const EventId id = MakeId(slot, s.generation);
   heap_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
   ++pending_count_;
   return id;
 }
 
-bool EventQueue::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
+void EventQueue::Release(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.active = false;
+  ++s.generation;  // invalidate outstanding ids for this slot
+  free_slots_.push_back(slot);
   --pending_count_;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  const uint32_t slot = SlotOf(id);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.active || s.generation != GenerationOf(id)) return false;
+  s.cb = nullptr;  // drop captured state now, as the map erase used to
+  Release(slot);
   return true;
 }
 
 bool EventQueue::RunOne() {
   while (!heap_.empty()) {
-    Entry top = heap_.top();
+    const Entry top = heap_.top();
     heap_.pop();
-    auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) continue;  // canceled
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    --pending_count_;
+    const uint32_t slot = SlotOf(top.id);
+    Slot& s = slots_[slot];
+    if (!s.active || s.generation != GenerationOf(top.id)) continue;
+    Callback cb = std::move(s.cb);
+    Release(slot);
     now_ = top.time;
     cb();
     return true;
@@ -44,11 +64,13 @@ size_t EventQueue::RunUntil(SimTime t) {
   size_t fired = 0;
   while (!heap_.empty()) {
     // Skip canceled entries without advancing time.
-    if (callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    const Entry& top = heap_.top();
+    const Slot& s = slots_[SlotOf(top.id)];
+    if (!s.active || s.generation != GenerationOf(top.id)) {
       heap_.pop();
       continue;
     }
-    if (heap_.top().time > t) break;
+    if (top.time > t) break;
     RunOne();
     ++fired;
   }

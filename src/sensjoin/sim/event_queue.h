@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sensjoin/sim/time.h"
@@ -16,6 +15,12 @@ using EventId = uint64_t;
 
 /// A discrete-event scheduler. Events fire in timestamp order; ties are
 /// broken by insertion order so simulations are fully deterministic.
+///
+/// Callbacks live in a slot vector recycled through a free list, and an
+/// EventId encodes (slot, generation) so stale handles never alias a
+/// reused slot. Compared to the original hash-map storage this removes a
+/// node allocation plus two hash lookups per event — the per-fragment
+/// scheduling path is the hottest allocation site in a trial.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -68,13 +73,31 @@ class EventQueue {
     }
   };
 
+  /// One pooled event. `generation` is bumped every time the slot is
+  /// released (fired or canceled), invalidating outstanding EventIds.
+  struct Slot {
+    Callback cb;
+    uint32_t generation = 0;
+    bool active = false;
+  };
+
+  static EventId MakeId(uint32_t slot, uint32_t generation) {
+    return (static_cast<uint64_t>(slot) << 32) | generation;
+  }
+  static uint32_t SlotOf(EventId id) { return static_cast<uint32_t>(id >> 32); }
+  static uint32_t GenerationOf(EventId id) {
+    return static_cast<uint32_t>(id);
+  }
+
+  /// Returns the slot's index to the free list; the callback's captured
+  /// state is destroyed by the caller moving it out (fire) or here (cancel).
+  void Release(uint32_t slot);
+
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  // Callbacks keyed by event id; canceled events are simply erased here and
-  // their heap entries skipped when popped.
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   size_t pending_count_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "sensjoin/sim/simulator.h"
 
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "sensjoin/common/logging.h"
@@ -202,18 +203,24 @@ int Simulator::Broadcast(Message msg, std::vector<NodeId>* delivered,
   if (delivered) delivered->clear();
   if (corrupted) corrupted->clear();
   if (!nodes_[msg.src].alive) return 0;
-  const int fragments = NumFragments(msg.payload_bytes, packet_params_);
+  // All receivers share one immutable copy of the message instead of a
+  // per-receiver Message (and std::any payload) clone. Handlers identify
+  // themselves by the receiver argument, never by msg.dst, which stays
+  // kInvalidNode for local broadcasts.
+  const auto shared = std::make_shared<const Message>(std::move(msg));
+  const Message& bmsg = *shared;
+  const int fragments = NumFragments(bmsg.payload_bytes, packet_params_);
   const bool crc_active =
-      integrity_params_.crc_enabled && LossApplies(msg.kind);
+      integrity_params_.crc_enabled && LossApplies(bmsg.kind);
   const size_t trailer_bytes =
       crc_active ? static_cast<size_t>(fragments) * integrity_params_.crc_bytes
                  : 0;
   const size_t frame_bytes =
-      msg.payload_bytes +
+      bmsg.payload_bytes +
       static_cast<size_t>(fragments) * packet_params_.header_bytes +
       trailer_bytes;
   const size_t avg_frame_bytes = frame_bytes / fragments;
-  AccountTx(msg.src, msg.kind, fragments, frame_bytes);
+  AccountTx(bmsg.src, bmsg.kind, fragments, frame_bytes);
   if (crc_active) {
     crc_bytes_sent_ += trailer_bytes;
     crc_energy_mj_ += energy_model_.TxCost(0, trailer_bytes);
@@ -221,15 +228,15 @@ int Simulator::Broadcast(Message msg, std::vector<NodeId>* delivered,
   int trace_corrupted = 0;
   const SimTime delay = fragments * per_packet_latency_s_;
   int receivers = 0;
-  for (NodeId nb : radio_.Neighbors(msg.src)) {
-    if (!nodes_[nb].alive || !radio_.LinkUp(msg.src, nb)) continue;
+  for (NodeId nb : radio_.Neighbors(bmsg.src)) {
+    if (!nodes_[nb].alive || !radio_.LinkUp(bmsg.src, nb)) continue;
     // Per-receiver loss and corruption rolls; broadcasts carry no acks, so
     // a receiver missing any fragment — including one its CRC check
     // rejects — misses the logical message.
     const double loss =
-        LossApplies(msg.kind) ? radio_.LossRate(msg.src, nb) : 0.0;
+        LossApplies(bmsg.kind) ? radio_.LossRate(bmsg.src, nb) : 0.0;
     const double corrupt =
-        LossApplies(msg.kind) ? radio_.CorruptionRate(msg.src, nb) : 0.0;
+        LossApplies(bmsg.kind) ? radio_.CorruptionRate(bmsg.src, nb) : 0.0;
     int heard = fragments;    // frames physically received (rx cost)
     int accepted = fragments; // frames kept after the CRC check
     int frag_corruptions = 0;
@@ -270,15 +277,13 @@ int Simulator::Broadcast(Message msg, std::vector<NodeId>* delivered,
     ++receivers;
     if (delivered) delivered->push_back(nb);
     if (corrupted && rx_corrupted) corrupted->push_back(nb);
-    Message arrival = msg;
-    arrival.dst = nb;
-    events_.ScheduleAfter(delay, [this, arrival = std::move(arrival)]() {
-      if (receive_handler_) receive_handler_(arrival.dst, arrival);
+    events_.ScheduleAfter(delay, [this, shared, nb]() {
+      if (receive_handler_) receive_handler_(nb, *shared);
     });
   }
   if (trace_sink_) {
-    trace_sink_(TraceRecord{events_.now(), msg.src, kInvalidNode, msg.kind,
-                            fragments, msg.payload_bytes,
+    trace_sink_(TraceRecord{events_.now(), bmsg.src, kInvalidNode, bmsg.kind,
+                            fragments, bmsg.payload_bytes,
                             /*broadcast=*/true, /*delivered=*/true,
                             /*retransmissions=*/0, trace_corrupted});
   }
