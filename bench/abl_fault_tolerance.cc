@@ -18,6 +18,7 @@
 
 #include "sensjoin/sensjoin.h"
 #include "util/table.h"
+#include "util/tracing.h"
 #include "util/workloads.h"
 
 namespace sensjoin::bench {
@@ -251,8 +252,13 @@ void Main(uint64_t seed, int num_nodes, int threads) {
 
 int main(int argc, char** argv) {
   const int threads = sensjoin::testbed::ParseThreadsFlag(&argc, argv);
+  const sensjoin::bench::TraceFlag trace =
+      sensjoin::bench::ParseTraceFlag(&argc, argv);
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
   const int num_nodes = argc > 2 ? std::atoi(argv[2]) : 250;
-  sensjoin::bench::Main(seed, num_nodes, threads);
+  if (!trace.only) sensjoin::bench::Main(seed, num_nodes, threads);
+  if (trace.enabled()) {
+    sensjoin::bench::RunTracedExecution(trace, seed, num_nodes);
+  }
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "sensjoin/sensjoin.h"
 #include "util/calibration.h"
 #include "util/table.h"
+#include "util/tracing.h"
 #include "util/workloads.h"
 
 namespace sensjoin::bench {
@@ -76,7 +77,10 @@ void Main(uint64_t seed, int threads) {
 
 int main(int argc, char** argv) {
   const int threads = sensjoin::testbed::ParseThreadsFlag(&argc, argv);
+  const sensjoin::bench::TraceFlag trace =
+      sensjoin::bench::ParseTraceFlag(&argc, argv);
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
-  sensjoin::bench::Main(seed, threads);
+  if (!trace.only) sensjoin::bench::Main(seed, threads);
+  if (trace.enabled()) sensjoin::bench::RunTracedExecution(trace, seed);
   return 0;
 }

@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark) for the observability tracer: the
+// unicast hot path with no tracer attached, with a disabled tracer, and
+// with an enabled one, plus raw TraceBuffer append throughput. The first
+// two series feed the tracked BENCH_runtime.json baseline;
+// scripts/check_bench_speedup.py asserts that an attached-but-disabled
+// tracer stays within a few percent of the no-tracer rate (the tentpole's
+// "disabled tracing is one branch" claim).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "sensjoin/sensjoin.h"
+
+namespace sensjoin {
+namespace {
+
+/// Unicasts per second between one tree node and its parent, with the
+/// tracer in the given mode. Payload spans several fragments so the traced
+/// path records a realistic event mix (tx, rx, histogram feeds).
+enum class TracerMode { kNone, kDisabled, kEnabled };
+
+testbed::TestbedParams SmallParams(uint64_t seed) {
+  testbed::TestbedParams params;
+  params.placement.num_nodes = 120;
+  params.placement.area_width_m = 300;
+  params.placement.area_height_m = 300;
+  params.seed = seed;
+  return params;
+}
+
+void RunUnicastBench(benchmark::State& state, TracerMode mode) {
+  auto tb = testbed::Testbed::Create(SmallParams(11));
+  SENSJOIN_CHECK(tb.ok()) << tb.status();
+  sim::Simulator& sim = (*tb)->simulator();
+  const net::RoutingTree& tree = (*tb)->tree();
+  sim::NodeId src = sim::kInvalidNode;
+  for (int i = 0; i < sim.num_nodes(); ++i) {
+    if (i != tree.root() && tree.InTree(i)) {
+      src = i;
+      break;
+    }
+  }
+  SENSJOIN_CHECK(src != sim::kInvalidNode);
+  const sim::NodeId dst = tree.parent(src);
+  constexpr size_t kPayloadBytes = 200;
+
+  obs::Tracer tracer;
+  if (mode != TracerMode::kNone) {
+    tracer.set_enabled(mode == TracerMode::kEnabled);
+    (*tb)->AttachTracer(&tracer);
+  }
+
+  for (auto _ : state) {
+    sim::Message msg;
+    msg.src = src;
+    msg.dst = dst;
+    msg.kind = sim::MessageKind::kAppData;
+    msg.payload_bytes = kPayloadBytes;
+    benchmark::DoNotOptimize(sim.SendUnicast(std::move(msg)));
+    while (sim.events().RunOne()) {
+    }
+    // Keep the enabled series measuring append cost, not ring-wrap cost.
+    if (mode == TracerMode::kEnabled &&
+        tracer.buffer().size() + 16 >= tracer.buffer().capacity()) {
+      state.PauseTiming();
+      tracer.Clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_UnicastNoTracer(benchmark::State& state) {
+  RunUnicastBench(state, TracerMode::kNone);
+}
+BENCHMARK(BM_UnicastNoTracer);
+
+void BM_UnicastTracerDisabled(benchmark::State& state) {
+  RunUnicastBench(state, TracerMode::kDisabled);
+}
+BENCHMARK(BM_UnicastTracerDisabled);
+
+void BM_UnicastTracerEnabled(benchmark::State& state) {
+  RunUnicastBench(state, TracerMode::kEnabled);
+}
+BENCHMARK(BM_UnicastTracerEnabled);
+
+/// Raw append throughput of the chunked ring buffer, past the wrap point.
+void BM_TraceBufferAppend(benchmark::State& state) {
+  obs::TraceBuffer buffer(/*capacity=*/1 << 16);
+  obs::TraceEvent event;
+  event.kind = obs::EventKind::kFragTx;
+  event.msg_kind = sim::MessageKind::kAppData;
+  event.count = 3;
+  event.bytes = 144;
+  event.energy_mj = 1.5;
+  for (auto _ : state) {
+    event.time += 0.001;
+    buffer.Append(event);
+    benchmark::DoNotOptimize(buffer.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceBufferAppend);
+
+}  // namespace
+}  // namespace sensjoin
+
+// main() comes from benchmark::benchmark_main.

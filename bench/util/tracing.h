@@ -1,0 +1,45 @@
+#ifndef SENSJOIN_BENCH_UTIL_TRACING_H_
+#define SENSJOIN_BENCH_UTIL_TRACING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sensjoin/join/stats.h"
+
+namespace sensjoin::bench {
+
+/// The shared `--trace` command-line flag of the bench harnesses.
+/// `--trace=PATH` runs the bench normally and then appends one dedicated
+/// traced execution exported to PATH; `--trace-only=PATH` skips the normal
+/// figure run (CI smoke uses this to keep the job cheap).
+struct TraceFlag {
+  std::string path;
+  bool only = false;
+
+  bool enabled() const { return !path.empty(); }
+};
+
+/// Strips `--trace=PATH` / `--trace-only=PATH` out of argv (mirroring
+/// testbed::ParseThreadsFlag, so positional arguments keep their indices)
+/// and returns the parsed flag.
+TraceFlag ParseTraceFlag(int* argc, char** argv);
+
+/// Serializes a CostReport as a raw JSON object (including the per-node
+/// packet array), in the shape scripts/trace_summary.py cross-checks
+/// against.
+std::string CostReportJson(const join::CostReport& report);
+
+/// Runs one dedicated traced query execution on a fresh paper-default
+/// deployment (`num_nodes` nodes, seeded with `seed`): tree build, query
+/// dissemination, the external join, then SENS-Join, all recorded by an
+/// attached tracer. Exports the Chrome trace to flag.path with the two
+/// CostReports embedded under the top-level "crossCheck" section so
+/// scripts/trace_summary.py can verify that per-phase sums recomputed from
+/// the trace match the simulator's own accounting. Dies on any error
+/// (bench binaries have no error path).
+void RunTracedExecution(const TraceFlag& flag, uint64_t seed,
+                        int num_nodes = 1500);
+
+}  // namespace sensjoin::bench
+
+#endif  // SENSJOIN_BENCH_UTIL_TRACING_H_

@@ -21,9 +21,18 @@ Runtime mode:
   the baseline was recorded on a host with >= 4 CPUs (host_cpus field);
   on smaller hosts there is no parallelism to measure, so the check
   prints the numbers and passes.
+
+  The same mode also checks the tracer overhead baseline (micro.trace,
+  from bench/micro_trace.cc): the unicast rate with an attached-but-
+  disabled tracer must stay within TRACE_OVERHEAD_TOLERANCE (5%) of the
+  no-tracer rate. Disabled tracing is one branch on the hot path, so the
+  bound is enforced regardless of CPU count; the check is skipped only
+  when the trace fields are absent (baseline predating the tracer).
 """
 import json
 import sys
+
+TRACE_OVERHEAD_TOLERANCE = 0.05
 
 
 def check_filterjoin(path: str, n: str, min_ratio: float) -> int:
@@ -89,6 +98,21 @@ def check_runtime(path: str, min_ratio: float) -> int:
           "(required: >= 2 benches)")
     if enforce and passing < 2:
         failures.append("fewer than 2 sweep benches met the speedup bar")
+
+    trace = doc.get("micro", {}).get("trace", {})
+    no_tracer = trace.get("unicasts_per_sec_no_tracer")
+    disabled = trace.get("unicasts_per_sec_tracer_disabled")
+    if no_tracer and disabled:
+        overhead = max(0.0, 1.0 - disabled / no_tracer)
+        print(f"tracer overhead (disabled): no_tracer={no_tracer:.0f}/s  "
+              f"disabled={disabled:.0f}/s  overhead={overhead * 100:.2f}% "
+              f"(allowed <= {TRACE_OVERHEAD_TOLERANCE * 100:.0f}%)")
+        # Single-threaded measurement: enforced regardless of host_cpus.
+        if overhead > TRACE_OVERHEAD_TOLERANCE:
+            failures.append("disabled tracer overhead above tolerance")
+    else:
+        print(f"micro trace rates missing from {path}; "
+              "tracer overhead check skipped")
 
     for failure in failures:
         print(f"FAIL: {failure}")

@@ -22,26 +22,29 @@ run() {
 run micro_filterjoin "${OUT_DIR}/BENCH_filterjoin.json"
 run micro_pointset "${OUT_DIR}/BENCH_pointset.json"
 
-# The simulator/parallel-engine microbench is distilled into the "micro"
-# section of BENCH_runtime.json (run_all_benches.sh fills the "benches"
-# wall-clock section of the same file).
+# The simulator/parallel-engine and tracer-overhead microbenches are
+# distilled into the "micro" section of BENCH_runtime.json
+# (run_all_benches.sh fills the "benches" wall-clock section of the same
+# file).
 RAW_JSON="$(mktemp)"
-trap 'rm -f "${RAW_JSON}"' EXIT
+RAW_TRACE_JSON="$(mktemp)"
+trap 'rm -f "${RAW_JSON}" "${RAW_TRACE_JSON}"' EXIT
 run micro_simulator "${RAW_JSON}"
-python3 - "${RAW_JSON}" "${OUT_DIR}/BENCH_runtime.json" <<'PY'
+run micro_trace "${RAW_TRACE_JSON}"
+python3 - "${RAW_JSON}" "${RAW_TRACE_JSON}" "${OUT_DIR}/BENCH_runtime.json" <<'PY'
 import json
 import os
 import sys
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
-with open(raw_path) as f:
-    raw = json.load(f)
-
+raw_path, trace_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
 rates = {}
-for bench in raw["benchmarks"]:
-    if bench.get("run_type", "iteration") != "iteration":
-        continue
-    rates[bench["name"]] = float(bench.get("items_per_second", 0.0))
+for path in (raw_path, trace_path):
+    with open(path) as f:
+        raw = json.load(f)
+    for bench in raw["benchmarks"]:
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        rates[bench["name"]] = float(bench.get("items_per_second", 0.0))
 
 doc = {}
 if os.path.exists(out_path):
@@ -61,6 +64,14 @@ doc["micro"] = {
         "1": rates.get("BM_TestbedTrials/1/real_time"),
         "2": rates.get("BM_TestbedTrials/2/real_time"),
         "4": rates.get("BM_TestbedTrials/4/real_time"),
+    },
+    "trace": {
+        "unicasts_per_sec_no_tracer": rates.get("BM_UnicastNoTracer"),
+        "unicasts_per_sec_tracer_disabled": rates.get(
+            "BM_UnicastTracerDisabled"),
+        "unicasts_per_sec_tracer_enabled": rates.get(
+            "BM_UnicastTracerEnabled"),
+        "buffer_appends_per_sec": rates.get("BM_TraceBufferAppend"),
     },
 }
 

@@ -5,6 +5,7 @@
 
 #include "sensjoin/common/logging.h"
 #include "sensjoin/join/executor_context.h"
+#include "sensjoin/obs/trace.h"
 
 namespace sensjoin::join {
 
@@ -21,17 +22,24 @@ StatusOr<ExecutionReport> ExternalJoinExecutor::Execute(
     report.attempts = attempt + 1;
     const StatsSnapshot snapshot(sim_);
     const double start_time = sim_.now();
-    if (ExecuteAttempt(q, epoch, &report)) {
+    bool ok;
+    {
+      obs::ScopedPhase span(sim_.tracer(), sim_.events(),
+                            obs::Phase::kExternalCollection);
+      ok = ExecuteAttempt(q, epoch, &report);
+      // Drain in-flight events inside the phase span on both paths; the
+      // failure path used to drain right after the attempt anyway.
       sim_.events().Run();
+    }
+    if (ok) {
       report.success = true;
       report.cost = snapshot.DeltaTo(sim_);
       report.response_time_s = sim_.now() - start_time;
       return report;
     }
-    // Link failure mid-execution: drain in-flight events, wait out the
-    // CTP repair window (scheduled node recoveries can fire meanwhile),
-    // let the tree protocol repair the routes, and re-execute (Sec. IV-F).
-    sim_.events().Run();
+    // Link failure mid-execution: wait out the CTP repair window (scheduled
+    // node recoveries can fire meanwhile), let the tree protocol repair the
+    // routes, and re-execute (Sec. IV-F).
     if (config_.retry_backoff_s > 0) {
       sim_.events().RunUntil(sim_.now() + config_.retry_backoff_s);
     }

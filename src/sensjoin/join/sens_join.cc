@@ -1,12 +1,14 @@
 #include "sensjoin/join/sens_join.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <utility>
 #include <vector>
 
 #include "sensjoin/common/logging.h"
 #include "sensjoin/data/tuple.h"
+#include "sensjoin/obs/trace.h"
 #include "sensjoin/join/executor_context.h"
 #include "sensjoin/join/join_attr_codec.h"
 #include "sensjoin/join/join_filter.h"
@@ -108,6 +110,12 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       rereq.payload_bytes = 4;  // names the missing contribution
       sim_.SendUnicast(std::move(rereq));
       ++report->recovery_requests;
+      if (obs::kTracingCompiledIn && sim_.tracer() != nullptr &&
+          sim_.tracer()->enabled()) {
+        sim_.tracer()->Record(obs::EventKind::kRecoveryRequest, sim_.now(),
+                              msg.dst, msg.src, msg.kind, /*count=*/1,
+                              /*bytes=*/0, /*energy_mj=*/0.0);
+      }
       if (sim_.SendUnicast(msg, corrupted)) return true;
     }
     return false;
@@ -185,7 +193,15 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     SENSJOIN_CHECK(*decoded == set) << "wire roundtrip mismatch";
   };
 
+  // One span per protocol phase on the trace timeline; events recorded
+  // while a span is open (sends, acks, recovery requests) are attributed to
+  // it, which is what trace_summary.py groups the per-phase cost tables by.
+  // The optional lets spans cover the flat phase sections below without
+  // re-scoping them; early returns close the open span on the way out.
+  std::optional<obs::ScopedPhase> span;
+
   // ---- Phase 1a: Join-Attribute-Collection with Treecut (Fig. 2) --------
+  span.emplace(sim_.tracer(), sim_.events(), obs::Phase::kJoinAttrCollection);
   std::vector<uint64_t> union_scratch;  // recycled across per-node unions
   for (sim::NodeId u : tree_.collection_order()) {
     NodeState& s = states[u];
@@ -291,15 +307,19 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     p.any_attrs_child = true;
   }
   sim_.events().Run();
+  span.reset();
 
   // ---- Base station: conservative filter join ---------------------------
+  span.emplace(sim_.tracer(), sim_.events(), obs::Phase::kBaseStationJoin);
   const PointSet& collected = states[root].pending_attrs;
   const FilterJoinResult filter_result =
       ComputeJoinFilter(q, codec, collected);
   report->collected_points = collected.size();
   report->filter_points = filter_result.filter.size();
+  span.reset();
 
   // ---- Phase 1b: Filter-Dissemination (Fig. 3) ---------------------------
+  span.emplace(sim_.tracer(), sim_.events(), obs::Phase::kFilterDissemination);
   states[root].filter = filter_result.filter;
   states[root].got_filter = true;
   for (sim::NodeId u : tree_.dissemination_order()) {
@@ -372,8 +392,10 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     }
   }
   sim_.events().Run();
+  span.reset();
 
   // ---- Phase 2: Final-Result-Computation ---------------------------------
+  span.emplace(sim_.tracer(), sim_.events(), obs::Phase::kFinalResult);
   std::vector<std::vector<data::Tuple>> pending_final(n);
   for (sim::NodeId u : tree_.collection_order()) {
     NodeState& s = states[u];
@@ -427,6 +449,7 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
               std::make_move_iterator(contribution.end()));
   }
   sim_.events().Run();
+  span.reset();
 
   report->candidate_tuples = base_candidates.size();
   report->result =

@@ -1,9 +1,11 @@
 #include "sensjoin/net/flooding.h"
 
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "sensjoin/common/logging.h"
+#include "sensjoin/obs/trace.h"
 
 namespace sensjoin::net {
 
@@ -11,6 +13,12 @@ int FloodPayload(sim::Simulator& sim, sim::NodeId root, size_t payload_bytes,
                  sim::MessageKind kind) {
   const int n = sim.num_nodes();
   SENSJOIN_CHECK(root >= 0 && root < n);
+  // Query floods are a protocol phase of their own on the trace timeline;
+  // other flood kinds (app-level data) stay unattributed.
+  std::optional<obs::ScopedPhase> span;
+  if (kind == sim::MessageKind::kQuery) {
+    span.emplace(sim.tracer(), sim.events(), obs::Phase::kQueryDissemination);
+  }
   std::vector<char> received(n, 0);
   received[root] = 1;
 

@@ -7,6 +7,7 @@
 
 #include "sensjoin/common/geometry.h"
 #include "sensjoin/common/logging.h"
+#include "sensjoin/obs/trace.h"
 
 namespace sensjoin::net {
 namespace {
@@ -68,8 +69,12 @@ RoutingTree RoutingTree::Build(sim::Simulator& sim, sim::NodeId root) {
         if (hops_changed) send_beacon(receiver, s.hops);
       });
 
-  send_beacon(root, 0);
-  sim.events().Run();
+  {
+    obs::ScopedPhase span(sim.tracer(), sim.events(),
+                          obs::Phase::kTreeBuild);
+    send_beacon(root, 0);
+    sim.events().Run();
+  }
   sim.SetReceiveHandler(std::move(previous));
 
   RoutingTree tree;

@@ -1,0 +1,97 @@
+#include "sensjoin/obs/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::obs {
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)), counts_(bounds_.size() + 1, 0) {
+  SENSJOIN_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bucket bounds must be ascending";
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+std::vector<double> Histogram::ExponentialBounds(double base, double growth,
+                                                 int n) {
+  SENSJOIN_CHECK(base > 0.0 && growth > 1.0 && n > 0);
+  std::vector<double> bounds(static_cast<size_t>(n));
+  double b = base;
+  for (int i = 0; i < n; ++i) {
+    bounds[static_cast<size_t>(i)] = b;
+    b *= growth;
+  }
+  return bounds;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return counters_[it->second];
+  counter_index_.emplace(name, counters_.size());
+  counter_names_.push_back(name);
+  return counters_.emplace_back();
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  const auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return gauges_[it->second];
+  gauge_index_.emplace(name, gauges_.size());
+  gauge_names_.push_back(name);
+  return gauges_.emplace_back();
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bucket_bounds) {
+  const auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return histograms_[it->second];
+  histogram_index_.emplace(name, histograms_.size());
+  histogram_names_.push_back(name);
+  return histograms_.emplace_back(std::move(bucket_bounds));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(sim::SimTime at) const {
+  MetricsSnapshot snap;
+  snap.time = at;
+  snap.counters.reserve(counters_.size());
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    snap.counters.push_back({counter_names_[i], counters_[i].value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    snap.gauges.push_back({gauge_names_[i], gauges_[i].value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    const Histogram& h = histograms_[i];
+    snap.histograms.push_back({histogram_names_[i], h.count(), h.sum(),
+                               h.min(), h.max(), h.bucket_bounds(),
+                               h.bucket_counts()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  for (Counter& c : counters_) c.Reset();
+  for (Gauge& g : gauges_) g.Reset();
+  for (Histogram& h : histograms_) h.Reset();
+}
+
+}  // namespace sensjoin::obs

@@ -1,0 +1,137 @@
+#ifndef SENSJOIN_OBS_METRICS_H_
+#define SENSJOIN_OBS_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sensjoin/sim/time.h"
+
+namespace sensjoin::obs {
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// A point-in-time value (set, not accumulated).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A fixed-bucket histogram over doubles. Buckets are defined by ascending
+/// upper bounds; an implicit overflow bucket catches everything above the
+/// last bound. Tracks count / sum / min / max alongside the buckets, so
+/// means and ranges survive coarse bucketing.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bucket_bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bucket_bounds().size() + 1 (overflow last).
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+  void Reset();
+
+  /// Exponential bounds: `base * growth^i` for i in [0, n).
+  static std::vector<double> ExponentialBounds(double base, double growth,
+                                               int n);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// One captured metric set, taken at a sim time (see
+/// MetricsRegistry::Snapshot). Plain data: exporters turn it into JSON/CSV.
+struct MetricsSnapshot {
+  sim::SimTime time = 0;
+
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<double> bucket_bounds;
+    std::vector<uint64_t> bucket_counts;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+/// A registry of named counters, gauges and histograms. Instruments are
+/// created on first use and returned by stable reference (deque-backed), so
+/// hot paths can resolve a name once and keep the pointer. Like the Tracer,
+/// a registry is a per-trial instance: it is NOT thread-safe, and under the
+/// ParallelRunner each trial owns its own.
+class MetricsRegistry {
+ public:
+  /// Returns the instrument named `name`, creating it on first use.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bucket_bounds` is used only on creation; later calls return the
+  /// existing histogram unchanged.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bucket_bounds);
+
+  size_t num_instruments() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Captures every instrument's current value, stamped with `at`
+  /// (typically sim.now()). Instruments appear in creation order.
+  MetricsSnapshot Snapshot(sim::SimTime at) const;
+
+  void ResetAll();
+
+ private:
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::unordered_map<std::string, size_t> counter_index_;
+  std::unordered_map<std::string, size_t> gauge_index_;
+  std::unordered_map<std::string, size_t> histogram_index_;
+};
+
+}  // namespace sensjoin::obs
+
+#endif  // SENSJOIN_OBS_METRICS_H_

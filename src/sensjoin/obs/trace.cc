@@ -1,0 +1,250 @@
+#include "sensjoin/obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPhaseBegin:
+      return "phase_begin";
+    case EventKind::kPhaseEnd:
+      return "phase_end";
+    case EventKind::kFragTx:
+      return "frag_tx";
+    case EventKind::kFragRx:
+      return "frag_rx";
+    case EventKind::kFragLoss:
+      return "frag_loss";
+    case EventKind::kFragCorrupt:
+      return "frag_corrupt";
+    case EventKind::kAckTx:
+      return "ack_tx";
+    case EventKind::kAckRx:
+      return "ack_rx";
+    case EventKind::kRetransmit:
+      return "retransmit";
+    case EventKind::kMessageDrop:
+      return "message_drop";
+    case EventKind::kRecoveryRequest:
+      return "recovery_request";
+    case EventKind::kCrash:
+      return "crash";
+    case EventKind::kRestore:
+      return "restore";
+    case EventKind::kLinkDown:
+      return "link_down";
+    case EventKind::kLinkUp:
+      return "link_up";
+    case EventKind::kNumKinds:
+      break;
+  }
+  return "unknown";
+}
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kNone:
+      return "None";
+    case Phase::kTreeBuild:
+      return "TreeBuild";
+    case Phase::kQueryDissemination:
+      return "QueryDissemination";
+    case Phase::kJoinAttrCollection:
+      return "JoinAttributeCollection";
+    case Phase::kBaseStationJoin:
+      return "BaseStationJoin";
+    case Phase::kFilterDissemination:
+      return "FilterDissemination";
+    case Phase::kFinalResult:
+      return "FinalResult";
+    case Phase::kExternalCollection:
+      return "ExternalCollection";
+    case Phase::kNumPhases:
+      break;
+  }
+  return "unknown";
+}
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(std::max(capacity, kChunkEvents)),
+      max_chunks_((capacity_ + kChunkEvents - 1) / kChunkEvents) {}
+
+void TraceBuffer::Append(const TraceEvent& event) {
+  if (chunks_.empty() || chunks_[write_chunk_]->used == kChunkEvents) {
+    if (chunks_.size() == max_chunks_) {
+      // At capacity: recycle the oldest chunk (ring behavior).
+      write_chunk_ = oldest_chunk_;
+      oldest_chunk_ = (oldest_chunk_ + 1) % chunks_.size();
+      dropped_ += chunks_[write_chunk_]->used;
+      size_ -= chunks_[write_chunk_]->used;
+      chunks_[write_chunk_]->used = 0;
+    } else {
+      chunks_.push_back(std::make_unique<Chunk>());
+      write_chunk_ = chunks_.size() - 1;
+    }
+  }
+  Chunk& chunk = *chunks_[write_chunk_];
+  chunk.events[chunk.used++] = event;
+  ++size_;
+}
+
+void TraceBuffer::Clear() {
+  chunks_.clear();
+  write_chunk_ = 0;
+  oldest_chunk_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+Tracer::Tracer(size_t capacity) : buffer_(capacity) {
+  for (size_t k = 0; k < static_cast<size_t>(EventKind::kNumKinds); ++k) {
+    event_counters_[k] = &metrics_.GetCounter(
+        std::string("events.") + EventKindName(static_cast<EventKind>(k)));
+  }
+  fragment_payload_bytes_ = &metrics_.GetHistogram(
+      "fragment_payload_bytes", Histogram::ExponentialBounds(8.0, 2.0, 12));
+  fragments_per_message_ = &metrics_.GetHistogram(
+      "fragments_per_message", Histogram::ExponentialBounds(1.0, 2.0, 12));
+  hop_latency_s_ = &metrics_.GetHistogram(
+      "hop_latency_s", Histogram::ExponentialBounds(0.001, 2.0, 16));
+  retransmits_per_message_ = &metrics_.GetHistogram(
+      "retransmits_per_message", Histogram::ExponentialBounds(1.0, 2.0, 8));
+}
+
+void Tracer::Record(TraceEvent event) {
+  if (!enabled_) return;
+  event.phase = current_phase();
+  buffer_.Append(event);
+  event_counters_[static_cast<size_t>(event.kind)]->Add(1);
+}
+
+void Tracer::Record(EventKind kind, sim::SimTime time, sim::NodeId node,
+                    sim::NodeId peer, sim::MessageKind msg_kind,
+                    uint32_t count, uint64_t bytes, double energy_mj,
+                    uint32_t detail) {
+  TraceEvent event;
+  event.time = time;
+  event.node = node;
+  event.peer = peer;
+  event.count = count;
+  event.detail = detail;
+  event.bytes = bytes;
+  event.energy_mj = energy_mj;
+  event.kind = kind;
+  event.msg_kind = msg_kind;
+  Record(event);
+}
+
+void Tracer::BeginPhase(Phase phase, sim::SimTime time) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.time = time;
+  event.kind = EventKind::kPhaseBegin;
+  event.phase = phase;  // markers carry their own phase, not the enclosing
+  buffer_.Append(event);
+  event_counters_[static_cast<size_t>(EventKind::kPhaseBegin)]->Add(1);
+  phase_stack_.push_back(phase);
+}
+
+void Tracer::EndPhase(Phase phase, sim::SimTime time) {
+  if (!enabled_) return;
+  SENSJOIN_CHECK(!phase_stack_.empty() && phase_stack_.back() == phase)
+      << "unbalanced EndPhase(" << PhaseName(phase) << ")";
+  phase_stack_.pop_back();
+  TraceEvent event;
+  event.time = time;
+  event.kind = EventKind::kPhaseEnd;
+  event.phase = phase;
+  buffer_.Append(event);
+  event_counters_[static_cast<size_t>(EventKind::kPhaseEnd)]->Add(1);
+}
+
+void Tracer::ObserveMessage(size_t payload_bytes, int fragments) {
+  if (!enabled_) return;
+  fragment_payload_bytes_->Observe(static_cast<double>(payload_bytes));
+  fragments_per_message_->Observe(static_cast<double>(fragments));
+}
+
+void Tracer::ObserveHopLatency(double seconds) {
+  if (!enabled_) return;
+  hop_latency_s_->Observe(seconds);
+}
+
+void Tracer::ObserveRetransmits(int retransmissions) {
+  if (!enabled_) return;
+  retransmits_per_message_->Observe(static_cast<double>(retransmissions));
+}
+
+void Tracer::Clear() {
+  buffer_.Clear();
+  metrics_.ResetAll();
+  phase_stack_.clear();
+}
+
+uint64_t TraceSummary::TxFragments(std::initializer_list<Phase> over,
+                                   sim::MessageKind kind) const {
+  uint64_t total = 0;
+  for (Phase p : over) {
+    total += phase(p).tx_fragments_by_kind[static_cast<size_t>(kind)];
+  }
+  return total;
+}
+
+double TraceSummary::EnergyMj(std::initializer_list<Phase> over) const {
+  double total = 0.0;
+  for (Phase p : over) total += phase(p).energy_mj;
+  return total;
+}
+
+std::vector<uint64_t> TraceSummary::PerNodeJoinTx(
+    std::initializer_list<Phase> over) const {
+  std::vector<uint64_t> totals;
+  for (Phase p : over) {
+    const std::vector<uint64_t>& v = phase(p).per_node_join_tx;
+    if (v.size() > totals.size()) totals.resize(v.size(), 0);
+    for (size_t i = 0; i < v.size(); ++i) totals[i] += v[i];
+  }
+  return totals;
+}
+
+TraceSummary Summarize(const TraceBuffer& buffer) {
+  TraceSummary summary;
+  buffer.ForEach([&summary](const TraceEvent& e) {
+    PhaseSummary& p = summary.phases[static_cast<size_t>(e.phase)];
+    p.energy_mj += e.energy_mj;
+    switch (e.kind) {
+      case EventKind::kFragTx: {
+        p.tx_fragments += e.count;
+        p.tx_frame_bytes += e.bytes;
+        p.tx_fragments_by_kind[static_cast<size_t>(e.msg_kind)] += e.count;
+        if (sim::IsJoinProcessingKind(e.msg_kind) &&
+            e.node != sim::kInvalidNode) {
+          auto& per_node = p.per_node_join_tx;
+          if (per_node.size() <= static_cast<size_t>(e.node)) {
+            per_node.resize(static_cast<size_t>(e.node) + 1, 0);
+          }
+          per_node[static_cast<size_t>(e.node)] += e.count;
+        }
+        break;
+      }
+      case EventKind::kFragRx:
+        p.rx_fragments += e.count;
+        break;
+      case EventKind::kRetransmit:
+        p.retransmissions += e.count;
+        break;
+      case EventKind::kAckTx:
+        p.acks += e.count;
+        break;
+      default:
+        break;
+    }
+  });
+  return summary;
+}
+
+}  // namespace sensjoin::obs

@@ -1,0 +1,257 @@
+#ifndef SENSJOIN_OBS_TRACE_H_
+#define SENSJOIN_OBS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sensjoin/obs/metrics.h"
+#include "sensjoin/sim/event_queue.h"
+#include "sensjoin/sim/packet.h"
+#include "sensjoin/sim/time.h"
+
+/// Compile-time gate for the observability tracer. Built with
+/// -DSENSJOIN_TRACING=0 the instrumentation sites compile to nothing, which
+/// is the reference point for the tracer-overhead benchmark
+/// (bench/micro_trace.cc). The default build compiles tracing in; a run
+/// without an attached (or with a disabled) tracer then pays one branch and
+/// zero allocations per instrumentation site.
+#ifndef SENSJOIN_TRACING
+#define SENSJOIN_TRACING 1
+#endif
+
+namespace sensjoin::obs {
+
+inline constexpr bool kTracingCompiledIn = (SENSJOIN_TRACING != 0);
+
+/// What one trace event describes. Fragment-level events aggregate the
+/// fragments of one logical message into a single record (the `count`
+/// field), so a traced unicast costs O(1) buffer appends, not O(fragments).
+enum class EventKind : uint8_t {
+  kPhaseBegin = 0,   ///< protocol phase span opens (phase in `phase`)
+  kPhaseEnd,         ///< protocol phase span closes
+  kFragTx,           ///< fragments transmitted (incl. ARQ retransmissions);
+                     ///< bytes/energy are the sender's whole tx debit
+  kFragRx,           ///< fragments physically heard by the receiver
+  kFragLoss,         ///< fragment attempts that never arrived
+  kFragCorrupt,      ///< fragments damaged in flight (detail = CRC-detected)
+  kAckTx,            ///< ARQ acks sent by the receiver (energy debit)
+  kAckRx,            ///< ARQ acks heard by the original sender
+  kRetransmit,       ///< ARQ retransmissions (subset of kFragTx count;
+                     ///< detail = integrity-triggered subset)
+  kMessageDrop,      ///< logical message not delivered (gave up / dead dst)
+  kRecoveryRequest,  ///< phase-level recovery NACK (node = requester)
+  kCrash,            ///< node crash event fired
+  kRestore,          ///< node reboot event fired
+  kLinkDown,         ///< radio link failed (node/peer = endpoints)
+  kLinkUp,           ///< radio link restored
+  kNumKinds,         ///< sentinel; keep last
+};
+
+const char* EventKindName(EventKind kind);
+
+/// Protocol phases delimiting spans on the trace timeline. Every event
+/// records the phase that was open when it fired, which is what the
+/// per-phase cost attribution (scripts/trace_summary.py, Summarize) groups
+/// by.
+enum class Phase : uint8_t {
+  kNone = 0,             ///< outside any phase
+  kTreeBuild,            ///< CTP-style beaconing (RoutingTree::Build)
+  kQueryDissemination,   ///< query flood from the base station
+  kJoinAttrCollection,   ///< SENS-Join step 1a (Fig. 2)
+  kBaseStationJoin,      ///< conservative filter join at the base station
+  kFilterDissemination,  ///< SENS-Join step 1b (Fig. 3)
+  kFinalResult,          ///< SENS-Join phase 2
+  kExternalCollection,   ///< the external join's single collection phase
+  kNumPhases,            ///< sentinel; keep last
+};
+
+const char* PhaseName(Phase phase);
+
+/// One sim-time-stamped trace record. 48 bytes, trivially copyable.
+struct TraceEvent {
+  sim::SimTime time = 0;
+  sim::NodeId node = sim::kInvalidNode;  ///< actor / payer of the event
+  sim::NodeId peer = sim::kInvalidNode;  ///< other endpoint, if any
+  uint32_t count = 0;    ///< fragments / acks / retransmissions
+  uint32_t detail = 0;   ///< kind-specific (see EventKind comments)
+  uint64_t bytes = 0;    ///< frame bytes moved by the event
+  double energy_mj = 0;  ///< energy debited by the event
+  EventKind kind = EventKind::kNumKinds;
+  sim::MessageKind msg_kind = sim::MessageKind::kNumKinds;
+  Phase phase = Phase::kNone;  ///< phase open when the event fired
+};
+
+/// A growable ring buffer of trace events: storage grows in fixed chunks up
+/// to `capacity` events, then wraps, overwriting the oldest chunk (the tail
+/// of a long run is usually what matters). Chunked storage keeps appends
+/// allocation-free outside the one-per-4096-events chunk refill.
+class TraceBuffer {
+ public:
+  static constexpr size_t kChunkEvents = 4096;
+  static constexpr size_t kDefaultCapacity = size_t{1} << 22;  // ~192 MiB max
+
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity);
+
+  void Append(const TraceEvent& event);
+
+  /// Events currently held (<= capacity).
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  /// Events overwritten after the buffer wrapped.
+  size_t dropped() const { return dropped_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visits events oldest to newest.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const size_t chunks = chunks_.size();
+    if (chunks == 0) return;
+    for (size_t i = 0; i < chunks; ++i) {
+      // Start from the chunk holding the oldest event.
+      const size_t c = (oldest_chunk_ + i) % chunks;
+      const size_t n = chunks_[c]->used;
+      const TraceEvent* events = chunks_[c]->events.data();
+      for (size_t j = 0; j < n; ++j) fn(events[j]);
+    }
+  }
+
+  void Clear();
+
+ private:
+  struct Chunk {
+    std::array<TraceEvent, kChunkEvents> events;
+    size_t used = 0;
+  };
+
+  size_t capacity_;
+  size_t max_chunks_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  size_t write_chunk_ = 0;   ///< chunk currently appended to
+  size_t oldest_chunk_ = 0;  ///< chunk holding the oldest retained event
+  size_t size_ = 0;
+  size_t dropped_ = 0;
+};
+
+/// The per-trial tracer: a runtime-switchable event recorder plus a metrics
+/// registry fed from the same instrumentation. One instance per simulator /
+/// experiment trial — it is NOT thread-safe, and under the ParallelRunner
+/// every trial must own its own tracer (trials already own their testbeds).
+///
+/// Cost model: with no tracer attached, every instrumentation site is a
+/// single pointer test; with a tracer attached but disabled, one extra
+/// flag test. Neither path allocates or writes memory. Compile with
+/// -DSENSJOIN_TRACING=0 to remove the sites entirely.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = TraceBuffer::kDefaultCapacity);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Appends an event, stamping it with the currently open phase. No-op
+  /// while disabled.
+  void Record(TraceEvent event);
+
+  /// Convenience for the common shape.
+  void Record(EventKind kind, sim::SimTime time, sim::NodeId node,
+              sim::NodeId peer, sim::MessageKind msg_kind, uint32_t count,
+              uint64_t bytes, double energy_mj, uint32_t detail = 0);
+
+  /// Opens / closes a protocol phase span (kPhaseBegin/kPhaseEnd events).
+  /// Phases nest; events record the innermost open phase.
+  void BeginPhase(Phase phase, sim::SimTime time);
+  void EndPhase(Phase phase, sim::SimTime time);
+  Phase current_phase() const {
+    return phase_stack_.empty() ? Phase::kNone : phase_stack_.back();
+  }
+
+  // Histogram feeds used by the simulator's traced path (pre-resolved, so
+  // the hot path never does a name lookup).
+  void ObserveMessage(size_t payload_bytes, int fragments);
+  void ObserveHopLatency(double seconds);
+  void ObserveRetransmits(int retransmissions);
+
+  const TraceBuffer& buffer() const { return buffer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Drops all recorded events and metric values (phase stack included).
+  void Clear();
+
+ private:
+  bool enabled_ = true;
+  TraceBuffer buffer_;
+  MetricsRegistry metrics_;
+  std::vector<Phase> phase_stack_;
+  std::array<Counter*, static_cast<size_t>(EventKind::kNumKinds)>
+      event_counters_{};
+  Histogram* fragment_payload_bytes_;
+  Histogram* fragments_per_message_;
+  Histogram* hop_latency_s_;
+  Histogram* retransmits_per_message_;
+};
+
+/// RAII phase span: begins on construction, ends on scope exit, reading
+/// timestamps from the simulation clock. A null tracer makes it a no-op, so
+/// call sites need no gating.
+class ScopedPhase {
+ public:
+  ScopedPhase(Tracer* tracer, const sim::EventQueue& clock, Phase phase)
+      : tracer_(kTracingCompiledIn ? tracer : nullptr),
+        clock_(clock),
+        phase_(phase) {
+    if (tracer_ != nullptr) tracer_->BeginPhase(phase_, clock_.now());
+  }
+  ~ScopedPhase() {
+    if (tracer_ != nullptr) tracer_->EndPhase(phase_, clock_.now());
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const sim::EventQueue& clock_;
+  Phase phase_;
+};
+
+/// Per-phase totals recomputed from a trace buffer — the C++ twin of
+/// scripts/trace_summary.py, used by tests to cross-check traces against
+/// CostReport totals.
+struct PhaseSummary {
+  std::array<uint64_t, static_cast<size_t>(sim::MessageKind::kNumKinds)>
+      tx_fragments_by_kind{};
+  uint64_t tx_fragments = 0;  ///< all kinds
+  uint64_t tx_frame_bytes = 0;
+  uint64_t rx_fragments = 0;
+  uint64_t retransmissions = 0;
+  uint64_t acks = 0;
+  double energy_mj = 0.0;  ///< every energy debit recorded in the phase
+  /// Join-processing (kCollection/kFilter/kFinal) tx fragments per node;
+  /// indexed by NodeId, sized to the largest node seen.
+  std::vector<uint64_t> per_node_join_tx;
+};
+
+struct TraceSummary {
+  std::array<PhaseSummary, static_cast<size_t>(Phase::kNumPhases)> phases;
+
+  const PhaseSummary& phase(Phase p) const {
+    return phases[static_cast<size_t>(p)];
+  }
+  /// Sums `member` fragments of `kind` over a list of phases.
+  uint64_t TxFragments(std::initializer_list<Phase> over,
+                       sim::MessageKind kind) const;
+  double EnergyMj(std::initializer_list<Phase> over) const;
+  /// Per-node join-processing tx fragments summed over `over`.
+  std::vector<uint64_t> PerNodeJoinTx(std::initializer_list<Phase> over) const;
+};
+
+TraceSummary Summarize(const TraceBuffer& buffer);
+inline TraceSummary Summarize(const Tracer& tracer) {
+  return Summarize(tracer.buffer());
+}
+
+}  // namespace sensjoin::obs
+
+#endif  // SENSJOIN_OBS_TRACE_H_

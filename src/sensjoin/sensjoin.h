@@ -35,6 +35,9 @@
 #include "sensjoin/join/sens_join.h"          // IWYU pragma: export
 #include "sensjoin/net/routing_tree.h"        // IWYU pragma: export
 #include "sensjoin/net/topology.h"            // IWYU pragma: export
+#include "sensjoin/obs/export.h"              // IWYU pragma: export
+#include "sensjoin/obs/metrics.h"             // IWYU pragma: export
+#include "sensjoin/obs/trace.h"               // IWYU pragma: export
 #include "sensjoin/query/query.h"             // IWYU pragma: export
 #include "sensjoin/sim/fault_model.h"         // IWYU pragma: export
 #include "sensjoin/sim/simulator.h"           // IWYU pragma: export

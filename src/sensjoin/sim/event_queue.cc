@@ -23,6 +23,8 @@ EventId EventQueue::ScheduleAt(SimTime t, Callback cb) {
   const EventId id = MakeId(slot, s.generation);
   heap_.push(Entry{t, next_seq_++, id});
   ++pending_count_;
+  ++total_scheduled_;
+  if (pending_count_ > max_pending_) max_pending_ = pending_count_;
   return id;
 }
 
@@ -41,6 +43,7 @@ bool EventQueue::Cancel(EventId id) {
   if (!s.active || s.generation != GenerationOf(id)) return false;
   s.cb = nullptr;  // drop captured state now, as the map erase used to
   Release(slot);
+  ++total_canceled_;
   return true;
 }
 
@@ -53,6 +56,7 @@ bool EventQueue::RunOne() {
     if (!s.active || s.generation != GenerationOf(top.id)) continue;
     Callback cb = std::move(s.cb);
     Release(slot);
+    ++total_fired_;
     now_ = top.time;
     cb();
     return true;

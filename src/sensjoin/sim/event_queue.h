@@ -61,6 +61,14 @@ class EventQueue {
   /// runaway self-rescheduling loops. Returns the number of events fired.
   size_t Run(size_t max_events = 100'000'000);
 
+  // Lifetime statistics, captured into metrics dumps by
+  // obs::CaptureSimulatorMetrics. Never reset (they describe the whole run).
+  uint64_t total_scheduled() const { return total_scheduled_; }
+  uint64_t total_fired() const { return total_fired_; }
+  uint64_t total_canceled() const { return total_canceled_; }
+  /// Largest number of simultaneously pending events seen so far.
+  size_t max_pending() const { return max_pending_; }
+
  private:
   struct Entry {
     SimTime time;
@@ -99,6 +107,10 @@ class EventQueue {
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   size_t pending_count_ = 0;
+  uint64_t total_scheduled_ = 0;
+  uint64_t total_fired_ = 0;
+  uint64_t total_canceled_ = 0;
+  size_t max_pending_ = 0;
 };
 
 }  // namespace sensjoin::sim

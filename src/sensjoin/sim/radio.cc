@@ -69,11 +69,13 @@ bool Radio::LinkUp(NodeId a, NodeId b) const {
 void Radio::FailLink(NodeId a, NodeId b) {
   if (!ValidLink(a, b)) return;
   failed_links_.insert(LinkKey(a, b));
+  if (link_observer_) link_observer_(a, b, /*up=*/false);
 }
 
 void Radio::RestoreLink(NodeId a, NodeId b) {
   if (!ValidLink(a, b)) return;
   failed_links_.erase(LinkKey(a, b));
+  if (link_observer_) link_observer_(a, b, /*up=*/true);
 }
 
 void Radio::set_default_loss_rate(double p) {

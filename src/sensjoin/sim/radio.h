@@ -2,6 +2,7 @@
 #define SENSJOIN_SIM_RADIO_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -44,6 +45,14 @@ class Radio {
   void RestoreLink(NodeId a, NodeId b);
   void RestoreAllLinks() { failed_links_.clear(); }
   size_t num_failed_links() const { return failed_links_.size(); }
+
+  /// Called after every effective FailLink (`up == false`) / RestoreLink
+  /// (`up == true`) on a valid link. Used by the simulator to surface link
+  /// churn into the observability trace; empty function to disable.
+  using LinkObserver = std::function<void(NodeId a, NodeId b, bool up)>;
+  void set_link_observer(LinkObserver observer) {
+    link_observer_ = std::move(observer);
+  }
 
   // --- Probabilistic per-link packet loss --------------------------------
   // A loss rate is the probability that one link-layer fragment is dropped
@@ -103,6 +112,7 @@ class Radio {
   double range_m_;
   std::vector<std::vector<NodeId>> neighbors_;
   std::unordered_set<uint64_t> failed_links_;
+  LinkObserver link_observer_;
   double default_loss_rate_ = 0.0;
   std::unordered_map<uint64_t, double> link_loss_;
   double default_corruption_rate_ = 0.0;

@@ -5,8 +5,18 @@
 #include <utility>
 
 #include "sensjoin/common/logging.h"
+#include "sensjoin/obs/trace.h"
 
 namespace sensjoin::sim {
+namespace {
+
+/// One test per instrumentation site; folds to `false` (and the recording
+/// block to nothing) when built with SENSJOIN_TRACING=0.
+inline bool Tracing(const obs::Tracer* tracer) {
+  return obs::kTracingCompiledIn && tracer != nullptr && tracer->enabled();
+}
+
+}  // namespace
 
 Simulator::Simulator(Radio radio, PacketizationParams packets,
                      EnergyModel energy)
@@ -32,8 +42,8 @@ Simulator::TraceSink Simulator::SetTraceSink(TraceSink sink) {
   return old;
 }
 
-void Simulator::AccountTx(NodeId sender, MessageKind kind, int fragments,
-                          size_t frame_bytes) {
+double Simulator::AccountTx(NodeId sender, MessageKind kind, int fragments,
+                            size_t frame_bytes) {
   NodeStats& s = nodes_[sender].stats;
   s.packets_sent += fragments;
   s.bytes_sent += frame_bytes;
@@ -44,15 +54,32 @@ void Simulator::AccountTx(NodeId sender, MessageKind kind, int fragments,
   total_bytes_sent_ += frame_bytes;
   total_energy_mj_ += cost;
   packets_by_kind_[static_cast<size_t>(kind)] += fragments;
+  return cost;
 }
 
-void Simulator::AccountRx(NodeId receiver, int fragments, size_t frame_bytes) {
+double Simulator::AccountRx(NodeId receiver, int fragments,
+                            size_t frame_bytes) {
   NodeStats& s = nodes_[receiver].stats;
   s.packets_received += fragments;
   s.bytes_received += frame_bytes;
   const double cost = energy_model_.RxCost(fragments, frame_bytes);
   s.energy_mj += cost;
   total_energy_mj_ += cost;
+  return cost;
+}
+
+void Simulator::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer == nullptr) {
+    radio_.set_link_observer(nullptr);
+    return;
+  }
+  radio_.set_link_observer([this](NodeId a, NodeId b, bool up) {
+    if (!Tracing(tracer_)) return;
+    tracer_->Record(up ? obs::EventKind::kLinkUp : obs::EventKind::kLinkDown,
+                    events_.now(), a, b, MessageKind::kNumKinds, /*count=*/1,
+                    /*bytes=*/0, /*energy_mj=*/0.0);
+  });
 }
 
 bool Simulator::SendUnicast(Message msg, bool* corrupted) {
@@ -139,7 +166,8 @@ bool Simulator::SendUnicast(Message msg, bool* corrupted) {
 
   const size_t extra_bytes =
       static_cast<size_t>(tx_fragments - fragments) * avg_frame_bytes;
-  AccountTx(msg.src, msg.kind, tx_fragments, frame_bytes + extra_bytes);
+  const double tx_cost =
+      AccountTx(msg.src, msg.kind, tx_fragments, frame_bytes + extra_bytes);
   if (retransmissions > 0) {
     nodes_[msg.src].stats.packets_retransmitted += retransmissions;
     total_packets_retransmitted_ += retransmissions;
@@ -161,14 +189,16 @@ bool Simulator::SendUnicast(Message msg, bool* corrupted) {
     crc_energy_mj_ +=
         energy_model_.TxCost(0, tx_crc) + energy_model_.RxCost(0, rx_crc);
   }
+  size_t ack_bytes = 0;
+  double ack_tx = 0.0;
+  double ack_rx = 0.0;
   if (acks > 0) {
     // Acks travel receiver -> sender; header-only frames, kept out of the
     // packet metric but charged in full (tx at the receiver, rx at the
     // sender).
-    const size_t ack_bytes =
-        static_cast<size_t>(acks) * arq_params_.ack_bytes;
-    const double ack_tx = energy_model_.TxCost(acks, ack_bytes);
-    const double ack_rx = energy_model_.RxCost(acks, ack_bytes);
+    ack_bytes = static_cast<size_t>(acks) * arq_params_.ack_bytes;
+    ack_tx = energy_model_.TxCost(acks, ack_bytes);
+    ack_rx = energy_model_.RxCost(acks, ack_bytes);
     nodes_[msg.dst].stats.ack_packets_sent += acks;
     nodes_[msg.dst].stats.energy_mj += ack_tx;
     nodes_[msg.src].stats.energy_mj += ack_rx;
@@ -176,11 +206,57 @@ bool Simulator::SendUnicast(Message msg, bool* corrupted) {
     total_energy_mj_ += ack_tx + ack_rx;
     ack_energy_mj_ += ack_tx + ack_rx;
   }
+  size_t rx_bytes = 0;
+  double rx_cost = 0.0;
   if (rx_fragments > 0) {
-    AccountRx(msg.dst, rx_fragments,
-              rx_fragments == fragments
-                  ? frame_bytes
-                  : static_cast<size_t>(rx_fragments) * avg_frame_bytes);
+    rx_bytes = rx_fragments == fragments
+                   ? frame_bytes
+                   : static_cast<size_t>(rx_fragments) * avg_frame_bytes;
+    rx_cost = AccountRx(msg.dst, rx_fragments, rx_bytes);
+  }
+  if (Tracing(tracer_)) {
+    using obs::EventKind;
+    const SimTime now = events_.now();
+    // kFragTx carries the sender's whole tx debit (incl. retransmissions
+    // and CRC trailers); ack and rx events carry theirs. Itemization events
+    // (retransmit, loss, corrupt, drop) carry no energy — summing every
+    // event's energy reproduces the simulator's total exactly once.
+    tracer_->Record(EventKind::kFragTx, now, msg.src, msg.dst, msg.kind,
+                    static_cast<uint32_t>(tx_fragments),
+                    frame_bytes + extra_bytes, tx_cost);
+    if (retransmissions > 0) {
+      tracer_->Record(EventKind::kRetransmit, now, msg.src, msg.dst, msg.kind,
+                      static_cast<uint32_t>(retransmissions), extra_bytes, 0.0,
+                      static_cast<uint32_t>(integrity_retransmissions));
+    }
+    if (tx_fragments > rx_fragments) {
+      tracer_->Record(EventKind::kFragLoss, now, msg.dst, msg.src, msg.kind,
+                      static_cast<uint32_t>(tx_fragments - rx_fragments), 0,
+                      0.0);
+    }
+    if (detected_fragments + undetected_fragments > 0) {
+      tracer_->Record(EventKind::kFragCorrupt, now, msg.dst, msg.src, msg.kind,
+                      static_cast<uint32_t>(detected_fragments +
+                                            undetected_fragments),
+                      0, 0.0, static_cast<uint32_t>(detected_fragments));
+    }
+    if (acks > 0) {
+      tracer_->Record(EventKind::kAckTx, now, msg.dst, msg.src, msg.kind,
+                      static_cast<uint32_t>(acks), ack_bytes, ack_tx);
+      tracer_->Record(EventKind::kAckRx, now, msg.src, msg.dst, msg.kind,
+                      static_cast<uint32_t>(acks), ack_bytes, ack_rx);
+    }
+    if (rx_fragments > 0) {
+      tracer_->Record(EventKind::kFragRx, now, msg.dst, msg.src, msg.kind,
+                      static_cast<uint32_t>(rx_fragments), rx_bytes, rx_cost);
+    }
+    if (!delivered) {
+      tracer_->Record(EventKind::kMessageDrop, now, msg.src, msg.dst,
+                      msg.kind, static_cast<uint32_t>(fragments),
+                      msg.payload_bytes, 0.0);
+    }
+    tracer_->ObserveMessage(msg.payload_bytes, fragments);
+    if (arq_params_.enabled) tracer_->ObserveRetransmits(retransmissions);
   }
   if (trace_sink_) {
     trace_sink_(TraceRecord{events_.now(), msg.src, msg.dst, msg.kind,
@@ -191,6 +267,7 @@ bool Simulator::SendUnicast(Message msg, bool* corrupted) {
   if (!delivered) return false;
   if (corrupted) *corrupted = payload_corrupted;
   const SimTime delay = tx_fragments * per_packet_latency_s_ + backoff_s;
+  if (Tracing(tracer_)) tracer_->ObserveHopLatency(delay);
   events_.ScheduleAfter(delay, [this, msg = std::move(msg)]() {
     if (receive_handler_) receive_handler_(msg.dst, msg);
   });
@@ -220,10 +297,16 @@ int Simulator::Broadcast(Message msg, std::vector<NodeId>* delivered,
       static_cast<size_t>(fragments) * packet_params_.header_bytes +
       trailer_bytes;
   const size_t avg_frame_bytes = frame_bytes / fragments;
-  AccountTx(bmsg.src, bmsg.kind, fragments, frame_bytes);
+  const double tx_cost = AccountTx(bmsg.src, bmsg.kind, fragments, frame_bytes);
   if (crc_active) {
     crc_bytes_sent_ += trailer_bytes;
     crc_energy_mj_ += energy_model_.TxCost(0, trailer_bytes);
+  }
+  if (Tracing(tracer_)) {
+    tracer_->Record(obs::EventKind::kFragTx, events_.now(), bmsg.src,
+                    kInvalidNode, bmsg.kind, static_cast<uint32_t>(fragments),
+                    frame_bytes, tx_cost);
+    tracer_->ObserveMessage(bmsg.payload_bytes, fragments);
   }
   int trace_corrupted = 0;
   const SimTime delay = fragments * per_packet_latency_s_;
@@ -260,18 +343,34 @@ int Simulator::Broadcast(Message msg, std::vector<NodeId>* delivered,
       }
     }
     if (heard > 0) {
-      AccountRx(nb, heard,
-                heard == fragments
-                    ? frame_bytes
-                    : static_cast<size_t>(heard) * avg_frame_bytes);
+      const size_t rx_bytes =
+          heard == fragments ? frame_bytes
+                             : static_cast<size_t>(heard) * avg_frame_bytes;
+      const double rx_cost = AccountRx(nb, heard, rx_bytes);
       if (crc_active) {
         crc_energy_mj_ += energy_model_.RxCost(
             0, static_cast<size_t>(heard) * integrity_params_.crc_bytes);
       }
+      if (Tracing(tracer_)) {
+        tracer_->Record(obs::EventKind::kFragRx, events_.now(), nb, bmsg.src,
+                        bmsg.kind, static_cast<uint32_t>(heard), rx_bytes,
+                        rx_cost);
+      }
+    }
+    if (heard < fragments && Tracing(tracer_)) {
+      tracer_->Record(obs::EventKind::kFragLoss, events_.now(), nb, bmsg.src,
+                      bmsg.kind, static_cast<uint32_t>(fragments - heard), 0,
+                      0.0);
     }
     if (frag_corruptions > 0) {
       nodes_[nb].stats.corrupted_packets_received += frag_corruptions;
       trace_corrupted += frag_corruptions;
+      if (Tracing(tracer_)) {
+        tracer_->Record(
+            obs::EventKind::kFragCorrupt, events_.now(), nb, bmsg.src,
+            bmsg.kind, static_cast<uint32_t>(frag_corruptions), 0, 0.0,
+            static_cast<uint32_t>(crc_active ? frag_corruptions : 0));
+      }
     }
     if (accepted < fragments) continue;
     ++receivers;
@@ -313,12 +412,26 @@ BitWriter Simulator::DamagePayload(const BitWriter& payload) {
 
 void Simulator::ScheduleCrash(NodeId id, SimTime at) {
   SENSJOIN_CHECK(id >= 0 && id < num_nodes());
-  events_.ScheduleAt(at, [this, id] { nodes_[id].alive = false; });
+  events_.ScheduleAt(at, [this, id] {
+    nodes_[id].alive = false;
+    if (Tracing(tracer_)) {
+      tracer_->Record(obs::EventKind::kCrash, events_.now(), id, kInvalidNode,
+                      MessageKind::kNumKinds, /*count=*/1, /*bytes=*/0,
+                      /*energy_mj=*/0.0);
+    }
+  });
 }
 
 void Simulator::ScheduleRecovery(NodeId id, SimTime at) {
   SENSJOIN_CHECK(id >= 0 && id < num_nodes());
-  events_.ScheduleAt(at, [this, id] { nodes_[id].alive = true; });
+  events_.ScheduleAt(at, [this, id] {
+    nodes_[id].alive = true;
+    if (Tracing(tracer_)) {
+      tracer_->Record(obs::EventKind::kRestore, events_.now(), id,
+                      kInvalidNode, MessageKind::kNumKinds, /*count=*/1,
+                      /*bytes=*/0, /*energy_mj=*/0.0);
+    }
+  });
 }
 
 void Simulator::ResetStats() {

@@ -16,6 +16,10 @@
 #include "sensjoin/sim/radio.h"
 #include "sensjoin/sim/time.h"
 
+namespace sensjoin::obs {
+class Tracer;
+}  // namespace sensjoin::obs
+
 namespace sensjoin::sim {
 
 /// One transmission event, as seen by an attached trace sink. `dst` is
@@ -54,6 +58,7 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   EventQueue& events() { return events_; }
+  const EventQueue& events() const { return events_; }
   Radio& radio() { return radio_; }
   const Radio& radio() const { return radio_; }
   const PacketizationParams& packet_params() const { return packet_params_; }
@@ -170,12 +175,21 @@ class Simulator {
   /// Returns the previous sink.
   TraceSink SetTraceSink(TraceSink sink);
 
+  /// Attaches (or with nullptr detaches) an observability tracer. The
+  /// simulator does not own it; the tracer must outlive the attachment and
+  /// be private to this simulator's trial (it is not thread-safe). Also
+  /// wires radio link-churn events into the trace. With no tracer attached
+  /// — or the tracer disabled — the instrumented paths cost one branch and
+  /// record nothing; compile with SENSJOIN_TRACING=0 to remove them.
+  void set_tracer(obs::Tracer* tracer);
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   /// Charges tx costs at `sender` for `fragments` packets carrying
-  /// `frame_bytes` bytes of frames in total.
-  void AccountTx(NodeId sender, MessageKind kind, int fragments,
-                 size_t frame_bytes);
-  void AccountRx(NodeId receiver, int fragments, size_t frame_bytes);
+  /// `frame_bytes` bytes of frames in total. Returns the energy debited.
+  double AccountTx(NodeId sender, MessageKind kind, int fragments,
+                   size_t frame_bytes);
+  double AccountRx(NodeId receiver, int fragments, size_t frame_bytes);
 
   /// True when `kind` is subject to packet loss. Tree maintenance and
   /// query floods are modeled as reliable: in the real system they are
@@ -193,6 +207,7 @@ class Simulator {
   std::vector<Node> nodes_;
   ReceiveHandler receive_handler_;
   TraceSink trace_sink_;
+  obs::Tracer* tracer_ = nullptr;
   double per_packet_latency_s_ = 0.004;
   ArqParams arq_params_;
   IntegrityParams integrity_params_{.crc_enabled = false};

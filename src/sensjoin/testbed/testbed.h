@@ -75,6 +75,12 @@ class Testbed {
   /// crashes/recoveries) on the deployment's simulator.
   void InjectFaults(const sim::FaultPlan& plan);
 
+  /// Attaches an observability tracer to the deployment's simulator
+  /// (nullptr detaches). The tracer is not owned and must outlive the
+  /// attachment; it must be private to this testbed's trial — under the
+  /// ParallelRunner give every trial its own tracer, like its testbed.
+  void AttachTracer(obs::Tracer* tracer) { sim_->set_tracer(tracer); }
+
  private:
   Testbed(TestbedParams params, net::Placement placement,
           std::unique_ptr<sim::Simulator> sim,
