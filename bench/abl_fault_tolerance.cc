@@ -11,7 +11,9 @@
 // the cell parameters), so the cells run as ParallelRunner trials; rows
 // come back in trial order, byte-identical to a sequential run.
 
+#include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -65,6 +67,152 @@ join::ProtocolConfig FaultyConfig() {
   return config;
 }
 
+/// FaultyConfig plus the self-healing stack: in-network tree repair, phase
+/// watchdogs and graceful degradation to a certified partial result.
+join::ProtocolConfig RepairConfig() {
+  join::ProtocolConfig config = FaultyConfig();
+  config.enable_tree_repair = true;
+  config.enable_phase_watchdog = true;
+  config.enable_graceful_degradation = true;
+  return config;
+}
+
+/// Victims for the repair-vs-re-execution sweep: shallow relay nodes that
+/// contribute no result rows but carry mid-sized subtrees. Their children
+/// hit the dead parent near the END of the collection phase (the traversal
+/// goes deepest-first), so the legacy path throws away almost a full
+/// collection phase before re-executing, while in-network repair re-attaches
+/// the orphaned subtrees and finishes the attempt. Because the victims' own
+/// data matters to no result row, a repaired run stays complete.
+///
+/// The subtree-size band matters: the largest subtrees hang off the spine of
+/// shallow relays near the root (the root sits at the field edge), and
+/// crashing a spine node partitions the network at the root — nothing to
+/// repair, and nothing for a rebuild to recover either. Mid-sized subtrees
+/// have physical neighbors outside themselves in the constant-density
+/// deployment, which is exactly the case in-network repair is for. Among the
+/// in-band relays the SHALLOWEST are preferred: in the deepest-first
+/// traversal their orphaned children transmit after most of the field, so
+/// the baseline wastes the largest prefix of the phase. Victims are kept
+/// ancestry-disjoint so one crash does not swallow another victim's subtree.
+std::vector<sim::NodeId> PickRelayVictims(
+    const testbed::Testbed& tb, const std::vector<sim::NodeId>& contributors,
+    int count) {
+  const net::RoutingTree& tree = tb.tree();
+  const int max_subtree = std::max(8, tree.num_nodes() / 6);
+  std::vector<sim::NodeId> relays;
+  for (sim::NodeId u = 0; u < tree.num_nodes(); ++u) {
+    if (!tree.InTree(u) || u == tree.root()) continue;
+    if (tree.children(u).empty()) continue;
+    if (tree.subtree_size(u) < 8 || tree.subtree_size(u) > max_subtree) {
+      continue;
+    }
+    if (std::binary_search(contributors.begin(), contributors.end(), u)) {
+      continue;
+    }
+    relays.push_back(u);
+  }
+  std::sort(relays.begin(), relays.end(),
+            [&tree](sim::NodeId a, sim::NodeId b) {
+              if (tree.hop_count(a) != tree.hop_count(b)) {
+                return tree.hop_count(a) < tree.hop_count(b);
+              }
+              if (tree.subtree_size(a) != tree.subtree_size(b)) {
+                return tree.subtree_size(a) > tree.subtree_size(b);
+              }
+              return a < b;
+            });
+  // A victim is only interesting if its orphans CAN be rescued: every
+  // orphaned child needs a physical neighbor outside the union of all
+  // crashed subtrees (otherwise the crash is a true partition — a corner
+  // pocket bridged by one relay — and both protocols are equally helpless).
+  std::vector<char> forbidden(tree.num_nodes(), 0);
+  const sim::Simulator& sim = tb.simulator();
+  auto rescueable = [&](sim::NodeId u) {
+    std::vector<char> blocked = forbidden;
+    for (sim::NodeId v : tree.SubtreeNodes(u)) blocked[v] = 1;
+    for (sim::NodeId c : tree.children(u)) {
+      bool has_exit = false;
+      for (sim::NodeId v : sim.radio().Neighbors(c)) {
+        if (!blocked[v] && tree.InTree(v) && sim.node(v).alive) {
+          has_exit = true;
+          break;
+        }
+      }
+      if (!has_exit) return false;
+    }
+    return true;
+  };
+  std::vector<sim::NodeId> victims;
+  for (sim::NodeId u : relays) {
+    if (static_cast<int>(victims.size()) >= count) break;
+    bool overlaps = false;
+    for (sim::NodeId v : victims) {
+      overlaps = overlaps || tree.IsAncestor(u, v) || tree.IsAncestor(v, u);
+    }
+    if (overlaps || !rescueable(u)) continue;
+    for (sim::NodeId v : tree.SubtreeNodes(u)) forbidden[v] = 1;
+    victims.push_back(u);
+  }
+  return victims;
+}
+
+/// One cell of the repair-vs-re-execution sweep, kept numeric so the same
+/// data feeds both the printed table and the optional JSON baseline.
+struct RepairCell {
+  double loss = 0.0;
+  int crashes = 0;
+  bool reexec_ok = false;
+  double reexec_energy_mj = 0.0;
+  double reexec_completeness = 0.0;
+  int reexec_attempts = 0;
+  double repair_energy_mj = 0.0;
+  double repair_completeness = 0.0;
+  uint64_t repair_packets = 0;
+  size_t repairs_succeeded = 0;
+  size_t excluded_nodes = 0;
+
+  /// Energy saved by repairing in-network instead of re-executing.
+  double saving() const {
+    return reexec_ok && reexec_energy_mj > 0.0
+               ? 1.0 - repair_energy_mj / reexec_energy_mj
+               : 0.0;
+  }
+};
+
+void WriteRepairJson(const std::string& path, uint64_t seed, int num_nodes,
+                     const std::vector<RepairCell>& cells) {
+  double min_completeness = 1.0;
+  double worst_saving = 1.0;
+  for (const RepairCell& c : cells) {
+    min_completeness = std::min(min_completeness, c.repair_completeness);
+    if (c.reexec_ok) worst_saving = std::min(worst_saving, c.saving());
+  }
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"sensjoin-repair-v1\",\n"
+      << "  \"seed\": " << seed << ",\n  \"num_nodes\": " << num_nodes
+      << ",\n  \"min_repair_completeness\": " << min_completeness
+      << ",\n  \"worst_energy_saving_vs_reexec\": " << worst_saving
+      << ",\n  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const RepairCell& c = cells[i];
+    out << "    {\"loss\": " << c.loss << ", \"crashes\": " << c.crashes
+        << ", \"reexec_ok\": " << (c.reexec_ok ? "true" : "false")
+        << ", \"reexec_energy_mj\": " << c.reexec_energy_mj
+        << ", \"reexec_completeness\": " << c.reexec_completeness
+        << ", \"reexec_attempts\": " << c.reexec_attempts
+        << ", \"repair_energy_mj\": " << c.repair_energy_mj
+        << ", \"repair_completeness\": " << c.repair_completeness
+        << ", \"repair_packets\": " << c.repair_packets
+        << ", \"repairs_succeeded\": " << c.repairs_succeeded
+        << ", \"excluded_nodes\": " << c.excluded_nodes
+        << ", \"energy_saving\": " << c.saving() << "}"
+        << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote repair sweep baseline to " << path << "\n";
+}
+
 struct RunOutcome {
   bool ok = false;
   join::ExecutionReport report;
@@ -81,7 +229,8 @@ RunOutcome Run(Executor executor, const query::AnalyzedQuery& q) {
   return out;
 }
 
-void Main(uint64_t seed, int num_nodes, int threads) {
+void Main(uint64_t seed, int num_nodes, int threads,
+          const std::string& repair_json) {
   const testbed::ParallelRunner runner(threads);
   std::cout << "Ablation -- fault tolerance: loss rate x node crashes, seed "
             << seed << ", " << num_nodes << " nodes\n"
@@ -211,6 +360,88 @@ void Main(uint64_t seed, int num_nodes, int threads) {
   for (std::vector<std::string>& row : *irows) itable.AddRow(std::move(row));
   itable.Print(std::cout);
 
+  // Third sweep: in-network tree repair vs the paper's full re-execution.
+  // Shallow relay victims die before the run (between tree build and query
+  // launch), so their orphaned children hit a dead parent near the end of
+  // the deepest-first collection phase. The legacy path throws that phase
+  // away and re-executes after a tree rebuild; the self-healing path
+  // re-attaches the orphans in-network and finishes the attempt. Energy
+  // includes rebuild beacons and repair traffic respectively.
+  std::cout << "\nIn-network repair vs full re-execution (shallow relay "
+               "victims down before the run, permanent):\n";
+  const std::vector<double> kRepLoss = {0.0, 0.05, 0.10};
+  const std::vector<int> kRepCrashes = {1, 2, 3};
+  auto rcells = runner.Run(
+      static_cast<int>(kRepLoss.size() * kRepCrashes.size()), seed,
+      [&](const testbed::TrialContext& ctx) {
+        RepairCell cell;
+        cell.loss = kRepLoss[ctx.trial / kRepCrashes.size()];
+        cell.crashes = kRepCrashes[ctx.trial % kRepCrashes.size()];
+        auto run_one = [&](const join::ProtocolConfig& config,
+                           RunOutcome* out) {
+          auto tb = MustCreateTestbed(PaperDefaultParams(seed, num_nodes));
+          sim::FaultPlan plan;
+          plan.default_loss_rate = cell.loss;
+          plan.arq.enabled = true;
+          plan.seed = seed * 1000 + static_cast<uint64_t>(cell.crashes);
+          const sim::SimTime when = tb->simulator().now() + 0.05;
+          for (sim::NodeId u :
+               PickRelayVictims(*tb, contributors, cell.crashes)) {
+            plan.crash_events.push_back({u, when, /*recover=*/false});
+          }
+          tb->InjectFaults(plan);
+          ArmFaults(*tb);
+          auto query = tb->ParseQuery(kQuery);
+          SENSJOIN_CHECK(query.ok());
+          *out = Run(tb->MakeSensJoin(config), *query);
+        };
+        RunOutcome reexec;
+        RunOutcome repair;
+        run_one(FaultyConfig(), &reexec);
+        run_one(RepairConfig(), &repair);
+        cell.reexec_ok = reexec.ok;
+        if (reexec.ok) {
+          // Cumulative energy over the whole Execute call: the wasted
+          // attempts and the tree rebuilds between them are the cost this
+          // sweep exists to measure.
+          cell.reexec_energy_mj = reexec.report.total_cost.energy_mj;
+          cell.reexec_completeness = testbed::ResultCompleteness(
+              truth->result, reexec.report.result);
+          cell.reexec_attempts = reexec.report.attempts;
+        }
+        // With graceful degradation on, the run completes or it's a bug.
+        SENSJOIN_CHECK(repair.ok) << "repair-enabled run failed";
+        cell.repair_energy_mj = repair.report.total_cost.energy_mj;
+        cell.repair_completeness =
+            testbed::ResultCompleteness(truth->result, repair.report.result);
+        cell.repair_packets = repair.report.cost.repair_packets;
+        cell.repairs_succeeded = repair.report.repairs_succeeded;
+        cell.excluded_nodes =
+            repair.report.certificate.excluded_nodes.size();
+        return cell;
+      });
+  SENSJOIN_CHECK(rcells.ok()) << rcells.status();
+
+  TablePrinter rtable({"loss", "crashes", "re-exec mJ", "att", "re-compl",
+                       "repair mJ", "rep pkts", "repairs", "excl",
+                       "rep compl", "saving"});
+  for (const RepairCell& c : *rcells) {
+    rtable.AddRow({Percent(c.loss, 1.0), Fmt(static_cast<uint64_t>(c.crashes)),
+                   c.reexec_ok ? Fmt(c.reexec_energy_mj) : "fail",
+                   c.reexec_ok ? Fmt(static_cast<uint64_t>(c.reexec_attempts))
+                               : "-",
+                   c.reexec_ok ? Percent(c.reexec_completeness, 1.0) : "0%",
+                   Fmt(c.repair_energy_mj), Fmt(c.repair_packets),
+                   Fmt(static_cast<uint64_t>(c.repairs_succeeded)),
+                   Fmt(static_cast<uint64_t>(c.excluded_nodes)),
+                   Percent(c.repair_completeness, 1.0),
+                   c.reexec_ok ? Percent(c.saving(), 1.0) : "-"});
+  }
+  rtable.Print(std::cout);
+  if (!repair_json.empty()) {
+    WriteRepairJson(repair_json, seed, num_nodes, *rcells);
+  }
+
   std::cout << "\nSample fault summary (10% loss, 1 crash, SENS-Join):\n";
   auto tb = MustCreateTestbed(PaperDefaultParams(seed, num_nodes));
   tb->InjectFaults(MakePlan(*tb, contributors, 0.10, 1, seed));
@@ -250,13 +481,40 @@ void Main(uint64_t seed, int num_nodes, int threads) {
 }  // namespace
 }  // namespace sensjoin::bench
 
+namespace sensjoin::bench {
+namespace {
+
+/// Strips a `--repair-json=FILE` argument (the repair-sweep JSON baseline
+/// destination) so positional seed/node-count parsing is unaffected.
+std::string ParseRepairJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--repair-json=", 0) == 0) {
+      path = arg.substr(std::string("--repair-json=").size());
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  *argc = w;
+  return path;
+}
+
+}  // namespace
+}  // namespace sensjoin::bench
+
 int main(int argc, char** argv) {
   const int threads = sensjoin::testbed::ParseThreadsFlag(&argc, argv);
   const sensjoin::bench::TraceFlag trace =
       sensjoin::bench::ParseTraceFlag(&argc, argv);
+  const std::string repair_json =
+      sensjoin::bench::ParseRepairJsonFlag(&argc, argv);
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
   const int num_nodes = argc > 2 ? std::atoi(argv[2]) : 250;
-  if (!trace.only) sensjoin::bench::Main(seed, num_nodes, threads);
+  if (!trace.only) {
+    sensjoin::bench::Main(seed, num_nodes, threads, repair_json);
+  }
   if (trace.enabled()) {
     sensjoin::bench::RunTracedExecution(trace, seed, num_nodes);
   }

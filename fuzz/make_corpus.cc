@@ -17,6 +17,7 @@
 #include "sensjoin/compress/rle.h"
 #include "sensjoin/compress/zlib_like.h"
 #include "sensjoin/join/point_set.h"
+#include "sensjoin/net/tree_maintenance.h"
 
 namespace {
 
@@ -115,6 +116,24 @@ int main(int argc, char** argv) {
       std::vector<uint8_t> framed{codec};
       framed.insert(framed.end(), compressed.begin(), compressed.end());
       WriteSeed(dir, "seed" + std::to_string(n++), framed);
+    }
+  }
+
+  // --- repair_beacon_fuzz -------------------------------------------------
+  {
+    const std::filesystem::path dir = root / "repair_beacon_fuzz";
+    std::filesystem::create_directories(dir);
+    int n = 0;
+    for (uint8_t selector : {1, 2}) {  // num_nodes = 100, 200; no shave
+      for (const sensjoin::net::RepairRequest& req :
+           {sensjoin::net::RepairRequest{5, 17, 3, 0},
+            sensjoin::net::RepairRequest{99, 0, -1, 1},
+            sensjoin::net::RepairRequest{42, 41, 12, 2}}) {
+        const BitWriter wire = sensjoin::net::EncodeRepairRequest(req);
+        std::vector<uint8_t> framed{selector};
+        framed.insert(framed.end(), wire.bytes().begin(), wire.bytes().end());
+        WriteSeed(dir, "seed" + std::to_string(n++), framed);
+      }
     }
   }
 

@@ -1,0 +1,48 @@
+// Fuzzes DecodeRepairRequest, the receiver-side parser of the tree-repair
+// beacon (net/tree_maintenance.h) — exactly the bytes a candidate parent
+// hears on the broadcast channel, possibly corrupted. Byte 0 picks the
+// field size the range checks run against and a trailing-bit shave; the
+// rest is the candidate wire frame. Decode must never abort, and any
+// accepted frame must round-trip through the canonical encoder.
+
+#include <cstdint>
+#include <cstring>
+
+#include "sensjoin/net/tree_maintenance.h"
+
+using sensjoin::BitWriter;
+using sensjoin::net::DecodeRepairRequest;
+using sensjoin::net::EncodeRepairRequest;
+using sensjoin::net::RepairRequest;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 2) return 0;
+  const int num_nodes = (data[0] % 4) * 100;  // 0 disables the range checks
+  const size_t shave = data[0] >> 5;          // 0..7 trailing bits
+
+  const uint8_t* body = data + 1;
+  const size_t body_bits = (size - 1) * 8;
+  if (body_bits < shave) return 0;
+
+  RepairRequest decoded;
+  if (!DecodeRepairRequest(body, body_bits - shave, num_nodes, &decoded)
+           .ok()) {
+    return 0;
+  }
+
+  // Accepted frame: canonical re-encoding must parse back to the same
+  // request under the same field size.
+  const BitWriter wire = EncodeRepairRequest(decoded);
+  RepairRequest again;
+  if (!DecodeRepairRequest(wire.bytes().data(), wire.size_bits(), num_nodes,
+                           &again)
+           .ok()) {
+    __builtin_trap();
+  }
+  if (again.orphan != decoded.orphan ||
+      again.dead_parent != decoded.dead_parent ||
+      again.old_hops != decoded.old_hops || again.round != decoded.round) {
+    __builtin_trap();
+  }
+  return 0;
+}

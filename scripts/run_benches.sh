@@ -25,18 +25,26 @@ run micro_pointset "${OUT_DIR}/BENCH_pointset.json"
 # The simulator/parallel-engine and tracer-overhead microbenches are
 # distilled into the "micro" section of BENCH_runtime.json
 # (run_all_benches.sh fills the "benches" wall-clock section of the same
-# file).
+# file), and the fault-tolerance ablation's repair-vs-re-execution sweep
+# into its "repair" section.
 RAW_JSON="$(mktemp)"
 RAW_TRACE_JSON="$(mktemp)"
-trap 'rm -f "${RAW_JSON}" "${RAW_TRACE_JSON}"' EXIT
+RAW_REPAIR_JSON="$(mktemp)"
+trap 'rm -f "${RAW_JSON}" "${RAW_TRACE_JSON}" "${RAW_REPAIR_JSON}"' EXIT
+
+echo "===== abl_fault_tolerance (repair sweep) -> ${RAW_REPAIR_JSON} ====="
+"${BUILD_DIR}/bench/abl_fault_tolerance" \
+  --repair-json="${RAW_REPAIR_JSON}" 42 250 > /dev/null
 run micro_simulator "${RAW_JSON}"
 run micro_trace "${RAW_TRACE_JSON}"
-python3 - "${RAW_JSON}" "${RAW_TRACE_JSON}" "${OUT_DIR}/BENCH_runtime.json" <<'PY'
+python3 - "${RAW_JSON}" "${RAW_TRACE_JSON}" "${RAW_REPAIR_JSON}" \
+  "${OUT_DIR}/BENCH_runtime.json" <<'PY'
 import json
 import os
 import sys
 
-raw_path, trace_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+raw_path, trace_path, repair_path, out_path = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4])
 rates = {}
 for path in (raw_path, trace_path):
     with open(path) as f:
@@ -75,8 +83,11 @@ doc["micro"] = {
     },
 }
 
+with open(repair_path) as f:
+    doc["repair"] = json.load(f)
+
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"wrote micro section of {out_path}")
+print(f"wrote micro and repair sections of {out_path}")
 PY

@@ -35,6 +35,7 @@ PHASE_NAMES = [
     "FilterDissemination",
     "FinalResult",
     "ExternalCollection",
+    "TreeRepair",
 ]
 
 EVENT_NAMES = [
@@ -53,6 +54,11 @@ EVENT_NAMES = [
     "restore",
     "link_down",
     "link_up",
+    "orphan_detected",
+    "repair_request",
+    "reattach",
+    "deadline_expired",
+    "degraded_result",
 ]
 
 # Message kinds whose transmissions CostReport counts as join processing.

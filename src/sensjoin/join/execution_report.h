@@ -1,20 +1,81 @@
 #ifndef SENSJOIN_JOIN_EXECUTION_REPORT_H_
 #define SENSJOIN_JOIN_EXECUTION_REPORT_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "sensjoin/join/result.h"
 #include "sensjoin/join/stats.h"
+#include "sensjoin/sim/time.h"
 
 namespace sensjoin::join {
+
+/// What a degraded execution certifies about its partial result: exactly
+/// which nodes' data is missing, and therefore exactly which result rows
+/// can be trusted. A certified partial result contains precisely the truth
+/// rows with no contributor in `excluded_nodes` — no more, no fewer — which
+/// chaos-test invariants verify row by row (testbed/chaos.h).
+struct CompletenessCertificate {
+  /// True when any node's data was excluded. A false certificate promises
+  /// the result is complete.
+  bool degraded = false;
+
+  /// Roots of the subtrees whose contributions were given up on (sorted,
+  /// deduplicated; each the shallowest excluded node of its branch).
+  std::vector<sim::NodeId> excluded_subtree_roots;
+
+  /// Every node whose data is missing from the result (sorted: the members
+  /// of the excluded subtrees plus nodes that never had a route).
+  std::vector<sim::NodeId> excluded_nodes;
+
+  /// Orphans that were successfully re-attached by in-network repair (their
+  /// data IS in the result; sorted, informational).
+  std::vector<sim::NodeId> repaired_roots;
+
+  /// Coverage bound: nodes whose data reached the base station over the
+  /// total field.
+  int reporting_nodes = 0;
+  int total_nodes = 0;
+
+  double coverage() const {
+    return total_nodes > 0
+               ? static_cast<double>(reporting_nodes) / total_nodes
+               : 1.0;
+  }
+
+  bool IsExcluded(sim::NodeId id) const {
+    return std::binary_search(excluded_nodes.begin(), excluded_nodes.end(),
+                              id);
+  }
+};
 
 /// Outcome of one query execution by either executor.
 struct ExecutionReport {
   JoinResult result;
   CostReport cost;
 
+  /// Cumulative costs over the whole Execute call: every attempt (including
+  /// the aborted ones), tree rebuilds between attempts, and repair traffic.
+  /// Equal to `cost` for single-attempt executions; the honest denominator
+  /// for the repair-vs-full-re-execution energy tradeoff.
+  CostReport total_cost;
+
   bool success = false;
   int attempts = 1;  ///< 1 + re-executions after link failures
+
+  /// Graceful-degradation outcome. With degradation disabled (the default)
+  /// the certificate always reports complete coverage of the reachable
+  /// field; with it enabled, a degraded execution still has success ==
+  /// true but certificate.degraded set and the excluded nodes named.
+  CompletenessCertificate certificate;
+
+  /// In-network tree-repair outcome (zero unless repair is enabled).
+  size_t repairs_attempted = 0;
+  size_t repairs_succeeded = 0;
+
+  /// Phase-watchdog expirations that forced an escalation.
+  size_t watchdog_expirations = 0;
 
   /// Phase-level recovery re-requests issued (missing subtree contributions
   /// re-pulled without a full re-execution).

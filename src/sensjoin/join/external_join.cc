@@ -1,10 +1,14 @@
 #include "sensjoin/join/external_join.h"
 
+#include <algorithm>
+#include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
 #include "sensjoin/common/logging.h"
 #include "sensjoin/join/executor_context.h"
+#include "sensjoin/net/tree_maintenance.h"
 #include "sensjoin/obs/trace.h"
 
 namespace sensjoin::join {
@@ -17,6 +21,10 @@ ExternalJoinExecutor::ExternalJoinExecutor(sim::Simulator& sim,
 
 StatusOr<ExecutionReport> ExternalJoinExecutor::Execute(
     const query::AnalyzedQuery& q, uint64_t epoch) {
+  size_t repairs_attempted_total = 0;
+  size_t repairs_succeeded_total = 0;
+  size_t watchdog_expirations_total = 0;
+  const StatsSnapshot execute_snapshot(sim_);
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
     ExecutionReport report;
     report.attempts = attempt + 1;
@@ -33,10 +41,17 @@ StatusOr<ExecutionReport> ExternalJoinExecutor::Execute(
     }
     if (ok) {
       report.success = true;
+      report.repairs_attempted += repairs_attempted_total;
+      report.repairs_succeeded += repairs_succeeded_total;
+      report.watchdog_expirations += watchdog_expirations_total;
       report.cost = snapshot.DeltaTo(sim_);
+      report.total_cost = execute_snapshot.DeltaTo(sim_);
       report.response_time_s = sim_.now() - start_time;
       return report;
     }
+    repairs_attempted_total += report.repairs_attempted;
+    repairs_succeeded_total += report.repairs_succeeded;
+    watchdog_expirations_total += report.watchdog_expirations;
     // Link failure mid-execution: wait out the CTP repair window (scheduled
     // node recoveries can fire meanwhile), let the tree protocol repair the
     // routes, and re-execute (Sec. IV-F).
@@ -53,14 +68,106 @@ bool ExternalJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
                                           uint64_t epoch,
                                           ExecutionReport* report) {
   const ExecutorContext ctx(data_, q, epoch);
+  const int n = sim_.num_nodes();
+  const sim::NodeId root = tree_.root();
   // Tuples waiting at each node to be forwarded upward.
-  std::vector<std::vector<data::Tuple>> pending(sim_.num_nodes());
+  std::vector<std::vector<data::Tuple>> pending(n);
   std::vector<data::Tuple> base_candidates;
 
-  for (sim::NodeId u : tree_.collection_order()) {
+  // Self-healing machinery, mirroring the SENS-Join executor (all inert
+  // under the default config; see sens_join.h for the escalation order).
+  std::set<sim::NodeId> excluded;
+  std::vector<sim::NodeId> excluded_roots;
+  std::vector<sim::NodeId> repaired_roots;
+  std::optional<net::TreeMaintenance> maintenance;
+  if (config_.enable_tree_repair) {
+    net::TreeMaintenanceConfig mc;
+    mc.max_repair_rounds = config_.max_repair_rounds;
+    mc.round_wait_s = config_.repair_round_wait_s;
+    maintenance.emplace(sim_, tree_, mc);
+  }
+  auto trace_on = [this] {
+    return obs::kTracingCompiledIn && sim_.tracer() != nullptr &&
+           sim_.tracer()->enabled();
+  };
+  auto repair_parent_ok = [&](sim::NodeId cand) {
+    for (sim::NodeId v = cand; v != root; v = tree_.parent(v)) {
+      if (excluded.count(v) != 0) return false;
+    }
+    return true;
+  };
+  const double phase_deadline =
+      config_.enable_phase_watchdog
+          ? sim_.now() + config_.watchdog_base_s +
+                tree_.max_depth() * sim_.per_packet_latency_s() *
+                    config_.watchdog_per_hop_factor
+          : sim::kSimTimeMax;
+  auto watchdog_expired = [&]() {
+    if (sim_.now() <= phase_deadline) return false;
+    ++report->watchdog_expirations;
+    if (trace_on()) {
+      sim_.tracer()->Record(
+          obs::EventKind::kDeadlineExpired, sim_.now(), root,
+          sim::kInvalidNode, sim::MessageKind::kControl, /*count=*/0,
+          /*bytes=*/0, /*energy_mj=*/0.0,
+          /*detail=*/static_cast<uint32_t>(obs::Phase::kExternalCollection));
+    }
+    return true;
+  };
+
+  // Collection-turn flags: repairs mutate the tree mid-phase, so the
+  // traversal iterates an order snapshot and rescued contributions are
+  // relayed through already-processed nodes.
+  std::vector<char> done(n, 0);
+
+  // Escalation for a persistent upward-send failure at `u`. Returns false
+  // only when the attempt must abort (full re-execution).
+  auto rescue = [&](sim::NodeId u, std::vector<data::Tuple> contribution,
+                    size_t payload) -> bool {
+    std::vector<sim::NodeId> lost;
+    lost.reserve(contribution.size());
+    for (const data::Tuple& t : contribution) lost.push_back(t.node);
+    auto degrade = [&]() -> bool {
+      if (!config_.enable_graceful_degradation) return false;
+      excluded_roots.push_back(u);
+      excluded.insert(lost.begin(), lost.end());
+      return true;
+    };
+    if (watchdog_expired()) return degrade();
+    if (!maintenance) return degrade();
+    ++report->repairs_attempted;
+    if (!maintenance->Repair(u, repair_parent_ok)) return degrade();
+    ++report->repairs_succeeded;
+    repaired_roots.push_back(u);
+    sim::NodeId v = u;
+    for (;;) {
+      const sim::NodeId dst = tree_.parent(v);
+      sim::Message msg;
+      msg.src = v;
+      msg.dst = dst;
+      msg.kind = sim::MessageKind::kFinal;
+      msg.payload_bytes = payload;
+      bool corrupted = false;
+      if (!sim_.SendUnicast(std::move(msg), &corrupted)) return degrade();
+      if (corrupted) {
+        ++report->corrupted_deliveries;
+        return true;
+      }
+      v = dst;
+      if (!done[v]) break;  // v's turn is still to come: it buffers
+    }
+    std::vector<data::Tuple>& up = pending[v];
+    up.insert(up.end(), std::make_move_iterator(contribution.begin()),
+              std::make_move_iterator(contribution.end()));
+    return true;
+  };
+
+  const std::vector<sim::NodeId> order = tree_.collection_order();
+  for (sim::NodeId u : order) {
+    done[u] = 1;
     std::vector<data::Tuple> contribution = std::move(pending[u]);
     if (ctx.info(u).has_tuple) contribution.push_back(ctx.info(u).tuple);
-    if (u == tree_.root()) {
+    if (u == root) {
       base_candidates = std::move(contribution);
       continue;
     }
@@ -76,7 +183,10 @@ bool ExternalJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     msg.kind = sim::MessageKind::kFinal;
     msg.payload_bytes = payload;
     bool corrupted = false;
-    if (!sim_.SendUnicast(std::move(msg), &corrupted)) return false;
+    if (!sim_.SendUnicast(std::move(msg), &corrupted)) {
+      if (!rescue(u, std::move(contribution), payload)) return false;
+      continue;
+    }
     if (corrupted) {
       // With the CRC trailer off, garbled tuples slip through the link
       // layer but are unusable: the subtree's rows are lost.
@@ -90,6 +200,33 @@ bool ExternalJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
 
   report->candidate_tuples = base_candidates.size();
   report->result = ComputeExactJoin(q, ctx.PerTableCandidates(base_candidates));
+
+  // Completeness certificate (never-reachable nodes always count; see
+  // sens_join.cc for the rationale).
+  for (sim::NodeId u : tree_.UnreachableNodes()) {
+    if (excluded.insert(u).second) excluded_roots.push_back(u);
+  }
+  CompletenessCertificate& cert = report->certificate;
+  cert.excluded_nodes.assign(excluded.begin(), excluded.end());
+  std::sort(excluded_roots.begin(), excluded_roots.end());
+  excluded_roots.erase(
+      std::unique(excluded_roots.begin(), excluded_roots.end()),
+      excluded_roots.end());
+  cert.excluded_subtree_roots = std::move(excluded_roots);
+  std::sort(repaired_roots.begin(), repaired_roots.end());
+  repaired_roots.erase(
+      std::unique(repaired_roots.begin(), repaired_roots.end()),
+      repaired_roots.end());
+  cert.repaired_roots = std::move(repaired_roots);
+  cert.total_nodes = n;
+  cert.reporting_nodes = n - static_cast<int>(cert.excluded_nodes.size());
+  cert.degraded = !cert.excluded_nodes.empty();
+  if (cert.degraded && trace_on()) {
+    sim_.tracer()->Record(obs::EventKind::kDegradedResult, sim_.now(), root,
+                          sim::kInvalidNode, sim::MessageKind::kControl,
+                          static_cast<uint32_t>(cert.excluded_nodes.size()),
+                          /*bytes=*/0, /*energy_mj=*/0.0);
+  }
   return true;
 }
 

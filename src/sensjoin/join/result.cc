@@ -136,6 +136,12 @@ JoinResult ComputeExactJoin(
           }
         }
         result.rows.push_back(std::move(row));
+        std::set<sim::NodeId> row_contributors;
+        for (const data::Tuple* tup : assignment) {
+          row_contributors.insert(tup->node);
+        }
+        result.row_nodes.emplace_back(row_contributors.begin(),
+                                      row_contributors.end());
       }
       return;
     }

@@ -23,6 +23,13 @@ struct JoinResult {
   /// (sorted). |contributing_nodes| / network size is the paper's "fraction
   /// of nodes in the result" parameter.
   std::vector<sim::NodeId> contributing_nodes;
+
+  /// Per-row contributor sets: row_nodes[i] holds the distinct (sorted)
+  /// nodes whose tuples formed rows[i]. Empty for aggregate queries (one
+  /// synthetic row). This is what lets a completeness certificate be
+  /// checked against the result exactly: a degraded execution must contain
+  /// precisely the truth rows with no excluded contributor.
+  std::vector<std::vector<sim::NodeId>> row_nodes;
 };
 
 /// Computes the exact join over full-precision tuples, applying the

@@ -8,6 +8,7 @@
 
 #include "sensjoin/common/logging.h"
 #include "sensjoin/data/tuple.h"
+#include "sensjoin/net/tree_maintenance.h"
 #include "sensjoin/obs/trace.h"
 #include "sensjoin/join/executor_context.h"
 #include "sensjoin/join/join_attr_codec.h"
@@ -53,6 +54,10 @@ StatusOr<ExecutionReport> SensJoinExecutor::Execute(
         "Dmax must be below the maximum packet size (Sec. IV-E)");
   }
   size_t recovery_requests_total = 0;
+  size_t repairs_attempted_total = 0;
+  size_t repairs_succeeded_total = 0;
+  size_t watchdog_expirations_total = 0;
+  const StatsSnapshot execute_snapshot(sim_);
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
     ExecutionReport report;
     report.attempts = attempt + 1;
@@ -64,11 +69,18 @@ StatusOr<ExecutionReport> SensJoinExecutor::Execute(
     if (!failed) {
       report.success = true;
       report.recovery_requests += recovery_requests_total;
+      report.repairs_attempted += repairs_attempted_total;
+      report.repairs_succeeded += repairs_succeeded_total;
+      report.watchdog_expirations += watchdog_expirations_total;
       report.cost = snapshot.DeltaTo(sim_);
+      report.total_cost = execute_snapshot.DeltaTo(sim_);
       report.response_time_s = sim_.now() - start_time;
       return report;
     }
     recovery_requests_total += report.recovery_requests;
+    repairs_attempted_total += report.repairs_attempted;
+    repairs_succeeded_total += report.repairs_succeeded;
+    watchdog_expirations_total += report.watchdog_expirations;
     // Link failure: wait out the CTP repair window (scheduled node
     // recoveries can fire meanwhile), let the tree protocol re-establish
     // routes, and re-execute the query (Sec. IV-F).
@@ -163,6 +175,72 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
   const sim::NodeId root = tree_.root();
   std::vector<data::Tuple> base_candidates;
 
+  // --- Self-healing machinery ---------------------------------------------
+  // Persistent hop failures escalate in order: phase watchdog (give up on a
+  // phase that overran its sim-time budget) -> in-network tree repair
+  // (re-attach the stranded subtree and re-route its buffered state) ->
+  // graceful degradation (certify the loss and finish over the reachable
+  // field). Everything here is inert under the default config, keeping
+  // fault-free runs bit-identical to the seed.
+  std::set<sim::NodeId> excluded;                // nodes whose data is lost
+  std::vector<sim::NodeId> excluded_roots;       // shallowest node per loss
+  std::vector<sim::NodeId> repaired_roots;       // re-attached orphans
+  std::vector<uint64_t> union_scratch;  // recycled across per-node unions
+  std::optional<net::TreeMaintenance> maintenance;
+  if (config_.enable_tree_repair) {
+    net::TreeMaintenanceConfig mc;
+    mc.max_repair_rounds = config_.max_repair_rounds;
+    mc.round_wait_s = config_.repair_round_wait_s;
+    maintenance.emplace(sim_, tree_, mc);
+  }
+
+  auto trace_on = [this] {
+    return obs::kTracingCompiledIn && sim_.tracer() != nullptr &&
+           sim_.tracer()->enabled();
+  };
+
+  auto record_exclusion = [&excluded, &excluded_roots](
+                              sim::NodeId at,
+                              const std::vector<sim::NodeId>& nodes) {
+    excluded_roots.push_back(at);
+    excluded.insert(nodes.begin(), nodes.end());
+  };
+
+  // Admission predicate handed to TreeMaintenance: a new parent must still
+  // be in the protocol (Treecut exits left it) and must not forward through
+  // a branch whose contribution was already given up on (its path would be
+  // silent for the rest of the execution).
+  auto repair_parent_ok = [&](sim::NodeId cand) {
+    if (states[cand].exited) return false;
+    for (sim::NodeId v = cand; v != root; v = tree_.parent(v)) {
+      if (excluded.count(v) != 0) return false;
+    }
+    return true;
+  };
+
+  // Phase watchdog: each phase gets a deadline scaled by tree depth; once a
+  // phase overruns it, the executor stops repairing and degrades instead of
+  // stalling in unbounded recovery loops.
+  double phase_deadline = sim::kSimTimeMax;
+  auto arm_watchdog = [&] {
+    phase_deadline = config_.enable_phase_watchdog
+                         ? sim_.now() + config_.watchdog_base_s +
+                               tree_.max_depth() * sim_.per_packet_latency_s() *
+                                   config_.watchdog_per_hop_factor
+                         : sim::kSimTimeMax;
+  };
+  auto watchdog_expired = [&](obs::Phase phase) {
+    if (sim_.now() <= phase_deadline) return false;
+    ++report->watchdog_expirations;
+    if (trace_on()) {
+      sim_.tracer()->Record(obs::EventKind::kDeadlineExpired, sim_.now(), root,
+                            sim::kInvalidNode, sim::MessageKind::kControl,
+                            /*count=*/0, /*bytes=*/0, /*energy_mj=*/0.0,
+                            /*detail=*/static_cast<uint32_t>(phase));
+    }
+    return true;
+  };
+
   // With the CRC trailer disabled, a delivery can arrive with a damaged
   // payload. For the quadtree wire format the damage is materialized on the
   // actual encoding and run through the hardened decoder: a parseable
@@ -202,8 +280,119 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
 
   // ---- Phase 1a: Join-Attribute-Collection with Treecut (Fig. 2) --------
   span.emplace(sim_.tracer(), sim_.events(), obs::Phase::kJoinAttrCollection);
-  std::vector<uint64_t> union_scratch;  // recycled across per-node unions
-  for (sim::NodeId u : tree_.collection_order()) {
+  arm_watchdog();
+  // Collection-turn flags: set when a node's upward send already happened.
+  // Repairs mutate the tree mid-phase, so the traversal iterates a copy of
+  // the order snapshot and late contributions are relayed through nodes
+  // whose turn has passed.
+  std::vector<char> done1a(n, 0);
+
+  // Escalation for a persistent upward-send failure at `u` during
+  // collection. `points` carries the subtree's join-attribute keys so a
+  // late-merged contribution still reaches the base station's filter;
+  // `tuples` holds the complete tuples of a Treecut contribution (empty for
+  // structure sends). Returns false only when the attempt must abort.
+  auto rescue_collection = [&](sim::NodeId u, const PointSet& points,
+                               std::vector<data::Tuple> tuples,
+                               size_t tuple_bytes) -> bool {
+    const bool treecut = !tuples.empty();
+    std::vector<sim::NodeId> tuple_nodes;
+    tuple_nodes.reserve(tuples.size());
+    for (const data::Tuple& t : tuples) tuple_nodes.push_back(t.node);
+    auto degrade = [&]() -> bool {
+      if (!config_.enable_graceful_degradation) return false;
+      if (treecut) {
+        // A Treecut contribution carries exactly these nodes' data.
+        record_exclusion(u, tuple_nodes);
+      } else {
+        // A structure send aggregates the whole subtree: everything at or
+        // below u flows through this hop.
+        record_exclusion(u, tree_.SubtreeNodes(u));
+      }
+      return true;
+    };
+    if (watchdog_expired(obs::Phase::kJoinAttrCollection)) return degrade();
+    if (!maintenance) return degrade();
+    ++report->repairs_attempted;
+    if (!maintenance->Repair(u, repair_parent_ok)) return degrade();
+    ++report->repairs_succeeded;
+    repaired_roots.push_back(u);
+
+    const sim::NodeId np = tree_.parent(u);
+    sim::Message msg;
+    msg.src = u;
+    msg.dst = np;
+    msg.kind = sim::MessageKind::kCollection;
+    msg.payload_bytes =
+        treecut ? tuple_bytes
+                : StructureWireBytes(points, codec, config_.representation);
+    bool corrupted = false;
+    if (!send_with_recovery(msg, &corrupted)) return degrade();
+    if (corrupted) {
+      // Damage on the rescued hop: the contribution is lost like any other
+      // corrupt delivery (not certificate-tracked; see chaos invariants).
+      ++report->corrupted_deliveries;
+      return true;
+    }
+    NodeState& pstate = states[np];
+    if (!done1a[np]) {
+      // The new parent's collection turn is still to come: hand over the
+      // contribution exactly like a regular child would.
+      if (treecut) {
+        pstate.pending_full.insert(pstate.pending_full.end(),
+                                   std::make_move_iterator(tuples.begin()),
+                                   std::make_move_iterator(tuples.end()));
+      } else {
+        pstate.pending_attrs.UnionInPlace(points, &union_scratch);
+        pstate.any_attrs_child = true;
+      }
+      return true;
+    }
+    // The new parent already took its turn: it stores Treecut tuples as a
+    // proxy, and the join-attribute keys are relayed hop by hop through
+    // processed ancestors — merging them into each hop's
+    // Selective-Filter-Forwarding snapshot so step 1b still prunes
+    // correctly — until a node whose turn is still to come buffers them.
+    if (treecut) {
+      pstate.proxy_tuples.insert(pstate.proxy_tuples.end(),
+                                 std::make_move_iterator(tuples.begin()),
+                                 std::make_move_iterator(tuples.end()));
+    }
+    sim::NodeId v = np;
+    while (done1a[v] && v != root) {
+      NodeState& vs = states[v];
+      if (vs.has_subtree_attrs) {
+        vs.subtree_attrs.UnionInPlace(points, &union_scratch);
+        if (config_.use_selective_forwarding &&
+            StructureWireBytes(vs.subtree_attrs, codec,
+                               config_.representation) >
+                static_cast<size_t>(config_.filter_memory_bytes)) {
+          vs.has_subtree_attrs = false;  // grew past budget: stop pruning
+        }
+      }
+      vs.sent_attrs = true;  // v is now part of the upward structure flow
+      sim::Message relay;
+      relay.src = v;
+      relay.dst = tree_.parent(v);
+      relay.kind = sim::MessageKind::kCollection;
+      relay.payload_bytes =
+          StructureWireBytes(points, codec, config_.representation);
+      bool relay_corrupted = false;
+      if (!send_with_recovery(relay, &relay_corrupted)) return degrade();
+      if (relay_corrupted) {
+        ++report->corrupted_deliveries;
+        return true;
+      }
+      v = tree_.parent(v);
+    }
+    states[v].pending_attrs.UnionInPlace(points, &union_scratch);
+    states[v].any_attrs_child = true;
+    return true;
+  };
+
+  const std::vector<sim::NodeId> order_1a = tree_.collection_order();
+  for (sim::NodeId u : order_1a) {
+    done1a[u] = 1;
     NodeState& s = states[u];
     const ExecutorContext::NodeInfo& info = ctx.info(u);
 
@@ -245,8 +434,20 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       msg.payload_bytes = full_bytes;
       bool corrupted = false;
       if (!send_with_recovery(msg, &corrupted)) {
-        *failed = true;
-        return Status::Ok();
+        // Rebuild the contribution's join-attribute keys so a successful
+        // rescue can still register them with the base station's filter.
+        PointSet keys = codec.EmptySet();
+        std::vector<uint64_t> key_list;
+        key_list.reserve(contribution.size());
+        for (const data::Tuple& t : contribution) {
+          key_list.push_back(node_key[t.node]);
+        }
+        keys.InsertAll(std::move(key_list));
+        if (!rescue_collection(u, keys, std::move(contribution), full_bytes)) {
+          *failed = true;
+          return Status::Ok();
+        }
+        continue;
       }
       if (corrupted) {
         // Garbled full tuples are unusable; the subtree's rows are lost.
@@ -292,8 +493,14 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     msg.payload_bytes = StructureWireBytes(out, codec, config_.representation);
     bool corrupted = false;
     if (!send_with_recovery(msg, &corrupted)) {
-      *failed = true;
-      return Status::Ok();
+      if (!rescue_collection(u, out, {}, 0)) {
+        *failed = true;
+        return Status::Ok();
+      }
+      // A degraded rescue leaves u out of the upward structure flow, so its
+      // parent must not expect it as a dissemination target in step 1b.
+      if (excluded.count(u) == 0) s.sent_attrs = true;
+      continue;
     }
     s.sent_attrs = true;
     NodeState& p = states[tree_.parent(u)];
@@ -320,8 +527,13 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
 
   // ---- Phase 1b: Filter-Dissemination (Fig. 3) ---------------------------
   span.emplace(sim_.tracer(), sim_.events(), obs::Phase::kFilterDissemination);
+  arm_watchdog();
   states[root].filter = filter_result.filter;
   states[root].got_filter = true;
+  // No in-network repair in this phase: a re-attached child would need its
+  // ancestor-pruned filter widened to the new path's subtree, which cannot
+  // be reconstructed locally without risking silent row loss. A child that
+  // cannot be reached degrades into a certified exclusion instead.
   for (sim::NodeId u : tree_.dissemination_order()) {
     NodeState& s = states[u];
     if (s.exited || !s.got_filter) continue;
@@ -364,6 +576,11 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
         }
       }
       if (!have) {
+        if (config_.enable_graceful_degradation &&
+            watchdog_expired(obs::Phase::kFilterDissemination)) {
+          record_exclusion(c, tree_.SubtreeNodes(c));
+          continue;
+        }
         // Detected subtree loss: the child missed the filter broadcast.
         // Unicast it the pruned filter kept for exactly this purpose by
         // Selective Filter Forwarding, instead of restarting the query.
@@ -375,6 +592,12 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
         bool corrupted = false;
         if (!config_.enable_phase_recovery ||
             !send_with_recovery(resend, &corrupted)) {
+          if (config_.enable_graceful_degradation) {
+            // The filter cannot reach c: its subtree ships nothing in the
+            // final phase, so certify the whole branch as excluded.
+            record_exclusion(c, tree_.SubtreeNodes(c));
+            continue;
+          }
           *failed = true;
           return Status::Ok();
         }
@@ -396,8 +619,62 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
 
   // ---- Phase 2: Final-Result-Computation ---------------------------------
   span.emplace(sim_.tracer(), sim_.events(), obs::Phase::kFinalResult);
+  arm_watchdog();
   std::vector<std::vector<data::Tuple>> pending_final(n);
-  for (sim::NodeId u : tree_.collection_order()) {
+  std::vector<char> done2(n, 0);
+
+  // Escalation for a persistent upward kFinal failure at `u`: repair the
+  // tree and re-route the contribution, relaying it hop by hop through
+  // already-processed ancestors until a node whose turn is still to come
+  // buffers it (the relay path cannot contain Treecut-exited nodes: a
+  // non-exited node never has an exited ancestor). Returns false only when
+  // the attempt must abort.
+  auto rescue_final = [&](sim::NodeId u, std::vector<data::Tuple> contribution,
+                          size_t payload) -> bool {
+    std::vector<sim::NodeId> lost;
+    lost.reserve(contribution.size());
+    for (const data::Tuple& t : contribution) lost.push_back(t.node);
+    auto degrade = [&]() -> bool {
+      if (!config_.enable_graceful_degradation) return false;
+      // A final-phase contribution carries exactly these nodes' rows.
+      record_exclusion(u, lost);
+      return true;
+    };
+    if (watchdog_expired(obs::Phase::kFinalResult)) return degrade();
+    if (!maintenance) return degrade();
+    ++report->repairs_attempted;
+    if (!maintenance->Repair(u, repair_parent_ok)) return degrade();
+    ++report->repairs_succeeded;
+    repaired_roots.push_back(u);
+    sim::NodeId v = u;
+    for (;;) {
+      const sim::NodeId dst = tree_.parent(v);
+      sim::Message msg;
+      msg.src = v;
+      msg.dst = dst;
+      msg.kind = sim::MessageKind::kFinal;
+      msg.payload_bytes = payload;
+      bool corrupted = false;
+      if (!send_with_recovery(msg, &corrupted)) return degrade();
+      if (corrupted) {
+        // Garbled result rows are discarded upstream like any other
+        // corrupt delivery (the chaos invariants gate exactness on zero
+        // corrupted deliveries).
+        ++report->corrupted_deliveries;
+        return true;
+      }
+      v = dst;
+      if (!done2[v]) break;  // v's turn is still to come: it buffers
+    }
+    std::vector<data::Tuple>& up = pending_final[v];
+    up.insert(up.end(), std::make_move_iterator(contribution.begin()),
+              std::make_move_iterator(contribution.end()));
+    return true;
+  };
+
+  const std::vector<sim::NodeId> order_2 = tree_.collection_order();
+  for (sim::NodeId u : order_2) {
+    done2[u] = 1;
     NodeState& s = states[u];
     if (u != root && s.exited) continue;
 
@@ -436,8 +713,11 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     msg.payload_bytes = payload;
     bool corrupted = false;
     if (!send_with_recovery(msg, &corrupted)) {
-      *failed = true;
-      return Status::Ok();
+      if (!rescue_final(u, std::move(contribution), payload)) {
+        *failed = true;
+        return Status::Ok();
+      }
+      continue;
     }
     if (corrupted) {
       // Garbled result rows are discarded upstream.
@@ -454,6 +734,35 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
   report->candidate_tuples = base_candidates.size();
   report->result =
       ComputeExactJoin(q, ctx.PerTableCandidates(base_candidates));
+
+  // ---- Completeness certificate ------------------------------------------
+  // Nodes the routing tree never reached (partitioned field, dead at build
+  // time) are counted as excluded even with graceful degradation disabled:
+  // their data cannot be in the result and the certificate must say so.
+  for (sim::NodeId u : tree_.UnreachableNodes()) {
+    if (excluded.insert(u).second) excluded_roots.push_back(u);
+  }
+  CompletenessCertificate& cert = report->certificate;
+  cert.excluded_nodes.assign(excluded.begin(), excluded.end());
+  std::sort(excluded_roots.begin(), excluded_roots.end());
+  excluded_roots.erase(
+      std::unique(excluded_roots.begin(), excluded_roots.end()),
+      excluded_roots.end());
+  cert.excluded_subtree_roots = std::move(excluded_roots);
+  std::sort(repaired_roots.begin(), repaired_roots.end());
+  repaired_roots.erase(
+      std::unique(repaired_roots.begin(), repaired_roots.end()),
+      repaired_roots.end());
+  cert.repaired_roots = std::move(repaired_roots);
+  cert.total_nodes = n;
+  cert.reporting_nodes = n - static_cast<int>(cert.excluded_nodes.size());
+  cert.degraded = !cert.excluded_nodes.empty();
+  if (cert.degraded && trace_on()) {
+    sim_.tracer()->Record(obs::EventKind::kDegradedResult, sim_.now(), root,
+                          sim::kInvalidNode, sim::MessageKind::kControl,
+                          static_cast<uint32_t>(cert.excluded_nodes.size()),
+                          /*bytes=*/0, /*energy_mj=*/0.0);
+  }
   return Status::Ok();
 }
 

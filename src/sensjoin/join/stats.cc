@@ -38,7 +38,10 @@ StatsSnapshot::StatsSnapshot(const sim::Simulator& sim)
       undetected_corrupted_(sim.total_undetected_corrupted_packets()),
       crc_bytes_(sim.crc_bytes_sent()),
       integrity_retransmit_energy_(sim.integrity_retransmit_energy_mj()),
-      crc_energy_(sim.crc_energy_mj()) {
+      crc_energy_(sim.crc_energy_mj()),
+      repair_packets_(sim.repair_packets_sent()),
+      repair_bytes_(sim.repair_bytes_sent()),
+      repair_energy_(sim.repair_energy_mj()) {
   per_node_join_packets_.resize(sim.num_nodes());
   for (int i = 0; i < sim.num_nodes(); ++i) {
     per_node_join_packets_[i] = JoinPacketsOfNode(sim.node(i).stats);
@@ -68,6 +71,9 @@ CostReport StatsSnapshot::DeltaTo(const sim::Simulator& sim) const {
   report.integrity_retransmit_energy_mj =
       sim.integrity_retransmit_energy_mj() - integrity_retransmit_energy_;
   report.crc_energy_mj = sim.crc_energy_mj() - crc_energy_;
+  report.repair_packets = sim.repair_packets_sent() - repair_packets_;
+  report.repair_bytes_sent = sim.repair_bytes_sent() - repair_bytes_;
+  report.repair_energy_mj = sim.repair_energy_mj() - repair_energy_;
   SENSJOIN_CHECK_EQ(static_cast<int>(per_node_join_packets_.size()),
                     sim.num_nodes());
   report.per_node_packets.resize(sim.num_nodes());

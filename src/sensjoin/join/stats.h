@@ -50,6 +50,14 @@ struct CostReport {
   double integrity_retransmit_energy_mj = 0.0;
   double crc_energy_mj = 0.0;
 
+  /// In-network tree-repair overhead (zero unless repair ran). Repair
+  /// packets ride MessageKind::kRepair: outside the paper's join-packet
+  /// metric (like beacons) but inside the energy totals, and itemized here
+  /// so the repair-vs-re-execution tradeoff is visible in reports.
+  uint64_t repair_packets = 0;
+  uint64_t repair_bytes_sent = 0;
+  double repair_energy_mj = 0.0;
+
   uint64_t max_node_packets() const;
 };
 
@@ -78,6 +86,9 @@ class StatsSnapshot {
   uint64_t crc_bytes_;
   double integrity_retransmit_energy_;
   double crc_energy_;
+  uint64_t repair_packets_;
+  uint64_t repair_bytes_;
+  double repair_energy_;
   std::vector<uint64_t> per_node_join_packets_;
 };
 

@@ -89,6 +89,72 @@ RoutingTree RoutingTree::Build(sim::Simulator& sim, sim::NodeId root) {
   return tree;
 }
 
+std::vector<sim::NodeId> RoutingTree::UnreachableNodes() const {
+  std::vector<sim::NodeId> out;
+  for (sim::NodeId i = 0; i < num_nodes(); ++i) {
+    if (hops_[i] < 0) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<sim::NodeId> RoutingTree::SubtreeNodes(sim::NodeId id) const {
+  std::vector<sim::NodeId> out;
+  if (id < 0 || id >= num_nodes() || !InTree(id)) return out;
+  out.push_back(id);
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (sim::NodeId c : children_[out[i]]) out.push_back(c);
+  }
+  return out;
+}
+
+bool RoutingTree::IsAncestor(sim::NodeId ancestor, sim::NodeId id) const {
+  if (!InTree(ancestor) || !InTree(id)) return false;
+  for (sim::NodeId u = id; u != sim::kInvalidNode; u = parent_[u]) {
+    if (u == ancestor) return true;
+  }
+  return false;
+}
+
+void RoutingTree::Reparent(sim::NodeId child, sim::NodeId new_parent) {
+  SENSJOIN_CHECK(child >= 0 && child < num_nodes());
+  SENSJOIN_CHECK(new_parent >= 0 && new_parent < num_nodes());
+  SENSJOIN_CHECK(child != root_) << "cannot reparent the root";
+  SENSJOIN_CHECK(InTree(new_parent))
+      << "re-attach target " << new_parent << " is not in the tree";
+  const std::vector<sim::NodeId> subtree = SubtreeNodes(child);
+  if (subtree.empty()) {
+    // Out-of-tree orphan joining for the first time: it has no descendants
+    // (its old subtree was detached or never built).
+    parent_[child] = new_parent;
+    hops_[child] = hops_[new_parent] + 1;
+    FinalizeFromParents();
+    return;
+  }
+  for (sim::NodeId u : subtree) {
+    SENSJOIN_CHECK(u != new_parent)
+        << "re-attach target " << new_parent << " is inside the subtree of "
+        << child << " (would form a routing loop)";
+  }
+  parent_[child] = new_parent;
+  // BFS over the (unchanged) subtree structure re-derives hop counts.
+  hops_[child] = hops_[new_parent] + 1;
+  for (size_t i = 0; i < subtree.size(); ++i) {
+    for (sim::NodeId c : children_[subtree[i]]) hops_[c] = hops_[subtree[i]] + 1;
+  }
+  FinalizeFromParents();
+}
+
+void RoutingTree::Detach(sim::NodeId id) {
+  const std::vector<sim::NodeId> subtree = SubtreeNodes(id);
+  if (subtree.empty()) return;
+  SENSJOIN_CHECK(id != root_) << "cannot detach the root";
+  for (sim::NodeId u : subtree) {
+    parent_[u] = sim::kInvalidNode;
+    hops_[u] = -1;
+  }
+  FinalizeFromParents();
+}
+
 void RoutingTree::FinalizeFromParents() {
   const int n = static_cast<int>(parent_.size());
   children_.assign(n, {});

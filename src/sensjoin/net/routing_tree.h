@@ -12,8 +12,12 @@ namespace sensjoin::net {
 /// Protocol: every node maintains a parent minimizing the hop count to the
 /// base station, established by beaconing (Sec. III "Query Processing").
 ///
-/// The tree is an immutable snapshot; after topology changes (link
-/// failures), call Build again to model CTP's repair.
+/// The tree is a snapshot of the beaconing round; global topology changes
+/// call for a new Build, but localized failures can be patched in place
+/// with the repair mutators (Reparent / Detach) that
+/// net/tree_maintenance.h drives — every mutator re-derives the children
+/// lists, subtree sizes and traversal orders, so the snapshot invariants
+/// keep holding after a repair.
 class RoutingTree {
  public:
   /// Runs a beaconing round on `sim` and returns the resulting tree rooted
@@ -64,6 +68,32 @@ class RoutingTree {
   const std::vector<sim::NodeId>& dissemination_order() const {
     return dissemination_order_;
   }
+
+  /// Nodes without a route to the root, ascending by id. Non-empty on
+  /// partially-connected fields; join executors count these against result
+  /// completeness instead of waiting for them.
+  std::vector<sim::NodeId> UnreachableNodes() const;
+
+  // --- Repair mutators (used by net/tree_maintenance.h) ------------------
+
+  /// All nodes of the subtree rooted at `id` (itself included), in BFS
+  /// order; empty when `id` is not in the tree.
+  std::vector<sim::NodeId> SubtreeNodes(sim::NodeId id) const;
+
+  /// True when `ancestor` lies on `id`'s path to the root (a node is its
+  /// own ancestor). False for out-of-tree nodes.
+  bool IsAncestor(sim::NodeId ancestor, sim::NodeId id) const;
+
+  /// Re-attaches the subtree rooted at `child` under `new_parent`,
+  /// re-deriving hop counts, children lists, subtree sizes and the
+  /// traversal orders. `new_parent` must be in the tree and must not be
+  /// inside `child`'s subtree (loop freedom is the caller's contract;
+  /// violating it is a CHECK failure, not a cycle).
+  void Reparent(sim::NodeId child, sim::NodeId new_parent);
+
+  /// Removes the subtree rooted at `id` from the tree: every node in it
+  /// becomes unreachable (hops -1, no parent). No-op for out-of-tree ids.
+  void Detach(sim::NodeId id);
 
  private:
   RoutingTree() = default;

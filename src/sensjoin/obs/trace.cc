@@ -39,6 +39,16 @@ const char* EventKindName(EventKind kind) {
       return "link_down";
     case EventKind::kLinkUp:
       return "link_up";
+    case EventKind::kOrphanDetected:
+      return "orphan_detected";
+    case EventKind::kRepairRequest:
+      return "repair_request";
+    case EventKind::kReattach:
+      return "reattach";
+    case EventKind::kDeadlineExpired:
+      return "deadline_expired";
+    case EventKind::kDegradedResult:
+      return "degraded_result";
     case EventKind::kNumKinds:
       break;
   }
@@ -63,6 +73,8 @@ const char* PhaseName(Phase phase) {
       return "FinalResult";
     case Phase::kExternalCollection:
       return "ExternalCollection";
+    case Phase::kTreeRepair:
+      return "TreeRepair";
     case Phase::kNumPhases:
       break;
   }

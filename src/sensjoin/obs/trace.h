@@ -46,6 +46,13 @@ enum class EventKind : uint8_t {
   kRestore,          ///< node reboot event fired
   kLinkDown,         ///< radio link failed (node/peer = endpoints)
   kLinkUp,           ///< radio link restored
+  kOrphanDetected,   ///< node found its parent dead (peer = dead parent)
+  kRepairRequest,    ///< orphan broadcast a tree-repair request
+  kReattach,         ///< orphan adopted a new parent (peer = new parent;
+                     ///< detail = new hop count)
+  kDeadlineExpired,  ///< phase watchdog fired (detail = Phase that timed out)
+  kDegradedResult,   ///< execution returned a certified partial result
+                     ///< (count = excluded nodes)
   kNumKinds,         ///< sentinel; keep last
 };
 
@@ -64,6 +71,7 @@ enum class Phase : uint8_t {
   kFilterDissemination,  ///< SENS-Join step 1b (Fig. 3)
   kFinalResult,          ///< SENS-Join phase 2
   kExternalCollection,   ///< the external join's single collection phase
+  kTreeRepair,           ///< in-network tree repair (net/tree_maintenance.h)
   kNumPhases,            ///< sentinel; keep last
 };
 

@@ -39,6 +39,9 @@ void ApplyFaultPlan(Simulator& sim, const FaultPlan& plan) {
       sim.ScheduleCrash(ev.node, ev.at);
     }
   }
+  for (const LinkOutageWindow& w : plan.link_outages) {
+    sim.ScheduleLinkOutage(w);
+  }
 }
 
 }  // namespace sensjoin::sim

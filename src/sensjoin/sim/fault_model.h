@@ -70,6 +70,20 @@ struct IntegrityParams {
   double truncation_fraction = 0.25;
 };
 
+/// A scheduled transient outage of one (bidirectional) link: the link goes
+/// dark at `down_at` and comes back at `up_at`. Unlike FailLink, an outage
+/// affects only message kinds that are also subject to loss — beacons,
+/// query floods and repair traffic are exempt, so a fault plan never
+/// changes which routing tree gets built, but in-flight join traffic sees a
+/// link that is down now and up again later (the scenario in-network tree
+/// repair must survive without a full re-execution).
+struct LinkOutageWindow {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  SimTime down_at = 0;
+  SimTime up_at = 0;
+};
+
 /// A scheduled liveness change, fired through the simulator's event queue:
 /// at `at`, the node crashes (recover == false) or reboots (recover ==
 /// true). A rebooted node keeps its identity and sensor data but needs a
@@ -89,6 +103,9 @@ struct FaultPlan {
 
   std::vector<LinkLossOverride> link_overrides;
   std::vector<CrashEvent> crash_events;
+
+  /// Transient link blackout windows, fired through the event queue.
+  std::vector<LinkOutageWindow> link_outages;
 
   /// Per-fragment corruption probability (bit flips / truncation) on every
   /// link without an override, rolled for fragments that survive the loss

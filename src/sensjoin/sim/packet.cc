@@ -20,6 +20,8 @@ const char* MessageKindName(MessageKind kind) {
       return "app_data";
     case MessageKind::kControl:
       return "control";
+    case MessageKind::kRepair:
+      return "repair";
     case MessageKind::kNumKinds:
       break;
   }

@@ -23,6 +23,8 @@ enum class MessageKind : uint8_t {
                 ///< single collection phase.
   kAppData,     ///< Application payloads outside the join protocols.
   kControl,     ///< Recovery control traffic (re-requests / NACKs).
+  kRepair,      ///< In-network tree repair (requests, replies, re-attach
+                ///< notices; net/tree_maintenance.h).
   kNumKinds,    ///< Sentinel; keep last.
 };
 

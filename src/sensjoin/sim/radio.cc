@@ -78,6 +78,19 @@ void Radio::RestoreLink(NodeId a, NodeId b) {
   if (link_observer_) link_observer_(a, b, /*up=*/true);
 }
 
+void Radio::SetLinkOutage(NodeId a, NodeId b, bool down) {
+  if (!ValidLink(a, b)) return;
+  const uint64_t key = LinkKey(a, b);
+  const bool changed =
+      down ? outage_links_.insert(key).second : outage_links_.erase(key) > 0;
+  if (changed && link_observer_) link_observer_(a, b, /*up=*/!down);
+}
+
+bool Radio::OutageActive(NodeId a, NodeId b) const {
+  return ValidLink(a, b) &&
+         outage_links_.find(LinkKey(a, b)) != outage_links_.end();
+}
+
 void Radio::set_default_loss_rate(double p) {
   default_loss_rate_ = std::clamp(p, 0.0, 1.0);
 }

@@ -54,6 +54,26 @@ class Radio {
     link_observer_ = std::move(observer);
   }
 
+  // --- Transient link outages --------------------------------------------
+  // An outage is a temporary blackout of a (bidirectional) link, distinct
+  // from FailLink: it does not change LinkUp — and therefore never changes
+  // which routing tree a beaconing round builds — and the simulator applies
+  // it only to message kinds that are also subject to loss, so beacons,
+  // query floods and repair traffic pass through (exactly like the loss and
+  // corruption models). Scheduled windows come from
+  // sim::LinkOutageWindow via Simulator::ScheduleLinkOutage.
+
+  /// Marks the link a-b as in (down == true) or out of (down == false) an
+  /// outage. Invalid links are ignored; the link observer fires on every
+  /// effective change.
+  void SetLinkOutage(NodeId a, NodeId b, bool down);
+
+  /// True while the link a-b is inside a scheduled outage window.
+  bool OutageActive(NodeId a, NodeId b) const;
+
+  size_t num_outage_links() const { return outage_links_.size(); }
+  void ClearOutages() { outage_links_.clear(); }
+
   // --- Probabilistic per-link packet loss --------------------------------
   // A loss rate is the probability that one link-layer fragment is dropped
   // on its way over the link; the simulator rolls the dice (seeded) per
@@ -112,6 +132,7 @@ class Radio {
   double range_m_;
   std::vector<std::vector<NodeId>> neighbors_;
   std::unordered_set<uint64_t> failed_links_;
+  std::unordered_set<uint64_t> outage_links_;
   LinkObserver link_observer_;
   double default_loss_rate_ = 0.0;
   std::unordered_map<uint64_t, double> link_loss_;

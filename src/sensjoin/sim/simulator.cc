@@ -54,10 +54,14 @@ double Simulator::AccountTx(NodeId sender, MessageKind kind, int fragments,
   total_bytes_sent_ += frame_bytes;
   total_energy_mj_ += cost;
   packets_by_kind_[static_cast<size_t>(kind)] += fragments;
+  if (kind == MessageKind::kRepair) {
+    repair_bytes_sent_ += frame_bytes;
+    repair_energy_mj_ += cost;
+  }
   return cost;
 }
 
-double Simulator::AccountRx(NodeId receiver, int fragments,
+double Simulator::AccountRx(NodeId receiver, MessageKind kind, int fragments,
                             size_t frame_bytes) {
   NodeStats& s = nodes_[receiver].stats;
   s.packets_received += fragments;
@@ -65,6 +69,7 @@ double Simulator::AccountRx(NodeId receiver, int fragments,
   const double cost = energy_model_.RxCost(fragments, frame_bytes);
   s.energy_mj += cost;
   total_energy_mj_ += cost;
+  if (kind == MessageKind::kRepair) repair_energy_mj_ += cost;
   return cost;
 }
 
@@ -99,7 +104,8 @@ bool Simulator::SendUnicast(Message msg, bool* corrupted) {
       trailer_bytes;
   const size_t avg_frame_bytes = frame_bytes / fragments;
   const bool link_ok =
-      nodes_[msg.dst].alive && radio_.LinkUp(msg.src, msg.dst);
+      nodes_[msg.dst].alive && radio_.LinkUp(msg.src, msg.dst) &&
+      !(LossApplies(msg.kind) && radio_.OutageActive(msg.src, msg.dst));
   const double loss =
       LossApplies(msg.kind) ? radio_.LossRate(msg.src, msg.dst) : 0.0;
   const double corrupt =
@@ -212,7 +218,7 @@ bool Simulator::SendUnicast(Message msg, bool* corrupted) {
     rx_bytes = rx_fragments == fragments
                    ? frame_bytes
                    : static_cast<size_t>(rx_fragments) * avg_frame_bytes;
-    rx_cost = AccountRx(msg.dst, rx_fragments, rx_bytes);
+    rx_cost = AccountRx(msg.dst, msg.kind, rx_fragments, rx_bytes);
   }
   if (Tracing(tracer_)) {
     using obs::EventKind;
@@ -313,6 +319,7 @@ int Simulator::Broadcast(Message msg, std::vector<NodeId>* delivered,
   int receivers = 0;
   for (NodeId nb : radio_.Neighbors(bmsg.src)) {
     if (!nodes_[nb].alive || !radio_.LinkUp(bmsg.src, nb)) continue;
+    if (LossApplies(bmsg.kind) && radio_.OutageActive(bmsg.src, nb)) continue;
     // Per-receiver loss and corruption rolls; broadcasts carry no acks, so
     // a receiver missing any fragment — including one its CRC check
     // rejects — misses the logical message.
@@ -346,7 +353,7 @@ int Simulator::Broadcast(Message msg, std::vector<NodeId>* delivered,
       const size_t rx_bytes =
           heard == fragments ? frame_bytes
                              : static_cast<size_t>(heard) * avg_frame_bytes;
-      const double rx_cost = AccountRx(nb, heard, rx_bytes);
+      const double rx_cost = AccountRx(nb, bmsg.kind, heard, rx_bytes);
       if (crc_active) {
         crc_energy_mj_ += energy_model_.RxCost(
             0, static_cast<size_t>(heard) * integrity_params_.crc_bytes);
@@ -434,6 +441,17 @@ void Simulator::ScheduleRecovery(NodeId id, SimTime at) {
   });
 }
 
+void Simulator::ScheduleLinkOutage(const LinkOutageWindow& window) {
+  SENSJOIN_CHECK(window.up_at >= window.down_at)
+      << "link outage window ends before it starts";
+  events_.ScheduleAt(window.down_at, [this, a = window.a, b = window.b] {
+    radio_.SetLinkOutage(a, b, /*down=*/true);
+  });
+  events_.ScheduleAt(window.up_at, [this, a = window.a, b = window.b] {
+    radio_.SetLinkOutage(a, b, /*down=*/false);
+  });
+}
+
 void Simulator::ResetStats() {
   for (Node& n : nodes_) n.stats.Reset();
   total_packets_sent_ = 0;
@@ -448,6 +466,8 @@ void Simulator::ResetStats() {
   crc_bytes_sent_ = 0;
   integrity_retransmit_energy_mj_ = 0.0;
   crc_energy_mj_ = 0.0;
+  repair_bytes_sent_ = 0;
+  repair_energy_mj_ = 0.0;
   packets_by_kind_.fill(0);
 }
 

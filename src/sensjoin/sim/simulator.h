@@ -126,6 +126,12 @@ class Simulator {
   void ScheduleCrash(NodeId id, SimTime at);
   void ScheduleRecovery(NodeId id, SimTime at);
 
+  /// Schedules a transient link blackout window through the event queue.
+  /// While the window is open, unicasts and broadcasts of loss-eligible
+  /// kinds fail over the link; beacons, query floods and repair traffic
+  /// pass through (see Radio's outage comment).
+  void ScheduleLinkOutage(const LinkOutageWindow& window);
+
   /// Current simulation time.
   SimTime now() const { return events_.now(); }
 
@@ -164,6 +170,16 @@ class Simulator {
   }
   double crc_energy_mj() const { return crc_energy_mj_; }
 
+  /// Tree-repair accounting (kRepair traffic: orphan repair requests,
+  /// candidate replies, re-attach notices). Repair packets are part of
+  /// `total_packets_sent` and itemized here; their tx+rx energy is part of
+  /// `total_energy_mj` and itemized here.
+  uint64_t repair_packets_sent() const {
+    return packets_by_kind_[static_cast<size_t>(MessageKind::kRepair)];
+  }
+  uint64_t repair_bytes_sent() const { return repair_bytes_sent_; }
+  double repair_energy_mj() const { return repair_energy_mj_; }
+
   /// Clears all global and per-node counters (topology is untouched).
   void ResetStats();
 
@@ -189,15 +205,20 @@ class Simulator {
   /// `frame_bytes` bytes of frames in total. Returns the energy debited.
   double AccountTx(NodeId sender, MessageKind kind, int fragments,
                    size_t frame_bytes);
-  double AccountRx(NodeId receiver, int fragments, size_t frame_bytes);
+  double AccountRx(NodeId receiver, MessageKind kind, int fragments,
+                   size_t frame_bytes);
 
-  /// True when `kind` is subject to packet loss. Tree maintenance and
-  /// query floods are modeled as reliable: in the real system they are
-  /// amortized over periodic repetition (CTP beaconing, flood rebroadcasts)
-  /// rather than per-execution ARQ, and keeping them deterministic means a
-  /// fault plan never changes which routing tree gets built.
+  /// True when `kind` is subject to packet loss (and, by the same gate,
+  /// corruption and transient link outages). Tree maintenance — CTP
+  /// beaconing and the repair traffic of net/tree_maintenance.h — and query
+  /// floods are modeled as reliable: in the real system they are amortized
+  /// over periodic repetition (beaconing, flood rebroadcasts) rather than
+  /// per-execution ARQ, and keeping them deterministic means a fault plan
+  /// never changes which routing tree gets built or repaired, and that
+  /// fault-free runs draw zero fault randomness.
   static bool LossApplies(MessageKind kind) {
-    return kind != MessageKind::kBeacon && kind != MessageKind::kQuery;
+    return kind != MessageKind::kBeacon && kind != MessageKind::kQuery &&
+           kind != MessageKind::kRepair;
   }
 
   EventQueue events_;
@@ -225,6 +246,8 @@ class Simulator {
   uint64_t crc_bytes_sent_ = 0;
   double integrity_retransmit_energy_mj_ = 0.0;
   double crc_energy_mj_ = 0.0;
+  uint64_t repair_bytes_sent_ = 0;
+  double repair_energy_mj_ = 0.0;
   std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
       packets_by_kind_{};
 };

@@ -1,0 +1,274 @@
+#include "sensjoin/testbed/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sensjoin/common/logging.h"
+#include "sensjoin/common/rng.h"
+#include "sensjoin/join/executor_context.h"
+#include "sensjoin/net/routing_tree.h"
+
+namespace sensjoin::testbed {
+namespace {
+
+std::string Format(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+/// Draws `k` distinct elements from `pool` (partial Fisher-Yates); returns
+/// fewer when the pool is smaller.
+std::vector<sim::NodeId> SampleDistinct(std::vector<sim::NodeId> pool, int k,
+                                        Rng& rng) {
+  const int take = std::min<int>(k, static_cast<int>(pool.size()));
+  for (int i = 0; i < take; ++i) {
+    const int j = static_cast<int>(
+        rng.UniformInt(i, static_cast<int64_t>(pool.size()) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(take);
+  return pool;
+}
+
+/// Lexicographic row order for multiset comparisons.
+bool RowLess(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
+ChaosSchedule MakeChaosSchedule(Testbed& testbed, const ChaosParams& params) {
+  SENSJOIN_CHECK(params.window_s >= 0);
+  SENSJOIN_CHECK(params.outage_min_s >= 0 &&
+                 params.outage_max_s >= params.outage_min_s);
+  const net::RoutingTree& tree = testbed.tree();
+  const sim::Simulator& sim = testbed.simulator();
+  const double now = sim.now();
+  Rng rng(params.seed);
+
+  ChaosSchedule schedule;
+  sim::FaultPlan& plan = schedule.plan;
+  plan.default_loss_rate = params.loss_rate;
+  plan.default_corruption_rate = params.corruption_rate;
+  plan.arq.enabled = params.arq_enabled;
+  plan.arq.max_retransmissions = params.arq_max_retransmissions;
+  plan.seed = rng.NextUint64();  // drop-decision stream, forked from ours
+
+  // Candidate victims: in-tree non-root nodes, and the tree edges the join
+  // traffic actually crosses.
+  std::vector<sim::NodeId> nodes;
+  std::vector<sim::NodeId> edge_children;  // edge = (child, parent(child))
+  for (sim::NodeId u = 0; u < tree.num_nodes(); ++u) {
+    if (!tree.InTree(u) || u == tree.root() || !sim.node(u).alive) continue;
+    nodes.push_back(u);
+    edge_children.push_back(u);
+  }
+
+  // One distinct draw covers pre-run and mid-run victims: the first
+  // `num_prerun_crashes` die just after "now" (ApplyChaos's drain makes the
+  // death effective before the first protocol phase), the rest fall inside
+  // the mid-run window.
+  schedule.prerun_horizon_s = params.prerun_horizon_s;
+  const std::vector<sim::NodeId> victims = SampleDistinct(
+      nodes, params.num_prerun_crashes + params.num_crashes, rng);
+  for (size_t i = 0; i < victims.size(); ++i) {
+    const sim::NodeId victim = victims[i];
+    const bool prerun = i < static_cast<size_t>(params.num_prerun_crashes);
+    sim::CrashEvent crash;
+    crash.node = victim;
+    crash.at = prerun ? now + 0.25 * params.prerun_horizon_s
+                      : now + rng.UniformDouble(0, params.window_s);
+    plan.crash_events.push_back(crash);
+    schedule.crashes.push_back(crash);
+    if (rng.NextBool(params.recover_fraction)) {
+      sim::CrashEvent reboot;
+      reboot.node = victim;
+      reboot.at = crash.at + params.recover_delay_s;
+      reboot.recover = true;
+      plan.crash_events.push_back(reboot);
+      schedule.crashes.push_back(reboot);
+    } else {
+      schedule.permanently_down.push_back(victim);
+    }
+  }
+
+  if (!edge_children.empty()) {
+    for (int i = 0; i < params.num_outages; ++i) {
+      const sim::NodeId child = edge_children[rng.UniformInt(
+          0, static_cast<int64_t>(edge_children.size()) - 1)];
+      sim::LinkOutageWindow window;
+      window.a = child;
+      window.b = tree.parent(child);
+      window.down_at = now + rng.UniformDouble(0, params.window_s);
+      window.up_at = window.down_at +
+                     rng.UniformDouble(params.outage_min_s, params.outage_max_s);
+      plan.link_outages.push_back(window);
+      schedule.outages.push_back(window);
+    }
+    for (int i = 0; i < params.num_loss_bursts; ++i) {
+      const sim::NodeId child = edge_children[rng.UniformInt(
+          0, static_cast<int64_t>(edge_children.size()) - 1)];
+      sim::LinkLossOverride burst;
+      burst.a = child;
+      burst.b = tree.parent(child);
+      burst.loss_rate = params.burst_loss_rate;
+      plan.link_overrides.push_back(burst);
+    }
+  }
+  std::sort(schedule.permanently_down.begin(),
+            schedule.permanently_down.end());
+  return schedule;
+}
+
+void ApplyChaos(Testbed& testbed, const ChaosSchedule& schedule) {
+  testbed.InjectFaults(schedule.plan);
+  if (schedule.prerun_horizon_s > 0) {
+    // Fire the pre-run crash events now: the protocol drivers drain the
+    // event queue only at phase boundaries, so without this drain a death
+    // scheduled "immediately" would still take effect one phase late.
+    sim::Simulator& sim = testbed.simulator();
+    sim.events().RunUntil(sim.now() + schedule.prerun_horizon_s);
+  }
+}
+
+join::JoinResult ComputeGroundTruth(Testbed& testbed,
+                                    const query::AnalyzedQuery& q,
+                                    uint64_t epoch) {
+  const join::ExecutorContext ctx(testbed.data(), q, epoch);
+  std::vector<data::Tuple> all;
+  for (sim::NodeId u = 0; u < ctx.num_nodes(); ++u) {
+    if (ctx.info(u).has_tuple) all.push_back(ctx.info(u).tuple);
+  }
+  return join::ComputeExactJoin(q, ctx.PerTableCandidates(all));
+}
+
+std::vector<std::string> CheckInvariants(const join::JoinResult& truth,
+                                         const join::ExecutionReport& report,
+                                         const obs::Tracer* tracer) {
+  std::vector<std::string> violations;
+  const join::CompletenessCertificate& cert = report.certificate;
+  const bool aggregate = truth.row_nodes.size() != truth.rows.size();
+
+  // 2. Certificate consistency: a node cannot both contribute a result row
+  //    and be certified missing.
+  for (sim::NodeId u : report.result.contributing_nodes) {
+    if (cert.IsExcluded(u)) {
+      violations.push_back(
+          Format("node %d contributes to the result but is certified "
+                 "excluded",
+                 u));
+    }
+  }
+
+  if (!aggregate) {
+    std::vector<std::vector<double>> actual = report.result.rows;
+    std::sort(actual.begin(), actual.end(), RowLess);
+
+    // 1. No fabrication: actual rows are a sub-multiset of the truth.
+    std::vector<std::vector<double>> truth_rows = truth.rows;
+    std::sort(truth_rows.begin(), truth_rows.end(), RowLess);
+    {
+      size_t ti = 0;
+      size_t missing = 0;
+      for (const auto& row : actual) {
+        while (ti < truth_rows.size() && RowLess(truth_rows[ti], row)) ++ti;
+        if (ti < truth_rows.size() && truth_rows[ti] == row) {
+          ++ti;
+        } else {
+          ++missing;
+        }
+      }
+      if (missing > 0) {
+        violations.push_back(Format(
+            "%zu result rows do not appear in the ground truth", missing));
+      }
+    }
+
+    // 3. Certificate exactness: without corrupt deliveries, the result is
+    //    exactly the truth minus rows touching an excluded node.
+    if (report.success && report.corrupted_deliveries == 0 &&
+        report.cost.undetected_corrupted_packets == 0) {
+      std::vector<std::vector<double>> expected;
+      expected.reserve(truth.rows.size());
+      for (size_t i = 0; i < truth.rows.size(); ++i) {
+        bool keep = true;
+        for (sim::NodeId u : truth.row_nodes[i]) {
+          if (cert.IsExcluded(u)) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) expected.push_back(truth.rows[i]);
+      }
+      std::sort(expected.begin(), expected.end(), RowLess);
+      if (actual != expected) {
+        violations.push_back(
+            Format("certificate is not exact: result has %zu rows, truth "
+                   "minus %zu excluded nodes has %zu",
+                   actual.size(), cert.excluded_nodes.size(),
+                   expected.size()));
+      }
+    }
+  }
+
+  // Internal certificate arithmetic.
+  if (cert.reporting_nodes + static_cast<int>(cert.excluded_nodes.size()) !=
+      cert.total_nodes) {
+    violations.push_back(
+        Format("certificate arithmetic broken: %d reporting + %zu excluded "
+               "!= %d total",
+               cert.reporting_nodes, cert.excluded_nodes.size(),
+               cert.total_nodes));
+  }
+  if (cert.degraded != !cert.excluded_nodes.empty()) {
+    violations.push_back("certificate degraded flag inconsistent with its "
+                         "excluded set");
+  }
+
+  // 4. Trace cross-check: totals recomputed from the trace must match the
+  //    cumulative CostReport (the tracer covers exactly the Execute window,
+  //    so total_cost -- not the last-attempt cost -- is the exact target
+  //    even when re-executions and tree rebuilds happened in between).
+  if (tracer != nullptr && obs::kTracingCompiledIn) {
+    const join::CostReport& total = report.total_cost;
+    const obs::TraceSummary summary = obs::Summarize(*tracer);
+    uint64_t repair_fragments = 0;
+    uint64_t bytes = 0;
+    double energy = 0.0;
+    for (const obs::PhaseSummary& phase : summary.phases) {
+      repair_fragments += phase.tx_fragments_by_kind[static_cast<size_t>(
+          sim::MessageKind::kRepair)];
+      bytes += phase.tx_frame_bytes;
+      energy += phase.energy_mj;
+    }
+    if (repair_fragments != total.repair_packets) {
+      violations.push_back(
+          Format("trace shows %llu repair fragments, cost report %llu",
+                 static_cast<unsigned long long>(repair_fragments),
+                 static_cast<unsigned long long>(total.repair_packets)));
+    }
+    if (bytes != total.join_bytes) {
+      violations.push_back(
+          Format("trace shows %llu tx bytes, cost report %llu",
+                 static_cast<unsigned long long>(bytes),
+                 static_cast<unsigned long long>(total.join_bytes)));
+    }
+    const double tolerance = 1e-6 * std::max(1.0, total.energy_mj);
+    if (std::abs(energy - total.energy_mj) > tolerance) {
+      violations.push_back(Format("trace energy %.9f mJ != cost report %.9f",
+                                  energy, total.energy_mj));
+    }
+  }
+  return violations;
+}
+
+}  // namespace sensjoin::testbed

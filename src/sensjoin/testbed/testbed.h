@@ -40,6 +40,7 @@ class Testbed {
   static StatusOr<std::unique_ptr<Testbed>> Create(const TestbedParams& params);
 
   sim::Simulator& simulator() { return *sim_; }
+  const sim::Simulator& simulator() const { return *sim_; }
   data::NetworkData& data() { return *data_; }
   const net::RoutingTree& tree() const { return tree_; }
   const net::Placement& placement() const { return placement_; }

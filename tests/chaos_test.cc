@@ -1,0 +1,306 @@
+// Chaos soak for the self-healing execution path: many seeded fault
+// schedules (crashes, transient link outages, loss bursts) run against the
+// soundness invariants of testbed/chaos.h, plus determinism regressions —
+// the same chaos sweep must be byte-identical across thread counts and
+// across repeated runs, and a fault-free run with every self-healing
+// feature enabled must be bit-identical to one with the default config.
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/join/protocol.h"
+#include "sensjoin/obs/trace.h"
+#include "sensjoin/sensjoin.h"
+#include "sensjoin/testbed/chaos.h"
+#include "sensjoin/testbed/parallel.h"
+
+namespace sensjoin::testbed {
+namespace {
+
+constexpr const char* kQuery =
+    "SELECT A.hum, B.hum FROM sensors A, sensors B "
+    "WHERE |A.temp - B.temp| < 0.5 "
+    "AND distance(A.x, A.y, B.x, B.y) > 100 ONCE";
+
+TestbedParams SmallDeployment(uint64_t seed) {
+  TestbedParams params;
+  params.placement.num_nodes = 60;
+  params.placement.area_width_m = 260;
+  params.placement.area_height_m = 260;
+  params.seed = seed;
+  return params;
+}
+
+join::ProtocolConfig SelfHealingConfig() {
+  join::ProtocolConfig config;
+  config.enable_phase_recovery = true;
+  config.enable_tree_repair = true;
+  config.enable_graceful_degradation = true;
+  config.enable_phase_watchdog = true;
+  return config;
+}
+
+uint64_t BitsOf(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// FNV-1a over every field of every trace event: any reordering, drop or
+/// numeric drift between two runs changes the digest.
+uint64_t TraceDigest(const obs::Tracer& tracer) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  tracer.buffer().ForEach([&](const obs::TraceEvent& e) {
+    mix(BitsOf(e.time));
+    mix(static_cast<uint64_t>(e.node));
+    mix(static_cast<uint64_t>(e.peer));
+    mix(e.count);
+    mix(e.detail);
+    mix(e.bytes);
+    mix(BitsOf(e.energy_mj));
+    mix(static_cast<uint64_t>(e.kind));
+    mix(static_cast<uint64_t>(e.msg_kind));
+    mix(static_cast<uint64_t>(e.phase));
+  });
+  return h;
+}
+
+/// Every number a replay must reproduce, in one string: result, costs
+/// (doubles as bit patterns — bit-identical, not just close), self-healing
+/// counters, the full certificate and the trace digest.
+std::string Fingerprint(const join::ExecutionReport& r,
+                        const obs::Tracer* tracer) {
+  std::ostringstream out;
+  out << "rows=" << r.result.rows.size()
+      << " matched=" << r.result.matched_combinations << " contributing=";
+  for (sim::NodeId u : r.result.contributing_nodes) out << u << ",";
+  out << " pkts=" << r.cost.join_packets << " bytes=" << r.cost.join_bytes
+      << " energy=" << std::hex << BitsOf(r.cost.energy_mj) << std::dec
+      << " retx=" << r.cost.retransmitted_packets
+      << " acks=" << r.cost.ack_packets
+      << " repair_pkts=" << r.cost.repair_packets
+      << " repair_bytes=" << r.cost.repair_bytes_sent
+      << " repair_energy=" << std::hex << BitsOf(r.cost.repair_energy_mj)
+      << std::dec << " success=" << r.success << " attempts=" << r.attempts
+      << " recovery=" << r.recovery_requests
+      << " repairs=" << r.repairs_attempted << "/" << r.repairs_succeeded
+      << " watchdog=" << r.watchdog_expirations
+      << " corrupt=" << r.corrupted_deliveries
+      << " degraded=" << r.certificate.degraded
+      << " coverage=" << r.certificate.reporting_nodes << "/"
+      << r.certificate.total_nodes << " excluded=";
+  for (sim::NodeId u : r.certificate.excluded_nodes) out << u << ",";
+  out << " roots=";
+  for (sim::NodeId u : r.certificate.excluded_subtree_roots) out << u << ",";
+  out << " repaired=";
+  for (sim::NodeId u : r.certificate.repaired_roots) out << u << ",";
+  if (tracer != nullptr) {
+    out << " trace=" << std::hex << TraceDigest(*tracer) << std::dec;
+  }
+  return out.str();
+}
+
+struct TrialOutcome {
+  std::string fingerprint;
+  std::vector<std::string> violations;
+  size_t repairs_attempted = 0;
+  size_t repairs_succeeded = 0;
+  size_t watchdog_expirations = 0;
+  bool degraded = false;
+  bool success = false;
+  double coverage = 0.0;
+};
+
+/// One chaos trial: an independent small deployment, a schedule drawn from
+/// the trial seed, one self-healing execution checked against the ground
+/// truth. `external` runs the external-join executor instead of SENS-Join.
+StatusOr<TrialOutcome> RunChaosTrial(uint64_t seed, bool external) {
+  auto tb = Testbed::Create(SmallDeployment(seed));
+  SENSJOIN_RETURN_IF_ERROR(tb.status());
+  auto q = (*tb)->ParseQuery(kQuery);
+  SENSJOIN_RETURN_IF_ERROR(q.status());
+  (*tb)->DisseminateQuery(*q);
+
+  ChaosParams params;
+  params.seed = seed;
+  const ChaosSchedule schedule = MakeChaosSchedule(**tb, params);
+  ApplyChaos(**tb, schedule);
+
+  obs::Tracer tracer;
+  (*tb)->AttachTracer(&tracer);
+  StatusOr<join::ExecutionReport> report =
+      external ? (*tb)->MakeExternalJoin(SelfHealingConfig()).Execute(*q, 0)
+               : (*tb)->MakeSensJoin(SelfHealingConfig()).Execute(*q, 0);
+  (*tb)->AttachTracer(nullptr);
+  SENSJOIN_RETURN_IF_ERROR(report.status());
+
+  const join::JoinResult truth = ComputeGroundTruth(**tb, *q, 0);
+  TrialOutcome outcome;
+  outcome.violations = CheckInvariants(truth, *report, &tracer);
+  outcome.fingerprint = Fingerprint(*report, &tracer);
+  outcome.repairs_attempted = report->repairs_attempted;
+  outcome.repairs_succeeded = report->repairs_succeeded;
+  outcome.watchdog_expirations = report->watchdog_expirations;
+  outcome.degraded = report->certificate.degraded;
+  outcome.success = report->success;
+  outcome.coverage = report->certificate.coverage();
+  return outcome;
+}
+
+void SoakExecutor(bool external, int num_trials, uint64_t sweep_seed) {
+  ParallelRunner runner(0);  // flag/env/hardware
+  auto outcomes =
+      runner.Run(num_trials, sweep_seed, [&](const TrialContext& ctx) {
+        auto o = RunChaosTrial(ctx.seed, external);
+        EXPECT_TRUE(o.ok()) << "trial " << ctx.trial << ": " << o.status();
+        return o.ok() ? *o : TrialOutcome{};
+      });
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status();
+
+  size_t repairs = 0;
+  size_t succeeded = 0;
+  size_t degraded = 0;
+  for (int i = 0; i < num_trials; ++i) {
+    const TrialOutcome& o = (*outcomes)[static_cast<size_t>(i)];
+    // With graceful degradation enabled an execution must always complete;
+    // partial coverage is certified, never an abort.
+    EXPECT_TRUE(o.success) << "trial " << i << " did not complete";
+    for (const std::string& v : o.violations) {
+      ADD_FAILURE() << "trial " << i << ": " << v;
+    }
+    repairs += o.repairs_attempted;
+    succeeded += o.repairs_succeeded;
+    degraded += o.degraded ? 1u : 0u;
+  }
+  // Non-vacuity: across the sweep the chaos must actually have exercised
+  // the repair path and the degradation path (deterministic: fixed seeds).
+  EXPECT_GT(repairs, 0u);
+  EXPECT_GT(succeeded, 0u);
+  EXPECT_GT(degraded, 0u);
+}
+
+TEST(ChaosSoakTest, FiftySchedulesSensJoinHoldInvariants) {
+  SoakExecutor(/*external=*/false, /*num_trials=*/50, /*sweep_seed=*/1009);
+}
+
+TEST(ChaosSoakTest, ExternalJoinHoldsInvariants) {
+  SoakExecutor(/*external=*/true, /*num_trials=*/12, /*sweep_seed=*/2027);
+}
+
+/// Renders a chaos sweep the way a bench would: one fingerprint line per
+/// trial, collected in trial order.
+std::string RenderChaosSweep(int threads, uint64_t sweep_seed) {
+  constexpr int kTrials = 6;
+  ParallelRunner runner(threads);
+  auto lines = runner.Run(kTrials, sweep_seed, [&](const TrialContext& ctx) {
+    auto o = RunChaosTrial(ctx.seed, /*external=*/false);
+    EXPECT_TRUE(o.ok()) << o.status();
+    return o.ok() ? o->fingerprint : std::string();
+  });
+  EXPECT_TRUE(lines.ok()) << lines.status();
+  if (!lines.ok()) return "";
+  std::ostringstream out;
+  for (const std::string& line : *lines) out << line << "\n";
+  return out.str();
+}
+
+TEST(ChaosDeterminismTest, OneThreadAndFourThreadsAreByteIdentical) {
+  const std::string seq = RenderChaosSweep(/*threads=*/1, /*sweep_seed=*/42);
+  const std::string par = RenderChaosSweep(/*threads=*/4, /*sweep_seed=*/42);
+  ASSERT_FALSE(seq.empty());
+  EXPECT_EQ(seq, par);
+}
+
+TEST(ChaosDeterminismTest, SameSeedReplaysAreByteIdentical) {
+  const std::string a = RenderChaosSweep(/*threads=*/4, /*sweep_seed=*/7);
+  const std::string b = RenderChaosSweep(/*threads=*/4, /*sweep_seed=*/7);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ChaosDeterminismTest, DifferentSweepSeedsDiffer) {
+  EXPECT_NE(RenderChaosSweep(2, 42), RenderChaosSweep(2, 43));
+}
+
+/// The bit-identity contract behind "all off by default": on a fault-free
+/// deployment, enabling every self-healing feature must not change a
+/// single packet, byte, energy debit or trace event.
+TEST(ChaosDeterminismTest, SelfHealingIsInertWithoutFaults) {
+  auto run = [](const join::ProtocolConfig& config) -> std::string {
+    auto tb = Testbed::Create(SmallDeployment(321));
+    if (!tb.ok()) return "create-failed";
+    auto q = (*tb)->ParseQuery(kQuery);
+    if (!q.ok()) return "parse-failed";
+    (*tb)->DisseminateQuery(*q);
+    obs::Tracer tracer;
+    (*tb)->AttachTracer(&tracer);
+    auto report = (*tb)->MakeSensJoin(config).Execute(*q, 0);
+    (*tb)->AttachTracer(nullptr);
+    if (!report.ok()) return "execute-failed";
+    return Fingerprint(*report, &tracer);
+  };
+  const std::string baseline = run(join::ProtocolConfig{});
+  const std::string healing = run(SelfHealingConfig());
+  ASSERT_NE(baseline, "create-failed");
+  ASSERT_NE(baseline, "execute-failed");
+  EXPECT_EQ(baseline, healing);
+}
+
+/// An expired watchdog must short-circuit repair: with an already-elapsed
+/// budget, a crashed subtree is certified as excluded without a single
+/// repair attempt, and the execution still completes.
+TEST(ChaosWatchdogTest, ExpiredWatchdogDegradesWithoutRepair) {
+  auto tb = Testbed::Create(SmallDeployment(9));
+  ASSERT_TRUE(tb.ok()) << tb.status();
+  auto q = (*tb)->ParseQuery(kQuery);
+  ASSERT_TRUE(q.ok()) << q.status();
+  (*tb)->DisseminateQuery(*q);
+
+  // Crash the in-tree node with the largest subtree shortly after the
+  // execution starts: its branch is the most likely to still be mid-flight.
+  const net::RoutingTree& tree = (*tb)->tree();
+  sim::NodeId victim = sim::kInvalidNode;
+  int best = 0;
+  for (sim::NodeId u = 0; u < tree.num_nodes(); ++u) {
+    if (!tree.InTree(u) || u == tree.root()) continue;
+    if (tree.subtree_size(u) > best) {
+      best = tree.subtree_size(u);
+      victim = u;
+    }
+  }
+  ASSERT_NE(victim, sim::kInvalidNode);
+
+  sim::FaultPlan plan;
+  sim::CrashEvent crash;
+  crash.node = victim;
+  crash.at = (*tb)->simulator().now() + 1e-4;
+  plan.crash_events.push_back(crash);
+  (*tb)->InjectFaults(plan);
+
+  join::ProtocolConfig config = SelfHealingConfig();
+  config.watchdog_base_s = -1.0;  // deadline already in the past
+  config.watchdog_per_hop_factor = 0.0;
+  auto report = (*tb)->MakeSensJoin(config).Execute(*q, 0);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_TRUE(report->success);
+  EXPECT_GT(report->watchdog_expirations, 0u);
+  EXPECT_EQ(report->repairs_attempted, 0u);
+  EXPECT_TRUE(report->certificate.degraded);
+  EXPECT_TRUE(report->certificate.IsExcluded(victim));
+}
+
+}  // namespace
+}  // namespace sensjoin::testbed
