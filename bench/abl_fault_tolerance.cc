@@ -5,7 +5,11 @@
 // model) and phase-level recovery (re-requesting only the missing subtree
 // contribution). Sweeps ambient loss rate x permanent node crashes and
 // reports cost, itemized ARQ overhead and result completeness against the
-// fault-free ground truth, for SENS-Join and the external join.
+// fault-free ground truth, for SENS-Join and the external join. A fourth
+// sweep certifies the exactly-once delivery semantics: duplication x
+// reorder jitter plus a cross-attempt replay cell, where completeness must
+// hold at 100% while the sequence guard absorbs the duplicate, reordered
+// and stale traffic (itemized per cell).
 //
 // Every sweep cell builds its own faulty testbeds (fault RNG seeded from
 // the cell parameters), so the cells run as ParallelRunner trials; rows
@@ -213,6 +217,81 @@ void WriteRepairJson(const std::string& path, uint64_t seed, int num_nodes,
   std::cout << "\nwrote repair sweep baseline to " << path << "\n";
 }
 
+/// One cell of the delivery-semantics sweep (duplication x jitter, plus a
+/// replay cell that severs a relay uplink so attempt 1 aborts with
+/// fragments in flight). Kept numeric for the table and JSON baseline.
+struct DeliveryCell {
+  double dup = 0.0;
+  double jitter_s = 0.0;
+  bool cut_uplink = false;
+  bool sens_ok = false;
+  uint64_t sens_packets = 0;
+  uint64_t duplicate_packets = 0;
+  uint64_t replayed_packets = 0;
+  size_t duplicate_deliveries = 0;
+  size_t stale_drops = 0;
+  size_t reordered = 0;
+  int attempts = 0;
+  double sens_completeness = 0.0;
+  double ext_completeness = 0.0;
+};
+
+void WriteDeliveryJson(const std::string& path, uint64_t seed, int num_nodes,
+                       const std::vector<DeliveryCell>& cells) {
+  double min_completeness = 1.0;
+  bool replay_exercised = false;
+  bool duplication_exercised = false;
+  for (const DeliveryCell& c : cells) {
+    min_completeness = std::min(
+        min_completeness, std::min(c.sens_completeness, c.ext_completeness));
+    replay_exercised = replay_exercised || c.replayed_packets > 0;
+    duplication_exercised =
+        duplication_exercised || c.duplicate_deliveries > 0;
+  }
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"sensjoin-delivery-v1\",\n"
+      << "  \"seed\": " << seed << ",\n  \"num_nodes\": " << num_nodes
+      << ",\n  \"min_completeness\": " << min_completeness
+      << ",\n  \"duplication_exercised\": "
+      << (duplication_exercised ? "true" : "false")
+      << ",\n  \"replay_exercised\": " << (replay_exercised ? "true" : "false")
+      << ",\n  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const DeliveryCell& c = cells[i];
+    out << "    {\"duplication\": " << c.dup << ", \"jitter_s\": " << c.jitter_s
+        << ", \"cut_uplink\": " << (c.cut_uplink ? "true" : "false")
+        << ", \"sens_ok\": " << (c.sens_ok ? "true" : "false")
+        << ", \"sens_packets\": " << c.sens_packets
+        << ", \"duplicate_packets\": " << c.duplicate_packets
+        << ", \"replayed_packets\": " << c.replayed_packets
+        << ", \"duplicate_deliveries\": " << c.duplicate_deliveries
+        << ", \"stale_drops\": " << c.stale_drops
+        << ", \"reordered\": " << c.reordered
+        << ", \"attempts\": " << c.attempts
+        << ", \"sens_completeness\": " << c.sens_completeness
+        << ", \"ext_completeness\": " << c.ext_completeness << "}"
+        << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote delivery sweep baseline to " << path << "\n";
+}
+
+/// A mid-tree relay whose uplink, when severed, aborts the first attempt
+/// with earlier deliveries of that attempt still in flight — the
+/// cross-attempt replay case. At least two alternate physical neighbors
+/// guarantee the rebuilt tree reattaches the subtree, so the retried run
+/// stays complete.
+sim::NodeId PickReplayVictim(const testbed::Testbed& tb) {
+  const net::RoutingTree& tree = tb.tree();
+  for (sim::NodeId u : tree.collection_order()) {
+    if (tree.hop_count(u) >= 2 && tree.subtree_size(u) >= 3 &&
+        tb.simulator().radio().Neighbors(u).size() >= 3) {
+      return u;
+    }
+  }
+  return sim::kInvalidNode;
+}
+
 struct RunOutcome {
   bool ok = false;
   join::ExecutionReport report;
@@ -230,7 +309,7 @@ RunOutcome Run(Executor executor, const query::AnalyzedQuery& q) {
 }
 
 void Main(uint64_t seed, int num_nodes, int threads,
-          const std::string& repair_json) {
+          const std::string& repair_json, const std::string& delivery_json) {
   const testbed::ParallelRunner runner(threads);
   std::cout << "Ablation -- fault tolerance: loss rate x node crashes, seed "
             << seed << ", " << num_nodes << " nodes\n"
@@ -442,6 +521,104 @@ void Main(uint64_t seed, int num_nodes, int threads,
     WriteRepairJson(repair_json, seed, num_nodes, *rcells);
   }
 
+  // Fourth sweep: delivery semantics under duplication x reorder jitter,
+  // plus a cross-attempt replay cell (a severed relay uplink aborts the
+  // first attempt with fragments in flight; the replay buffer re-delivers
+  // them into attempt 2, where the sequence guard drops them as stale).
+  // None of these faults lose data, so completeness must stay at 100% —
+  // the exactly-once contract this sweep certifies, and the floor the CI
+  // smoke job enforces on the JSON baseline.
+  std::cout << "\nDelivery semantics: duplication x jitter, cross-attempt "
+               "replay (ARQ on, replay buffer on):\n";
+  struct DeliveryPoint {
+    double dup;
+    double jitter_s;
+    bool cut;
+  };
+  const std::vector<DeliveryPoint> kDelivery = {
+      {0.00, 0.000, false}, {0.05, 0.000, false}, {0.15, 0.000, false},
+      {0.05, 0.005, false}, {0.15, 0.010, false}, {0.05, 0.005, true},
+  };
+  auto dcells = runner.Run(
+      static_cast<int>(kDelivery.size()), seed,
+      [&](const testbed::TrialContext& ctx) {
+        const DeliveryPoint& p = kDelivery[ctx.trial];
+        DeliveryCell cell;
+        cell.dup = p.dup;
+        cell.jitter_s = p.jitter_s;
+        cell.cut_uplink = p.cut;
+        auto delivery_plan = [&](uint64_t salt) {
+          sim::FaultPlan plan;
+          plan.default_duplication_rate = p.dup;
+          plan.delay.max_jitter_s = p.jitter_s;
+          plan.enable_replay = true;
+          plan.arq.enabled = true;
+          plan.seed = seed * 1000 + salt;
+          return plan;
+        };
+        auto sens_tb = MustCreateTestbed(PaperDefaultParams(seed, num_nodes));
+        sens_tb->InjectFaults(
+            delivery_plan(100 + static_cast<uint64_t>(ctx.trial)));
+        if (p.cut) {
+          const sim::NodeId victim = PickReplayVictim(*sens_tb);
+          SENSJOIN_CHECK(victim != sim::kInvalidNode);
+          sens_tb->simulator().radio().FailLink(
+              victim, sens_tb->tree().parent(victim));
+        }
+        auto sq = sens_tb->ParseQuery(kQuery);
+        SENSJOIN_CHECK(sq.ok());
+        const RunOutcome sens =
+            Run(sens_tb->MakeSensJoin(FaultyConfig()), *sq);
+        cell.sens_ok = sens.ok;
+        if (sens.ok) {
+          cell.sens_packets = sens.report.total_cost.join_packets;
+          cell.duplicate_packets = sens.report.total_cost.duplicate_packets;
+          cell.replayed_packets = sens.report.total_cost.replayed_packets;
+          cell.duplicate_deliveries = sens.report.duplicate_deliveries;
+          cell.stale_drops = sens.report.stale_messages_dropped;
+          cell.reordered = sens.report.reordered_messages;
+          cell.attempts = sens.report.attempts;
+          cell.sens_completeness = testbed::ResultCompleteness(
+              truth->result, sens.report.result);
+        }
+
+        auto ext_tb = MustCreateTestbed(PaperDefaultParams(seed, num_nodes));
+        ext_tb->InjectFaults(
+            delivery_plan(200 + static_cast<uint64_t>(ctx.trial)));
+        auto eq = ext_tb->ParseQuery(kQuery);
+        SENSJOIN_CHECK(eq.ok());
+        const RunOutcome ext =
+            Run(ext_tb->MakeExternalJoin(FaultyConfig()), *eq);
+        if (ext.ok) {
+          cell.ext_completeness =
+              testbed::ResultCompleteness(truth->result, ext.report.result);
+        }
+        return cell;
+      });
+  SENSJOIN_CHECK(dcells.ok()) << dcells.status();
+
+  TablePrinter dtable({"dup", "jitter ms", "cut", "sens pkts", "dup pkts",
+                       "replayed", "dup deliv", "stale", "reord", "att",
+                       "compl", "ext compl"});
+  for (const DeliveryCell& c : *dcells) {
+    dtable.AddRow(
+        {Percent(c.dup, 1.0), Fmt(c.jitter_s * 1000.0),
+         c.cut_uplink ? "yes" : "no",
+         c.sens_ok ? Fmt(c.sens_packets) : "fail",
+         c.sens_ok ? Fmt(c.duplicate_packets) : "-",
+         c.sens_ok ? Fmt(c.replayed_packets) : "-",
+         c.sens_ok ? Fmt(static_cast<uint64_t>(c.duplicate_deliveries)) : "-",
+         c.sens_ok ? Fmt(static_cast<uint64_t>(c.stale_drops)) : "-",
+         c.sens_ok ? Fmt(static_cast<uint64_t>(c.reordered)) : "-",
+         c.sens_ok ? Fmt(static_cast<uint64_t>(c.attempts)) : "-",
+         c.sens_ok ? Percent(c.sens_completeness, 1.0) : "0%",
+         Percent(c.ext_completeness, 1.0)});
+  }
+  dtable.Print(std::cout);
+  if (!delivery_json.empty()) {
+    WriteDeliveryJson(delivery_json, seed, num_nodes, *dcells);
+  }
+
   std::cout << "\nSample fault summary (10% loss, 1 crash, SENS-Join):\n";
   auto tb = MustCreateTestbed(PaperDefaultParams(seed, num_nodes));
   tb->InjectFaults(MakePlan(*tb, contributors, 0.10, 1, seed));
@@ -484,15 +661,16 @@ void Main(uint64_t seed, int num_nodes, int threads,
 namespace sensjoin::bench {
 namespace {
 
-/// Strips a `--repair-json=FILE` argument (the repair-sweep JSON baseline
-/// destination) so positional seed/node-count parsing is unaffected.
-std::string ParseRepairJsonFlag(int* argc, char** argv) {
+/// Strips a `--<name>=FILE` argument (a sweep's JSON baseline destination)
+/// so positional seed/node-count parsing is unaffected.
+std::string ParseJsonFlag(const std::string& flag, int* argc, char** argv) {
+  const std::string prefix = "--" + flag + "=";
   std::string path;
   int w = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--repair-json=", 0) == 0) {
-      path = arg.substr(std::string("--repair-json=").size());
+    if (arg.rfind(prefix, 0) == 0) {
+      path = arg.substr(prefix.size());
       continue;
     }
     argv[w++] = argv[i];
@@ -509,11 +687,14 @@ int main(int argc, char** argv) {
   const sensjoin::bench::TraceFlag trace =
       sensjoin::bench::ParseTraceFlag(&argc, argv);
   const std::string repair_json =
-      sensjoin::bench::ParseRepairJsonFlag(&argc, argv);
+      sensjoin::bench::ParseJsonFlag("repair-json", &argc, argv);
+  const std::string delivery_json =
+      sensjoin::bench::ParseJsonFlag("delivery-json", &argc, argv);
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
   const int num_nodes = argc > 2 ? std::atoi(argv[2]) : 250;
   if (!trace.only) {
-    sensjoin::bench::Main(seed, num_nodes, threads, repair_json);
+    sensjoin::bench::Main(seed, num_nodes, threads, repair_json,
+                          delivery_json);
   }
   if (trace.enabled()) {
     sensjoin::bench::RunTracedExecution(trace, seed, num_nodes);

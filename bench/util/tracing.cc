@@ -64,6 +64,10 @@ std::string CostReportJson(const join::CostReport& r) {
   u64("crc_bytes_sent", r.crc_bytes_sent);
   dbl("integrity_retransmit_energy_mj", r.integrity_retransmit_energy_mj);
   dbl("crc_energy_mj", r.crc_energy_mj);
+  u64("duplicate_packets", r.duplicate_packets);
+  u64("replayed_packets", r.replayed_packets);
+  dbl("duplicate_energy_mj", r.duplicate_energy_mj);
+  dbl("replay_energy_mj", r.replay_energy_mj);
   out += "\"per_node_packets\":[";
   for (size_t i = 0; i < r.per_node_packets.size(); ++i) {
     if (i) out += ",";

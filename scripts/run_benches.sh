@@ -25,26 +25,30 @@ run micro_pointset "${OUT_DIR}/BENCH_pointset.json"
 # The simulator/parallel-engine and tracer-overhead microbenches are
 # distilled into the "micro" section of BENCH_runtime.json
 # (run_all_benches.sh fills the "benches" wall-clock section of the same
-# file), and the fault-tolerance ablation's repair-vs-re-execution sweep
-# into its "repair" section.
+# file), the fault-tolerance ablation's repair-vs-re-execution sweep into
+# its "repair" section, and the delivery-semantics sweep (duplication x
+# jitter x cross-attempt replay) into its "delivery" section.
 RAW_JSON="$(mktemp)"
 RAW_TRACE_JSON="$(mktemp)"
 RAW_REPAIR_JSON="$(mktemp)"
-trap 'rm -f "${RAW_JSON}" "${RAW_TRACE_JSON}" "${RAW_REPAIR_JSON}"' EXIT
+RAW_DELIVERY_JSON="$(mktemp)"
+trap 'rm -f "${RAW_JSON}" "${RAW_TRACE_JSON}" "${RAW_REPAIR_JSON}" \
+  "${RAW_DELIVERY_JSON}"' EXIT
 
-echo "===== abl_fault_tolerance (repair sweep) -> ${RAW_REPAIR_JSON} ====="
+echo "===== abl_fault_tolerance (repair + delivery sweeps) ====="
 "${BUILD_DIR}/bench/abl_fault_tolerance" \
-  --repair-json="${RAW_REPAIR_JSON}" 42 250 > /dev/null
+  --repair-json="${RAW_REPAIR_JSON}" \
+  --delivery-json="${RAW_DELIVERY_JSON}" 42 250 > /dev/null
 run micro_simulator "${RAW_JSON}"
 run micro_trace "${RAW_TRACE_JSON}"
 python3 - "${RAW_JSON}" "${RAW_TRACE_JSON}" "${RAW_REPAIR_JSON}" \
-  "${OUT_DIR}/BENCH_runtime.json" <<'PY'
+  "${RAW_DELIVERY_JSON}" "${OUT_DIR}/BENCH_runtime.json" <<'PY'
 import json
 import os
 import sys
 
-raw_path, trace_path, repair_path, out_path = (
-    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4])
+raw_path, trace_path, repair_path, delivery_path, out_path = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5])
 rates = {}
 for path in (raw_path, trace_path):
     with open(path) as f:
@@ -86,8 +90,11 @@ doc["micro"] = {
 with open(repair_path) as f:
     doc["repair"] = json.load(f)
 
+with open(delivery_path) as f:
+    doc["delivery"] = json.load(f)
+
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"wrote micro and repair sections of {out_path}")
+print(f"wrote micro, repair and delivery sections of {out_path}")
 PY

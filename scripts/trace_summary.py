@@ -59,6 +59,9 @@ EVENT_NAMES = [
     "reattach",
     "deadline_expired",
     "degraded_result",
+    "duplicate_rx",
+    "stale_drop",
+    "replay_rx",
 ]
 
 # Message kinds whose transmissions CostReport counts as join processing.
@@ -180,6 +183,7 @@ def summarize(events: list) -> dict:
         p = phases.setdefault(phase, {
             "tx_frags": 0, "tx_bytes": 0, "tx_by_kind": {},
             "rx_frags": 0, "retransmissions": 0, "acks": 0,
+            "duplicates": 0, "replays": 0, "stale_drops": 0,
             "energy_mj": 0.0, "events": 0,
         })
         p["events"] += 1
@@ -202,6 +206,12 @@ def summarize(events: list) -> dict:
             p["retransmissions"] += args["count"]
         elif name == "ack_tx":
             p["acks"] += args["count"]
+        elif name == "duplicate_rx":
+            p["duplicates"] += args["count"]
+        elif name == "replay_rx":
+            p["replays"] += args["count"]
+        elif name == "stale_drop":
+            p["stale_drops"] += args["count"]
     return {"phases": phases, "per_node": per_node}
 
 
@@ -281,6 +291,10 @@ def cross_check(summary: dict, cross: dict) -> int:
         # simulator and never enter total_bytes_sent).
         expect("join_bytes", sum(p["tx_bytes"] for p in in_group),
                report["join_bytes"])
+        expect("duplicate_packets", sum(p["duplicates"] for p in in_group),
+               report.get("duplicate_packets", 0))
+        expect("replayed_packets", sum(p["replays"] for p in in_group),
+               report.get("replayed_packets", 0))
         expect("energy_mj", sum(p["energy_mj"] for p in in_group),
                report["energy_mj"], exact=False)
 

@@ -87,6 +87,23 @@ struct ExecutionReport {
   /// wrong-but-safe structure.
   size_t corrupted_deliveries = 0;
 
+  // Delivery-validation outcomes (exactly-once layer; cumulative over every
+  // attempt of this Execute call). All zero on fault-free runs.
+
+  /// Deliveries of an already-processed (attempt, link, seq) tag the
+  /// idempotent receive path dropped: simulator-duplicated messages and
+  /// same-tag recovery resends of a message that did arrive.
+  size_t duplicate_deliveries = 0;
+
+  /// Deliveries carrying a stale attempt id (cross-attempt replays and
+  /// other stragglers of aborted attempts) rejected by the validator.
+  size_t stale_messages_dropped = 0;
+
+  /// In-order-eligible deliveries that arrived ahead of an earlier
+  /// outstanding sequence number on their link (delay jitter); buffered and
+  /// logically applied in order rather than dropped.
+  size_t reordered_messages = 0;
+
   // Pre-computation statistics (zero for the external join).
   size_t collected_points = 0;  ///< distinct quantized join-attribute tuples
   size_t filter_points = 0;     ///< points surviving the filter join

@@ -25,7 +25,36 @@ StatusOr<ExecutionReport> ExternalJoinExecutor::Execute(
   size_t repairs_succeeded_total = 0;
   size_t watchdog_expirations_total = 0;
   const StatsSnapshot execute_snapshot(sim_);
+
+  // Exactly-once validation, mirroring the SENS-Join executor: unicasts are
+  // stamped, queue-level deliveries classified; verdicts drive counters and
+  // trace events only (state is applied inline at send time), keeping
+  // fault-free runs bit-identical to the seed.
+  DeliveryGuard guard(
+      config_.dedup_window,
+      config_.charge_tag_wire_bytes ? config_.tag_wire_bytes : 0);
+  auto previous_handler = sim_.SetReceiveHandler(
+      [this, &guard](sim::NodeId receiver, const sim::Message& msg) {
+        const DeliveryVerdict verdict = guard.Classify(receiver, msg);
+        if (verdict == DeliveryVerdict::kStale && obs::kTracingCompiledIn &&
+            sim_.tracer() != nullptr && sim_.tracer()->enabled()) {
+          sim_.tracer()->Record(obs::EventKind::kStaleDrop, sim_.now(),
+                                receiver, msg.src, msg.kind, /*count=*/1,
+                                /*bytes=*/0, /*energy_mj=*/0.0,
+                                /*detail=*/msg.tag.attempt_id);
+        }
+      });
+  struct HandlerRestore {
+    sim::Simulator& sim;
+    sim::Simulator::ReceiveHandler previous;
+    ~HandlerRestore() { sim.SetReceiveHandler(std::move(previous)); }
+  } handler_restore{sim_, std::move(previous_handler)};
+
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    guard.BeginAttempt(static_cast<uint32_t>(attempt));
+    // In-flight messages captured from an aborted attempt are re-delivered
+    // now; the guard classifies them as stale (their attempt id is old).
+    sim_.ReleaseReplays();
     ExecutionReport report;
     report.attempts = attempt + 1;
     const StatsSnapshot snapshot(sim_);
@@ -34,7 +63,10 @@ StatusOr<ExecutionReport> ExternalJoinExecutor::Execute(
     {
       obs::ScopedPhase span(sim_.tracer(), sim_.events(),
                             obs::Phase::kExternalCollection);
-      ok = ExecuteAttempt(q, epoch, &report);
+      ok = ExecuteAttempt(q, epoch, &guard, &report);
+      // Capture still-flying deliveries of an aborted attempt for replay
+      // before the drain delivers them normally.
+      if (!ok) sim_.NotifyAttemptAbort();
       // Drain in-flight events inside the phase span on both paths; the
       // failure path used to drain right after the attempt anyway.
       sim_.events().Run();
@@ -44,6 +76,11 @@ StatusOr<ExecutionReport> ExternalJoinExecutor::Execute(
       report.repairs_attempted += repairs_attempted_total;
       report.repairs_succeeded += repairs_succeeded_total;
       report.watchdog_expirations += watchdog_expirations_total;
+      report.duplicate_deliveries = guard.duplicate_deliveries();
+      report.stale_messages_dropped = guard.stale_drops();
+      report.reordered_messages = guard.reordered_deliveries();
+      SENSJOIN_CHECK_EQ(guard.phantom_deliveries(), 0u)
+          << "delivery validator saw a tag that was never stamped";
       report.cost = snapshot.DeltaTo(sim_);
       report.total_cost = execute_snapshot.DeltaTo(sim_);
       report.response_time_s = sim_.now() - start_time;
@@ -65,9 +102,19 @@ StatusOr<ExecutionReport> ExternalJoinExecutor::Execute(
 }
 
 bool ExternalJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
-                                          uint64_t epoch,
+                                          uint64_t epoch, DeliveryGuard* guard,
                                           ExecutionReport* report) {
   const ExecutorContext ctx(data_, q, epoch);
+
+  // Stamp-before-send wrapper: a failed send retracts its tag so the
+  // ordering check never waits on a delivery that cannot come.
+  auto send_tagged = [this, guard](sim::Message msg,
+                                   bool* corrupted = nullptr) -> bool {
+    guard->Stamp(msg);
+    if (sim_.SendUnicast(msg, corrupted)) return true;
+    guard->Retract(msg);
+    return false;
+  };
   const int n = sim_.num_nodes();
   const sim::NodeId root = tree_.root();
   // Tuples waiting at each node to be forwarded upward.
@@ -84,6 +131,8 @@ bool ExternalJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     net::TreeMaintenanceConfig mc;
     mc.max_repair_rounds = config_.max_repair_rounds;
     mc.round_wait_s = config_.repair_round_wait_s;
+    mc.stamp = [guard](sim::Message& m) { guard->Stamp(m); };
+    mc.retract = [guard](const sim::Message& m) { guard->Retract(m); };
     maintenance.emplace(sim_, tree_, mc);
   }
   auto trace_on = [this] {
@@ -148,7 +197,7 @@ bool ExternalJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       msg.kind = sim::MessageKind::kFinal;
       msg.payload_bytes = payload;
       bool corrupted = false;
-      if (!sim_.SendUnicast(std::move(msg), &corrupted)) return degrade();
+      if (!send_tagged(std::move(msg), &corrupted)) return degrade();
       if (corrupted) {
         ++report->corrupted_deliveries;
         return true;
@@ -183,7 +232,7 @@ bool ExternalJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     msg.kind = sim::MessageKind::kFinal;
     msg.payload_bytes = payload;
     bool corrupted = false;
-    if (!sim_.SendUnicast(std::move(msg), &corrupted)) {
+    if (!send_tagged(std::move(msg), &corrupted)) {
       if (!rescue(u, std::move(contribution), payload)) return false;
       continue;
     }

@@ -5,6 +5,7 @@
 
 #include "sensjoin/common/statusor.h"
 #include "sensjoin/data/network_data.h"
+#include "sensjoin/join/delivery_guard.h"
 #include "sensjoin/join/execution_report.h"
 #include "sensjoin/join/protocol.h"
 #include "sensjoin/net/routing_tree.h"
@@ -35,9 +36,11 @@ class ExternalJoinExecutor {
   const net::RoutingTree& tree() const { return tree_; }
 
  private:
-  /// One attempt; returns false on a link failure mid-execution.
+  /// One attempt; returns false on a link failure mid-execution. `guard`
+  /// stamps every unicast and classifies its deliveries (exactly-once
+  /// semantics; see delivery_guard.h).
   bool ExecuteAttempt(const query::AnalyzedQuery& q, uint64_t epoch,
-                      ExecutionReport* report);
+                      DeliveryGuard* guard, ExecutionReport* report);
 
   sim::Simulator& sim_;
   net::RoutingTree tree_;

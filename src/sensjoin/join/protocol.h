@@ -93,6 +93,27 @@ struct ProtocolConfig {
   bool enable_phase_watchdog = false;
   double watchdog_base_s = 1.0;
   double watchdog_per_hop_factor = 64.0;
+
+  // --- Delivery semantics (exactly-once on at-least-once links) ----------
+  // Every logical protocol message carries an (attempt id, per-link
+  // sequence) tag, and the receive path is idempotent: duplicates are
+  // dropped, stale-attempt traffic is rejected, and reordered arrivals are
+  // buffered per link. The tag rides in memory, so tagging costs zero wire
+  // bytes and zero RNG draws — fault-free runs stay bit-identical to the
+  // seed.
+
+  /// Charge the tag's wire size on every tagged message (a real deployment
+  /// would pay it; the default keeps frames bit-identical to the seed).
+  bool charge_tag_wire_bytes = false;
+
+  /// Wire size of the delivery tag when charged: a 4-byte attempt/epoch id
+  /// plus a 2-byte per-link sequence number.
+  int tag_wire_bytes = 6;
+
+  /// Per-link dedup window: how many recent sequence numbers a receiver
+  /// remembers per (src, dst) link. Arrivals older than the window are
+  /// conservatively dropped as duplicates.
+  int dedup_window = 64;
 };
 
 }  // namespace sensjoin::join

@@ -58,13 +58,47 @@ StatusOr<ExecutionReport> SensJoinExecutor::Execute(
   size_t repairs_succeeded_total = 0;
   size_t watchdog_expirations_total = 0;
   const StatsSnapshot execute_snapshot(sim_);
+
+  // Exactly-once validation: every unicast of the execution is stamped with
+  // an (attempt, per-link sequence) tag, and every queue-level delivery is
+  // fed through the guard. The canonical state application happens inline
+  // at send time (the omniscient-driver model), so the handler's verdicts
+  // drive counters and trace events, never protocol state — which is what
+  // keeps fault-free runs bit-identical to the seed.
+  DeliveryGuard guard(
+      config_.dedup_window,
+      config_.charge_tag_wire_bytes ? config_.tag_wire_bytes : 0);
+  auto previous_handler = sim_.SetReceiveHandler(
+      [this, &guard](sim::NodeId receiver, const sim::Message& msg) {
+        const DeliveryVerdict verdict = guard.Classify(receiver, msg);
+        if (verdict == DeliveryVerdict::kStale && obs::kTracingCompiledIn &&
+            sim_.tracer() != nullptr && sim_.tracer()->enabled()) {
+          sim_.tracer()->Record(obs::EventKind::kStaleDrop, sim_.now(),
+                                receiver, msg.src, msg.kind, /*count=*/1,
+                                /*bytes=*/0, /*energy_mj=*/0.0,
+                                /*detail=*/msg.tag.attempt_id);
+        }
+      });
+  struct HandlerRestore {
+    sim::Simulator& sim;
+    sim::Simulator::ReceiveHandler previous;
+    ~HandlerRestore() { sim.SetReceiveHandler(std::move(previous)); }
+  } handler_restore{sim_, std::move(previous_handler)};
+
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    guard.BeginAttempt(static_cast<uint32_t>(attempt));
+    // In-flight messages captured from an aborted attempt are re-delivered
+    // now; the guard classifies them as stale (their attempt id is old).
+    sim_.ReleaseReplays();
     ExecutionReport report;
     report.attempts = attempt + 1;
     const StatsSnapshot snapshot(sim_);
     const double start_time = sim_.now();
     bool failed = false;
-    SENSJOIN_RETURN_IF_ERROR(ExecuteAttempt(q, epoch, &report, &failed));
+    SENSJOIN_RETURN_IF_ERROR(ExecuteAttempt(q, epoch, &guard, &report, &failed));
+    // Capture still-flying deliveries of an aborted attempt for replay
+    // before the drain delivers them normally.
+    if (failed) sim_.NotifyAttemptAbort();
     sim_.events().Run();
     if (!failed) {
       report.success = true;
@@ -72,6 +106,11 @@ StatusOr<ExecutionReport> SensJoinExecutor::Execute(
       report.repairs_attempted += repairs_attempted_total;
       report.repairs_succeeded += repairs_succeeded_total;
       report.watchdog_expirations += watchdog_expirations_total;
+      report.duplicate_deliveries = guard.duplicate_deliveries();
+      report.stale_messages_dropped = guard.stale_drops();
+      report.reordered_messages = guard.reordered_deliveries();
+      SENSJOIN_CHECK_EQ(guard.phantom_deliveries(), 0u)
+          << "delivery validator saw a tag that was never stamped";
       report.cost = snapshot.DeltaTo(sim_);
       report.total_cost = execute_snapshot.DeltaTo(sim_);
       report.response_time_s = sim_.now() - start_time;
@@ -94,7 +133,7 @@ StatusOr<ExecutionReport> SensJoinExecutor::Execute(
 }
 
 Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
-                                        uint64_t epoch,
+                                        uint64_t epoch, DeliveryGuard* guard,
                                         ExecutionReport* report,
                                         bool* failed) {
   *failed = false;
@@ -106,13 +145,24 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
   // (NACK down the hop) and the sender re-sends from stored state, a
   // bounded number of times. Persistent failures — crashes, downed links —
   // fall through to the full re-execution with tree rebuild.
-  auto send_with_recovery = [this, report](const sim::Message& msg,
-                                           bool* corrupted = nullptr) -> bool {
+  //
+  // The message is stamped once, before the first send; recovery resends
+  // keep the tag (the receiver's dedup window is what makes a resend of a
+  // message that did arrive safe). A permanently failed send retracts its
+  // tag so the ordering check never waits on a delivery that cannot come.
+  auto send_with_recovery = [this, guard, report](
+                                sim::Message msg,
+                                bool* corrupted = nullptr) -> bool {
+    guard->Stamp(msg);
     if (sim_.SendUnicast(msg, corrupted)) return true;
-    if (!config_.enable_phase_recovery) return false;
+    if (!config_.enable_phase_recovery) {
+      guard->Retract(msg);
+      return false;
+    }
     for (int r = 0; r < config_.max_recovery_requests; ++r) {
       if (!sim_.node(msg.src).alive || !sim_.node(msg.dst).alive ||
           !sim_.radio().LinkUp(msg.src, msg.dst)) {
+        guard->Retract(msg);
         return false;  // persistent: needs CTP repair
       }
       sim::Message rereq;
@@ -120,7 +170,8 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       rereq.dst = msg.src;
       rereq.kind = sim::MessageKind::kControl;
       rereq.payload_bytes = 4;  // names the missing contribution
-      sim_.SendUnicast(std::move(rereq));
+      guard->Stamp(rereq);
+      if (!sim_.SendUnicast(rereq)) guard->Retract(rereq);
       ++report->recovery_requests;
       if (obs::kTracingCompiledIn && sim_.tracer() != nullptr &&
           sim_.tracer()->enabled()) {
@@ -130,6 +181,7 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       }
       if (sim_.SendUnicast(msg, corrupted)) return true;
     }
+    guard->Retract(msg);
     return false;
   };
 
@@ -191,6 +243,8 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     net::TreeMaintenanceConfig mc;
     mc.max_repair_rounds = config_.max_repair_rounds;
     mc.round_wait_s = config_.repair_round_wait_s;
+    mc.stamp = [guard](sim::Message& m) { guard->Stamp(m); };
+    mc.retract = [guard](const sim::Message& m) { guard->Retract(m); };
     maintenance.emplace(sim_, tree_, mc);
   }
 

@@ -5,6 +5,7 @@
 
 #include "sensjoin/common/statusor.h"
 #include "sensjoin/data/network_data.h"
+#include "sensjoin/join/delivery_guard.h"
 #include "sensjoin/join/execution_report.h"
 #include "sensjoin/join/protocol.h"
 #include "sensjoin/join/quantizer.h"
@@ -69,9 +70,12 @@ class SensJoinExecutor {
  private:
   /// One attempt. Returns kFailedPrecondition-free Status: OK with
   /// *failed=false on success, OK with *failed=true on a link failure
-  /// (retryable), or a real error (bad quantization config etc.).
+  /// (retryable), or a real error (bad quantization config etc.). `guard`
+  /// stamps every unicast of the attempt and classifies its deliveries
+  /// (exactly-once semantics; see delivery_guard.h).
   Status ExecuteAttempt(const query::AnalyzedQuery& q, uint64_t epoch,
-                        ExecutionReport* report, bool* failed);
+                        DeliveryGuard* guard, ExecutionReport* report,
+                        bool* failed);
 
   sim::Simulator& sim_;
   net::RoutingTree tree_;

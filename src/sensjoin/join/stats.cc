@@ -41,7 +41,11 @@ StatsSnapshot::StatsSnapshot(const sim::Simulator& sim)
       crc_energy_(sim.crc_energy_mj()),
       repair_packets_(sim.repair_packets_sent()),
       repair_bytes_(sim.repair_bytes_sent()),
-      repair_energy_(sim.repair_energy_mj()) {
+      repair_energy_(sim.repair_energy_mj()),
+      duplicates_(sim.total_duplicate_packets()),
+      replays_(sim.total_replayed_packets()),
+      duplicate_energy_(sim.duplicate_energy_mj()),
+      replay_energy_(sim.replay_energy_mj()) {
   per_node_join_packets_.resize(sim.num_nodes());
   for (int i = 0; i < sim.num_nodes(); ++i) {
     per_node_join_packets_[i] = JoinPacketsOfNode(sim.node(i).stats);
@@ -74,6 +78,10 @@ CostReport StatsSnapshot::DeltaTo(const sim::Simulator& sim) const {
   report.repair_packets = sim.repair_packets_sent() - repair_packets_;
   report.repair_bytes_sent = sim.repair_bytes_sent() - repair_bytes_;
   report.repair_energy_mj = sim.repair_energy_mj() - repair_energy_;
+  report.duplicate_packets = sim.total_duplicate_packets() - duplicates_;
+  report.replayed_packets = sim.total_replayed_packets() - replays_;
+  report.duplicate_energy_mj = sim.duplicate_energy_mj() - duplicate_energy_;
+  report.replay_energy_mj = sim.replay_energy_mj() - replay_energy_;
   SENSJOIN_CHECK_EQ(static_cast<int>(per_node_join_packets_.size()),
                     sim.num_nodes());
   report.per_node_packets.resize(sim.num_nodes());

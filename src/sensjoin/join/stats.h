@@ -58,6 +58,17 @@ struct CostReport {
   uint64_t repair_bytes_sent = 0;
   double repair_energy_mj = 0.0;
 
+  /// Delivery-fault overhead (zero unless a fault plan enables the axes).
+  /// Duplicate packets are fragments receivers heard more than once — ARQ
+  /// retransmissions whose ack was lost plus the fragments of duplicated
+  /// logical deliveries; replayed packets are fragments re-heard when an
+  /// aborted attempt's in-flight messages were re-delivered. Both are
+  /// inside the rx/energy totals and itemized here.
+  uint64_t duplicate_packets = 0;
+  uint64_t replayed_packets = 0;
+  double duplicate_energy_mj = 0.0;
+  double replay_energy_mj = 0.0;
+
   uint64_t max_node_packets() const;
 };
 
@@ -89,6 +100,10 @@ class StatsSnapshot {
   uint64_t repair_packets_;
   uint64_t repair_bytes_;
   double repair_energy_;
+  uint64_t duplicates_;
+  uint64_t replays_;
+  double duplicate_energy_;
+  double replay_energy_;
   std::vector<uint64_t> per_node_join_packets_;
 };
 

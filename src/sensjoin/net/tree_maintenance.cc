@@ -205,7 +205,11 @@ bool TreeMaintenance::Repair(sim::NodeId orphan,
       reply.kind = sim::MessageKind::kRepair;
       reply.payload_bytes = kRepairReplyBytes;
       reply.content = RepairReply{nb, tree_.hop_count(nb)};
-      if (!sim_.SendUnicast(std::move(reply))) continue;
+      if (config_.stamp) config_.stamp(reply);
+      if (!sim_.SendUnicast(reply)) {
+        if (config_.retract) config_.retract(reply);
+        continue;
+      }
       ++stats_.candidate_replies;
 
       const double dist = Distance(sim_.radio().position(orphan),
@@ -231,7 +235,10 @@ bool TreeMaintenance::Repair(sim::NodeId orphan,
       notice.kind = sim::MessageKind::kRepair;
       notice.payload_bytes = kRepairRequestBytes;
       notice.content = req;
-      sim_.SendUnicast(std::move(notice));
+      if (config_.stamp) config_.stamp(notice);
+      if (!sim_.SendUnicast(notice)) {
+        if (config_.retract) config_.retract(notice);
+      }
 
       tree_.Reparent(orphan, best);
       ++stats_.repairs_succeeded;

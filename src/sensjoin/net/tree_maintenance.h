@@ -40,6 +40,15 @@ struct TreeMaintenanceConfig {
   /// scheduled recoveries (reboots, outage ends) change the neighborhood.
   int max_repair_rounds = 2;
   double round_wait_s = 0.25;
+
+  /// Delivery-tag hooks (join/delivery_guard.h): when set, every repair
+  /// unicast (candidate reply, re-attach notice) is stamped with the
+  /// caller's (attempt, per-link sequence) tag before its first send and
+  /// retracted when the send permanently fails, so repair traffic
+  /// participates in the exactly-once validation without a net -> join
+  /// dependency. Unset hooks leave repair unicasts untagged (exempt).
+  std::function<void(sim::Message&)> stamp;
+  std::function<void(const sim::Message&)> retract;
 };
 
 /// Wire payload of the repair-request beacon an orphan broadcasts. The

@@ -49,6 +49,12 @@ const char* EventKindName(EventKind kind) {
       return "deadline_expired";
     case EventKind::kDegradedResult:
       return "degraded_result";
+    case EventKind::kDuplicateRx:
+      return "duplicate_rx";
+    case EventKind::kStaleDrop:
+      return "stale_drop";
+    case EventKind::kReplayRx:
+      return "replay_rx";
     case EventKind::kNumKinds:
       break;
   }
@@ -225,10 +231,26 @@ std::vector<uint64_t> TraceSummary::PerNodeJoinTx(
 
 TraceSummary Summarize(const TraceBuffer& buffer) {
   TraceSummary summary;
-  buffer.ForEach([&summary](const TraceEvent& e) {
+  // Open time of the innermost running span per phase; -1 = closed. A
+  // truncated ring buffer can drop a begin, in which case the orphaned end
+  // is ignored rather than producing a bogus span.
+  std::array<double, static_cast<size_t>(Phase::kNumPhases)> open_at;
+  open_at.fill(-1.0);
+  buffer.ForEach([&summary, &open_at](const TraceEvent& e) {
     PhaseSummary& p = summary.phases[static_cast<size_t>(e.phase)];
     p.energy_mj += e.energy_mj;
     switch (e.kind) {
+      case EventKind::kPhaseBegin:
+        open_at[static_cast<size_t>(e.phase)] = e.time;
+        break;
+      case EventKind::kPhaseEnd: {
+        double& began = open_at[static_cast<size_t>(e.phase)];
+        if (began >= 0.0) {
+          p.max_span_s = std::max(p.max_span_s, e.time - began);
+          began = -1.0;
+        }
+        break;
+      }
       case EventKind::kFragTx: {
         p.tx_fragments += e.count;
         p.tx_frame_bytes += e.bytes;
@@ -251,6 +273,15 @@ TraceSummary Summarize(const TraceBuffer& buffer) {
         break;
       case EventKind::kAckTx:
         p.acks += e.count;
+        break;
+      case EventKind::kDuplicateRx:
+        p.duplicate_fragments += e.count;
+        break;
+      case EventKind::kReplayRx:
+        p.replayed_fragments += e.count;
+        break;
+      case EventKind::kStaleDrop:
+        p.stale_drops += e.count;
         break;
       default:
         break;

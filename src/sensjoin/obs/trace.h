@@ -53,6 +53,12 @@ enum class EventKind : uint8_t {
   kDeadlineExpired,  ///< phase watchdog fired (detail = Phase that timed out)
   kDegradedResult,   ///< execution returned a certified partial result
                      ///< (count = excluded nodes)
+  kDuplicateRx,      ///< duplicate fragments heard by the receiver (detail:
+                     ///< 0 = ARQ ack-lost, already paid inside kFragRx;
+                     ///< 1 = duplicated logical delivery, energy here)
+  kStaleDrop,        ///< stale-attempt message rejected by the delivery
+                     ///< validator (detail = the message's attempt id)
+  kReplayRx,         ///< cross-attempt replay re-heard by the receiver
   kNumKinds,         ///< sentinel; keep last
 };
 
@@ -235,7 +241,14 @@ struct PhaseSummary {
   uint64_t rx_fragments = 0;
   uint64_t retransmissions = 0;
   uint64_t acks = 0;
+  uint64_t duplicate_fragments = 0;  ///< kDuplicateRx counts (ARQ + logical)
+  uint64_t replayed_fragments = 0;   ///< kReplayRx counts
+  uint64_t stale_drops = 0;          ///< kStaleDrop counts
   double energy_mj = 0.0;  ///< every energy debit recorded in the phase
+  /// Longest single kPhaseBegin -> kPhaseEnd span of this phase in sim
+  /// seconds (phases can open repeatedly: retries, per-orphan repairs).
+  /// The chaos no-stall liveness invariant bounds this.
+  double max_span_s = 0.0;
   /// Join-processing (kCollection/kFilter/kFinal) tx fragments per node;
   /// indexed by NodeId, sized to the largest node seen.
   std::vector<uint64_t> per_node_join_tx;

@@ -13,6 +13,14 @@ bool FaultPlan::HasCorruption() const {
   return false;
 }
 
+bool FaultPlan::HasDuplication() const {
+  if (default_duplication_rate > 0.0) return true;
+  for (const LinkDuplicationOverride& link : duplication_overrides) {
+    if (link.duplication_rate > 0.0) return true;
+  }
+  return false;
+}
+
 void ApplyFaultPlan(Simulator& sim, const FaultPlan& plan) {
   Radio& radio = sim.radio();
   radio.set_default_loss_rate(plan.default_loss_rate);
@@ -23,6 +31,13 @@ void ApplyFaultPlan(Simulator& sim, const FaultPlan& plan) {
   for (const LinkCorruptionOverride& link : plan.corruption_overrides) {
     radio.SetLinkCorruptionRate(link.a, link.b, link.corruption_rate);
   }
+  radio.set_default_duplication_rate(plan.default_duplication_rate);
+  for (const LinkDuplicationOverride& link : plan.duplication_overrides) {
+    radio.SetLinkDuplicationRate(link.a, link.b, link.duplication_rate);
+  }
+  sim.set_duplication_delay_s(plan.duplication_delay_s);
+  sim.set_delay_params(plan.delay);
+  sim.set_replay_params(plan.enable_replay, plan.replay_stagger_s);
   sim.set_arq_params(plan.arq);
   IntegrityParams integrity = plan.integrity;
   // The CRC trailer only exists (and is only paid for) together with the

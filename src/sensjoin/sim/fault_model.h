@@ -48,6 +48,26 @@ struct LinkCorruptionOverride {
   double corruption_rate = 0.0;
 };
 
+/// Duplication-rate override for one (bidirectional) link.
+struct LinkDuplicationOverride {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double duplication_rate = 0.0;
+};
+
+/// Per-message delivery-delay jitter: every delivered loss-eligible message
+/// gets extra latency drawn uniformly from [min_jitter_s, max_jitter_s]
+/// (seeded). With a spread wider than the per-packet airtime, a later send
+/// can overtake an earlier one through the event queue, which is exactly
+/// the reordering the exactly-once layer must tolerate. Disabled (all
+/// zeros) by default so fault-free runs draw no extra randomness.
+struct DelayParams {
+  double min_jitter_s = 0.0;
+  double max_jitter_s = 0.0;
+
+  bool enabled() const { return max_jitter_s > 0.0; }
+};
+
 /// The per-fragment integrity layer: every data fragment carries a CRC-16
 /// trailer (the 802.15.4 FCS analog; common/crc16.h), so a receiver detects
 /// a corrupted payload and silently drops the fragment — from the sender's
@@ -114,6 +134,32 @@ struct FaultPlan {
   double default_corruption_rate = 0.0;
   std::vector<LinkCorruptionOverride> corruption_overrides;
 
+  /// Per-message duplication probability: a delivered logical unicast is
+  /// heard (and processed) a second time after a seeded extra delay — the
+  /// 802.15.4 ack-race phenomenon promoted from a cost artifact to an
+  /// actual second delivery. Rolled strictly after the loss/corruption/ack
+  /// rolls, so plans without duplication consume exactly the seed's RNG
+  /// stream; beacons, query floods and repair traffic are exempt (like
+  /// loss). Duplicate receptions are energy-charged and itemized
+  /// (CostReport::duplicate_packets).
+  double default_duplication_rate = 0.0;
+  std::vector<LinkDuplicationOverride> duplication_overrides;
+
+  /// Upper bound of the seeded extra delay before a duplicate delivery
+  /// (drawn uniformly on top of one message airtime).
+  double duplication_delay_s = 0.012;
+
+  /// Per-message delivery-delay jitter (reordering); see DelayParams.
+  DelayParams delay;
+
+  /// Cross-attempt replay: when an executor aborts an attempt, logical
+  /// messages still in flight are captured instead of vanishing and are
+  /// re-delivered — stale tags and all — at the start of the next attempt,
+  /// spaced `replay_stagger_s` apart (deterministic, no RNG). Off by
+  /// default.
+  bool enable_replay = false;
+  double replay_stagger_s = 0.002;
+
   /// Link-layer ARQ policy to install on the simulator.
   ArqParams arq;
 
@@ -129,6 +175,9 @@ struct FaultPlan {
 
   /// True when any corruption rate (default or override) is non-zero.
   bool HasCorruption() const;
+
+  /// True when any duplication rate (default or override) is non-zero.
+  bool HasDuplication() const;
 };
 
 /// Installs `plan` on `sim`: sets loss rates on the radio, the ARQ policy

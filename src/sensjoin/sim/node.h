@@ -32,6 +32,18 @@ struct NodeStats {
   /// to the whole frame either way.
   uint64_t corrupted_packets_received = 0;
 
+  /// Fragments this node heard more than once: ARQ retransmissions of an
+  /// already-received fragment (the ack was lost) and the fragments of
+  /// duplicated logical deliveries (FaultPlan duplication). Included in
+  /// `packets_received` — the radio paid for them either way — and
+  /// itemized here.
+  uint64_t duplicate_packets_received = 0;
+
+  /// Fragments re-heard through cross-attempt replay (in-flight messages of
+  /// an aborted attempt re-delivered during the next one). Included in
+  /// `packets_received` and itemized here.
+  uint64_t replayed_packets_received = 0;
+
   /// Transmissions broken down by message kind, for per-phase accounting.
   std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
       packets_sent_by_kind{};

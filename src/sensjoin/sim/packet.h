@@ -39,6 +39,25 @@ inline bool IsJoinProcessingKind(MessageKind kind) {
 /// Returns a short name for `kind` ("beacon", "join_attrs", ...).
 const char* MessageKindName(MessageKind kind);
 
+/// Sentinel attempt id of an untagged message (legacy senders, beacons,
+/// floods): the delivery-validation layer passes such messages through
+/// without sequence checks.
+inline constexpr uint32_t kUntaggedAttempt = 0xFFFFFFFFu;
+
+/// Exactly-once delivery tag. Protocol layers stamp every logical message
+/// with the executor attempt that originated it plus a per-(src,dst)-link
+/// sequence number; receive paths use the tag to drop duplicates, reject
+/// stale-attempt traffic and detect reordering. The tag is carried
+/// in-memory: its wire bytes are charged only when the protocol explicitly
+/// enables them (ProtocolConfig::charge_tag_wire_bytes), so tagging alone
+/// leaves frame sizes bit-identical to the seed.
+struct DeliveryTag {
+  uint32_t attempt_id = kUntaggedAttempt;
+  uint32_t seq = 0;
+
+  bool tagged() const { return attempt_id != kUntaggedAttempt; }
+};
+
 /// A logical message handed to the radio. The radio fragments it into
 /// link-layer packets for accounting; `content` carries the typed in-memory
 /// payload (the simulator never serializes application objects, it only
@@ -48,6 +67,7 @@ struct Message {
   NodeId dst = kInvalidNode;  ///< kInvalidNode for local broadcast.
   MessageKind kind = MessageKind::kAppData;
   size_t payload_bytes = 0;  ///< Wire size of the payload, pre-fragmentation.
+  DeliveryTag tag;           ///< Exactly-once tag (untagged by default).
   std::any content;
 };
 

@@ -131,6 +131,26 @@ double Radio::CorruptionRate(NodeId a, NodeId b) const {
   return it != link_corruption_.end() ? it->second : default_corruption_rate_;
 }
 
+void Radio::set_default_duplication_rate(double p) {
+  default_duplication_rate_ = std::clamp(p, 0.0, 1.0);
+}
+
+void Radio::SetLinkDuplicationRate(NodeId a, NodeId b, double p) {
+  if (!ValidLink(a, b)) return;
+  link_duplication_[LinkKey(a, b)] = std::clamp(p, 0.0, 1.0);
+}
+
+void Radio::ClearDuplicationRates() {
+  default_duplication_rate_ = 0.0;
+  link_duplication_.clear();
+}
+
+double Radio::DuplicationRate(NodeId a, NodeId b) const {
+  if (!ValidLink(a, b)) return 0.0;
+  auto it = link_duplication_.find(LinkKey(a, b));
+  return it != link_duplication_.end() ? it->second : default_duplication_rate_;
+}
+
 bool Radio::IsConnected(NodeId root) const {
   const int n = num_nodes();
   if (n == 0) return true;

@@ -119,6 +119,29 @@ class Radio {
   /// default); 0 for invalid links.
   double CorruptionRate(NodeId a, NodeId b) const;
 
+  // --- Probabilistic per-link message duplication ------------------------
+  // A duplication rate is the probability that one delivered logical
+  // unicast is heard a second time (the 802.15.4 lost-ack race). The
+  // simulator rolls once per delivered message, strictly after the loss and
+  // corruption rolls; 0 everywhere by default, so plans without duplication
+  // draw no extra randomness and stay bit-identical.
+
+  /// Duplication rate applied to every link without an explicit override.
+  /// Clamped to [0, 1].
+  void set_default_duplication_rate(double p);
+  double default_duplication_rate() const { return default_duplication_rate_; }
+
+  /// Sets the duplication rate of the (bidirectional) link a-b, overriding
+  /// the default. Invalid ids and self-links are ignored.
+  void SetLinkDuplicationRate(NodeId a, NodeId b, double p);
+
+  /// Drops all per-link overrides and resets the default rate to 0.
+  void ClearDuplicationRates();
+
+  /// Effective duplication rate of the link a-b (override if set, else
+  /// default); 0 for invalid links.
+  double DuplicationRate(NodeId a, NodeId b) const;
+
   /// True if every node can reach `root` over up links.
   bool IsConnected(NodeId root) const;
 
@@ -138,6 +161,8 @@ class Radio {
   std::unordered_map<uint64_t, double> link_loss_;
   double default_corruption_rate_ = 0.0;
   std::unordered_map<uint64_t, double> link_corruption_;
+  double default_duplication_rate_ = 0.0;
+  std::unordered_map<uint64_t, double> link_duplication_;
 };
 
 }  // namespace sensjoin::sim

@@ -127,6 +127,7 @@ bool Simulator::SendUnicast(Message msg, bool* corrupted) {
   int integrity_retransmissions = 0;
   int detected_fragments = 0;
   int undetected_fragments = 0;
+  int arq_duplicate_fragments = 0;
   int acks = 0;
   double backoff_s = 0.0;
   bool delivered = true;
@@ -159,7 +160,13 @@ bool Simulator::SendUnicast(Message msg, bool* corrupted) {
         ++undetected_fragments;
         payload_corrupted = true;
       }
-      if (frag_arrives) got = true;
+      if (frag_arrives) {
+        // An arrival of a fragment the receiver had already accepted means
+        // the previous ack was lost and the retransmission raced it: the
+        // receiver pays for a duplicate (itemized below).
+        if (got) ++arq_duplicate_fragments;
+        got = true;
+      }
       if (!arq_params_.enabled) break;
       if (frag_arrives) {
         ++acks;
@@ -186,6 +193,12 @@ bool Simulator::SendUnicast(Message msg, bool* corrupted) {
   }
   total_corrupted_packets_ += detected_fragments;
   total_undetected_corrupted_packets_ += undetected_fragments;
+  if (arq_duplicate_fragments > 0) {
+    // Already charged through rx_fragments; surfaced here so the cost
+    // reports can itemize what the lost acks cost the receiver.
+    nodes_[msg.dst].stats.duplicate_packets_received += arq_duplicate_fragments;
+    total_duplicate_packets_ += arq_duplicate_fragments;
+  }
   if (crc_active) {
     const size_t tx_crc =
         static_cast<size_t>(tx_fragments) * integrity_params_.crc_bytes;
@@ -256,6 +269,14 @@ bool Simulator::SendUnicast(Message msg, bool* corrupted) {
       tracer_->Record(EventKind::kFragRx, now, msg.dst, msg.src, msg.kind,
                       static_cast<uint32_t>(rx_fragments), rx_bytes, rx_cost);
     }
+    if (arq_duplicate_fragments > 0) {
+      // Ack-lost duplicates: already paid inside kFragRx, so this record
+      // carries no energy (detail == 0 marks the ARQ flavor).
+      tracer_->Record(EventKind::kDuplicateRx, now, msg.dst, msg.src,
+                      msg.kind,
+                      static_cast<uint32_t>(arq_duplicate_fragments), 0, 0.0,
+                      /*detail=*/0);
+    }
     if (!delivered) {
       tracer_->Record(EventKind::kMessageDrop, now, msg.src, msg.dst,
                       msg.kind, static_cast<uint32_t>(fragments),
@@ -273,11 +294,110 @@ bool Simulator::SendUnicast(Message msg, bool* corrupted) {
   if (!delivered) return false;
   if (corrupted) *corrupted = payload_corrupted;
   const SimTime delay = tx_fragments * per_packet_latency_s_ + backoff_s;
-  if (Tracing(tracer_)) tracer_->ObserveHopLatency(delay);
+
+  // Duplication and jitter rolls come strictly after the per-fragment
+  // loss/corruption/ack rolls above, and only for non-zero rates, so fault
+  // plans without the new axes consume exactly the seed's RNG stream.
+  const double dup_rate =
+      LossApplies(msg.kind) ? radio_.DuplicationRate(msg.src, msg.dst) : 0.0;
+  const bool duplicated = dup_rate > 0.0 && fault_rng_.NextBool(dup_rate);
+  SimTime dup_extra_s = 0.0;
+  if (duplicated) {
+    dup_extra_s = fragments * per_packet_latency_s_ +
+                  fault_rng_.UniformDouble(0.0, duplication_delay_s_);
+  }
+  SimTime jitter_s = 0.0;
+  if (delay_params_.enabled() && LossApplies(msg.kind)) {
+    jitter_s = fault_rng_.UniformDouble(delay_params_.min_jitter_s,
+                                        delay_params_.max_jitter_s);
+  }
+  if (duplicated) {
+    // The receiver hears — and the delivery path processes — the whole
+    // message a second time. The rx side is charged and itemized; the tx
+    // side was already paid by the retransmission that raced its ack.
+    const double dup_rx_cost =
+        AccountRx(msg.dst, msg.kind, fragments, frame_bytes);
+    nodes_[msg.dst].stats.duplicate_packets_received += fragments;
+    total_duplicate_packets_ += fragments;
+    duplicate_energy_mj_ += dup_rx_cost;
+    if (Tracing(tracer_)) {
+      tracer_->Record(obs::EventKind::kDuplicateRx, events_.now(), msg.dst,
+                      msg.src, msg.kind, static_cast<uint32_t>(fragments),
+                      frame_bytes, dup_rx_cost, /*detail=*/1);
+    }
+  }
+  if (Tracing(tracer_)) tracer_->ObserveHopLatency(delay + jitter_s);
+  Message dup_msg;
+  if (duplicated) dup_msg = msg;  // copy before the original moves away
+  ScheduleDelivery(std::move(msg), delay + jitter_s);
+  if (duplicated) {
+    ScheduleDelivery(std::move(dup_msg), delay + jitter_s + dup_extra_s);
+  }
+  return true;
+}
+
+void Simulator::ScheduleDelivery(Message msg, SimTime delay) {
+  if (replay_enabled_ && LossApplies(msg.kind)) {
+    const uint64_t id = next_delivery_id_++;
+    PendingDelivery& pending =
+        inflight_.emplace(id, PendingDelivery{std::move(msg), 0})
+            .first->second;
+    pending.event = events_.ScheduleAfter(delay, [this, id]() {
+      auto it = inflight_.find(id);
+      if (it == inflight_.end()) return;
+      const Message msg = std::move(it->second.msg);
+      inflight_.erase(it);
+      if (receive_handler_) receive_handler_(msg.dst, msg);
+    });
+    return;
+  }
   events_.ScheduleAfter(delay, [this, msg = std::move(msg)]() {
     if (receive_handler_) receive_handler_(msg.dst, msg);
   });
-  return true;
+}
+
+void Simulator::NotifyAttemptAbort() {
+  if (inflight_.empty()) return;
+  // std::map iteration releases the deliveries in scheduling order, so the
+  // replay buffer — and everything downstream — is deterministic.
+  for (auto& [id, pending] : inflight_) {
+    events_.Cancel(pending.event);
+    replay_buffer_.push_back(std::move(pending.msg));
+  }
+  inflight_.clear();
+}
+
+int Simulator::ReleaseReplays() {
+  if (replay_buffer_.empty()) return 0;
+  std::vector<Message> captured;
+  captured.swap(replay_buffer_);
+  int released = 0;
+  for (Message& msg : captured) {
+    if (!nodes_[msg.dst].alive || !radio_.LinkUp(msg.src, msg.dst)) continue;
+    const int fragments = NumFragments(msg.payload_bytes, packet_params_);
+    const bool crc_active =
+        integrity_params_.crc_enabled && LossApplies(msg.kind);
+    const size_t frame_bytes =
+        msg.payload_bytes +
+        static_cast<size_t>(fragments) *
+            (packet_params_.header_bytes +
+             (crc_active ? integrity_params_.crc_bytes : 0));
+    // The receiver's radio hears the stale frames again; the rx side is
+    // charged and itemized. The sender pays nothing — these frames were
+    // transmitted (and paid for) during the aborted attempt.
+    const double rx_cost = AccountRx(msg.dst, msg.kind, fragments, frame_bytes);
+    nodes_[msg.dst].stats.replayed_packets_received += fragments;
+    total_replayed_packets_ += fragments;
+    replay_energy_mj_ += rx_cost;
+    if (Tracing(tracer_)) {
+      tracer_->Record(obs::EventKind::kReplayRx, events_.now(), msg.dst,
+                      msg.src, msg.kind, static_cast<uint32_t>(fragments),
+                      frame_bytes, rx_cost);
+    }
+    ++released;
+    ScheduleDelivery(std::move(msg), released * replay_stagger_s_);
+  }
+  return released;
 }
 
 int Simulator::Broadcast(Message msg, std::vector<NodeId>* delivered,
@@ -383,7 +503,17 @@ int Simulator::Broadcast(Message msg, std::vector<NodeId>* delivered,
     ++receivers;
     if (delivered) delivered->push_back(nb);
     if (corrupted && rx_corrupted) corrupted->push_back(nb);
-    events_.ScheduleAfter(delay, [this, shared, nb]() {
+    // Per-receiver jitter, drawn strictly after this receiver's loss and
+    // corruption rolls (and only when enabled), keeps no-jitter plans
+    // RNG-identical. Broadcasts are neither duplicated nor replayed: the
+    // duplication model is the unicast ack race, and broadcasts carry no
+    // acks.
+    SimTime jitter_s = 0.0;
+    if (delay_params_.enabled() && LossApplies(bmsg.kind)) {
+      jitter_s = fault_rng_.UniformDouble(delay_params_.min_jitter_s,
+                                          delay_params_.max_jitter_s);
+    }
+    events_.ScheduleAfter(delay + jitter_s, [this, shared, nb]() {
       if (receive_handler_) receive_handler_(nb, *shared);
     });
   }
@@ -468,6 +598,10 @@ void Simulator::ResetStats() {
   crc_energy_mj_ = 0.0;
   repair_bytes_sent_ = 0;
   repair_energy_mj_ = 0.0;
+  total_duplicate_packets_ = 0;
+  duplicate_energy_mj_ = 0.0;
+  total_replayed_packets_ = 0;
+  replay_energy_mj_ = 0.0;
   packets_by_kind_.fill(0);
 }
 

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "sensjoin/common/bit_stream.h"
@@ -121,6 +122,42 @@ class Simulator {
   /// loss rates and traffic are exactly reproducible.
   void SeedFaults(uint64_t seed) { fault_rng_ = Rng(seed); }
 
+  /// Upper bound of the seeded extra delay before a duplicate delivery
+  /// (FaultPlan::duplication_delay_s); the duplicate arrives one message
+  /// airtime plus a uniform draw from [0, this] after the original.
+  void set_duplication_delay_s(double s) { duplication_delay_s_ = s; }
+  double duplication_delay_s() const { return duplication_delay_s_; }
+
+  /// Per-message delivery jitter (reordering); disabled by default so no
+  /// extra randomness is drawn and delivery order matches the seed.
+  void set_delay_params(const DelayParams& p) { delay_params_ = p; }
+  const DelayParams& delay_params() const { return delay_params_; }
+
+  /// Cross-attempt replay: with `enabled`, loss-eligible unicast deliveries
+  /// are tracked in flight; NotifyAttemptAbort captures the pending ones
+  /// and ReleaseReplays re-delivers them (stale tags intact) spaced
+  /// `stagger_s` apart. Off by default — no tracking, no behavior change.
+  void set_replay_params(bool enabled, double stagger_s) {
+    replay_enabled_ = enabled;
+    replay_stagger_s_ = stagger_s;
+  }
+  bool replay_enabled() const { return replay_enabled_; }
+
+  /// Captures every in-flight loss-eligible delivery (canceling its
+  /// delivery event) into the replay buffer. Executors call this when an
+  /// attempt fails, before draining the event queue. No-op with replay
+  /// disabled.
+  void NotifyAttemptAbort();
+
+  /// Re-schedules the captured deliveries of the previously aborted
+  /// attempt, charging the receiver for hearing the stale frames again
+  /// (itemized as replayed packets). Executors call this at the start of
+  /// the next attempt. Returns the number of messages released.
+  int ReleaseReplays();
+
+  /// Deliveries currently buffered for replay (testing / diagnostics).
+  size_t pending_replays() const { return replay_buffer_.size(); }
+
   /// Schedules a node crash / reboot through the event queue. A crashed
   /// node neither sends nor receives until a recovery event fires.
   void ScheduleCrash(NodeId id, SimTime at);
@@ -170,6 +207,20 @@ class Simulator {
   }
   double crc_energy_mj() const { return crc_energy_mj_; }
 
+  /// Duplicate-reception accounting: fragments receivers heard more than
+  /// once — ARQ retransmissions of an already-received fragment (the ack
+  /// was lost) plus the fragments of duplicated logical deliveries
+  /// (FaultPlan duplication). Both are part of per-node
+  /// `packets_received`; the duplication-axis receptions additionally
+  /// carry the itemized rx energy below.
+  uint64_t total_duplicate_packets() const { return total_duplicate_packets_; }
+  double duplicate_energy_mj() const { return duplicate_energy_mj_; }
+
+  /// Cross-attempt replay accounting: fragments re-heard when an aborted
+  /// attempt's in-flight messages were re-delivered during the next one.
+  uint64_t total_replayed_packets() const { return total_replayed_packets_; }
+  double replay_energy_mj() const { return replay_energy_mj_; }
+
   /// Tree-repair accounting (kRepair traffic: orphan repair requests,
   /// candidate replies, re-attach notices). Repair packets are part of
   /// `total_packets_sent` and itemized here; their tx+rx energy is part of
@@ -207,6 +258,11 @@ class Simulator {
                    size_t frame_bytes);
   double AccountRx(NodeId receiver, MessageKind kind, int fragments,
                    size_t frame_bytes);
+
+  /// Schedules a unicast delivery event `delay` from now. With replay
+  /// enabled and a loss-eligible kind, the delivery is tracked in flight so
+  /// NotifyAttemptAbort can capture it.
+  void ScheduleDelivery(Message msg, SimTime delay);
 
   /// True when `kind` is subject to packet loss (and, by the same gate,
   /// corruption and transient link outages). Tree maintenance — CTP
@@ -248,8 +304,27 @@ class Simulator {
   double crc_energy_mj_ = 0.0;
   uint64_t repair_bytes_sent_ = 0;
   double repair_energy_mj_ = 0.0;
+  uint64_t total_duplicate_packets_ = 0;
+  double duplicate_energy_mj_ = 0.0;
+  uint64_t total_replayed_packets_ = 0;
+  double replay_energy_mj_ = 0.0;
   std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
       packets_by_kind_{};
+
+  // --- Delivery jitter / duplication / cross-attempt replay --------------
+  double duplication_delay_s_ = 0.012;
+  DelayParams delay_params_;
+  bool replay_enabled_ = false;
+  double replay_stagger_s_ = 0.002;
+  /// In-flight unicast deliveries, keyed by a monotonically increasing id
+  /// (std::map: capture order on abort must be deterministic).
+  struct PendingDelivery {
+    Message msg;
+    EventId event = 0;
+  };
+  std::map<uint64_t, PendingDelivery> inflight_;
+  uint64_t next_delivery_id_ = 0;
+  std::vector<Message> replay_buffer_;
 };
 
 }  // namespace sensjoin::sim

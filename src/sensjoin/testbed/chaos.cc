@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <functional>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -61,6 +63,11 @@ ChaosSchedule MakeChaosSchedule(Testbed& testbed, const ChaosParams& params) {
   plan.default_corruption_rate = params.corruption_rate;
   plan.arq.enabled = params.arq_enabled;
   plan.arq.max_retransmissions = params.arq_max_retransmissions;
+  // Delivery-semantics axes are direct copies — no schedule randomness —
+  // so all-defaults schedules stay draw-for-draw identical to old ones.
+  plan.default_duplication_rate = params.duplication_rate;
+  plan.delay.max_jitter_s = params.max_jitter_s;
+  plan.enable_replay = params.enable_replay;
   plan.seed = rng.NextUint64();  // drop-decision stream, forked from ours
 
   // Candidate victims: in-tree non-root nodes, and the tree edges the join
@@ -153,7 +160,8 @@ join::JoinResult ComputeGroundTruth(Testbed& testbed,
 
 std::vector<std::string> CheckInvariants(const join::JoinResult& truth,
                                          const join::ExecutionReport& report,
-                                         const obs::Tracer* tracer) {
+                                         const obs::Tracer* tracer,
+                                         const LivenessBounds* liveness) {
   std::vector<std::string> violations;
   const join::CompletenessCertificate& cert = report.certificate;
   const bool aggregate = truth.row_nodes.size() != truth.rows.size();
@@ -173,23 +181,36 @@ std::vector<std::string> CheckInvariants(const join::JoinResult& truth,
     std::vector<std::vector<double>> actual = report.result.rows;
     std::sort(actual.begin(), actual.end(), RowLess);
 
-    // 1. No fabrication: actual rows are a sub-multiset of the truth.
+    // 1. No fabrication, exactly-once rows: actual rows are a sub-multiset
+    //    of the truth. An over-multiplicity row is a duplicated result row
+    //    (a duplicate or replay leaked through the idempotent receive
+    //    path); a row absent from the truth entirely is a phantom.
     std::vector<std::vector<double>> truth_rows = truth.rows;
     std::sort(truth_rows.begin(), truth_rows.end(), RowLess);
     {
       size_t ti = 0;
-      size_t missing = 0;
+      size_t duplicated = 0;
+      size_t phantom = 0;
       for (const auto& row : actual) {
         while (ti < truth_rows.size() && RowLess(truth_rows[ti], row)) ++ti;
         if (ti < truth_rows.size() && truth_rows[ti] == row) {
           ++ti;
+        } else if (std::binary_search(truth_rows.begin(), truth_rows.end(),
+                                      row, RowLess)) {
+          ++duplicated;
         } else {
-          ++missing;
+          ++phantom;
         }
       }
-      if (missing > 0) {
+      if (duplicated > 0) {
         violations.push_back(Format(
-            "%zu result rows do not appear in the ground truth", missing));
+            "%zu result rows are duplicated beyond their ground-truth "
+            "multiplicity",
+            duplicated));
+      }
+      if (phantom > 0) {
+        violations.push_back(Format(
+            "%zu result rows do not appear in the ground truth", phantom));
       }
     }
 
@@ -243,12 +264,20 @@ std::vector<std::string> CheckInvariants(const join::JoinResult& truth,
     const obs::TraceSummary summary = obs::Summarize(*tracer);
     uint64_t repair_fragments = 0;
     uint64_t bytes = 0;
+    uint64_t duplicate_fragments = 0;
+    uint64_t replayed_fragments = 0;
+    uint64_t stale_drops = 0;
     double energy = 0.0;
+    double max_phase_span_s = 0.0;
     for (const obs::PhaseSummary& phase : summary.phases) {
       repair_fragments += phase.tx_fragments_by_kind[static_cast<size_t>(
           sim::MessageKind::kRepair)];
       bytes += phase.tx_frame_bytes;
+      duplicate_fragments += phase.duplicate_fragments;
+      replayed_fragments += phase.replayed_fragments;
+      stale_drops += phase.stale_drops;
       energy += phase.energy_mj;
+      max_phase_span_s = std::max(max_phase_span_s, phase.max_span_s);
     }
     if (repair_fragments != total.repair_packets) {
       violations.push_back(
@@ -262,13 +291,116 @@ std::vector<std::string> CheckInvariants(const join::JoinResult& truth,
                  static_cast<unsigned long long>(bytes),
                  static_cast<unsigned long long>(total.join_bytes)));
     }
+    if (duplicate_fragments != total.duplicate_packets) {
+      violations.push_back(
+          Format("trace shows %llu duplicated fragments, cost report %llu",
+                 static_cast<unsigned long long>(duplicate_fragments),
+                 static_cast<unsigned long long>(total.duplicate_packets)));
+    }
+    if (replayed_fragments != total.replayed_packets) {
+      violations.push_back(
+          Format("trace shows %llu replayed fragments, cost report %llu",
+                 static_cast<unsigned long long>(replayed_fragments),
+                 static_cast<unsigned long long>(total.replayed_packets)));
+    }
+    // Stale drops are per-delivery validator verdicts, not fragments; the
+    // trace count must match the executor's own tally exactly.
+    if (stale_drops != report.stale_messages_dropped) {
+      violations.push_back(
+          Format("trace shows %llu stale drops, execution report %zu",
+                 static_cast<unsigned long long>(stale_drops),
+                 report.stale_messages_dropped));
+    }
     const double tolerance = 1e-6 * std::max(1.0, total.energy_mj);
     if (std::abs(energy - total.energy_mj) > tolerance) {
       violations.push_back(Format("trace energy %.9f mJ != cost report %.9f",
                                   energy, total.energy_mj));
     }
+    // 5. No-stall liveness, phase bound (needs the trace's span records).
+    if (liveness != nullptr && liveness->max_phase_span_s > 0 &&
+        max_phase_span_s > liveness->max_phase_span_s) {
+      violations.push_back(
+          Format("no-stall: a phase spanned %.6f s of sim time, bound %.6f",
+                 max_phase_span_s, liveness->max_phase_span_s));
+    }
+  }
+
+  // 5. No-stall liveness, total bound (trace-independent).
+  if (liveness != nullptr && liveness->max_total_s > 0 &&
+      report.response_time_s > liveness->max_total_s) {
+    violations.push_back(
+        Format("no-stall: execution spanned %.6f s of sim time, bound %.6f",
+               report.response_time_s, liveness->max_total_s));
   }
   return violations;
+}
+
+std::string ChaosScheduleToJson(const ChaosParams& params,
+                                const ChaosSchedule& schedule) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"schema\":\"sensjoin-chaos-repro-v1\",\"params\":{"
+     << "\"seed\":" << params.seed << ",\"num_crashes\":" << params.num_crashes
+     << ",\"recover_fraction\":" << params.recover_fraction
+     << ",\"recover_delay_s\":" << params.recover_delay_s
+     << ",\"num_prerun_crashes\":" << params.num_prerun_crashes
+     << ",\"prerun_horizon_s\":" << params.prerun_horizon_s
+     << ",\"num_outages\":" << params.num_outages
+     << ",\"outage_min_s\":" << params.outage_min_s
+     << ",\"outage_max_s\":" << params.outage_max_s
+     << ",\"window_s\":" << params.window_s
+     << ",\"loss_rate\":" << params.loss_rate
+     << ",\"num_loss_bursts\":" << params.num_loss_bursts
+     << ",\"burst_loss_rate\":" << params.burst_loss_rate
+     << ",\"corruption_rate\":" << params.corruption_rate
+     << ",\"arq_enabled\":" << (params.arq_enabled ? "true" : "false")
+     << ",\"arq_max_retransmissions\":" << params.arq_max_retransmissions
+     << ",\"duplication_rate\":" << params.duplication_rate
+     << ",\"max_jitter_s\":" << params.max_jitter_s
+     << ",\"enable_replay\":" << (params.enable_replay ? "true" : "false")
+     << "},\"drawn\":{\"plan_seed\":" << schedule.plan.seed << ",\"crashes\":[";
+  for (size_t i = 0; i < schedule.crashes.size(); ++i) {
+    const sim::CrashEvent& c = schedule.crashes[i];
+    os << (i ? "," : "") << "{\"node\":" << c.node << ",\"at\":" << c.at
+       << ",\"recover\":" << (c.recover ? "true" : "false") << "}";
+  }
+  os << "],\"outages\":[";
+  for (size_t i = 0; i < schedule.outages.size(); ++i) {
+    const sim::LinkOutageWindow& w = schedule.outages[i];
+    os << (i ? "," : "") << "{\"a\":" << w.a << ",\"b\":" << w.b
+       << ",\"down_at\":" << w.down_at << ",\"up_at\":" << w.up_at << "}";
+  }
+  os << "],\"permanently_down\":[";
+  for (size_t i = 0; i < schedule.permanently_down.size(); ++i) {
+    os << (i ? "," : "") << schedule.permanently_down[i];
+  }
+  os << "]}}";
+  return os.str();
+}
+
+ChaosParams MinimizeChaos(const ChaosParams& params,
+                          const std::function<bool(const ChaosParams&)>&
+                              reproduces) {
+  ChaosParams best = params;
+  // Zero one axis at a time, most-recently-added axes first; keep any
+  // zeroing under which the violation still reproduces. Zeroing changes
+  // the schedule's draw sequence, which is fine: `reproduces` re-derives
+  // the schedule from scratch each probe.
+  const auto try_zero = [&](void (*mutate)(ChaosParams&)) {
+    ChaosParams candidate = best;
+    mutate(candidate);
+    if (reproduces(candidate)) best = candidate;
+  };
+  try_zero([](ChaosParams& p) { p.enable_replay = false; });
+  try_zero([](ChaosParams& p) { p.max_jitter_s = 0.0; });
+  try_zero([](ChaosParams& p) { p.duplication_rate = 0.0; });
+  try_zero([](ChaosParams& p) { p.corruption_rate = 0.0; });
+  try_zero([](ChaosParams& p) { p.num_loss_bursts = 0; });
+  try_zero([](ChaosParams& p) { p.loss_rate = 0.0; });
+  try_zero([](ChaosParams& p) { p.num_outages = 0; });
+  try_zero([](ChaosParams& p) { p.num_crashes = 0; });
+  try_zero([](ChaosParams& p) { p.num_prerun_crashes = 0; });
+  return best;
 }
 
 }  // namespace sensjoin::testbed

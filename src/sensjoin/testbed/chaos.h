@@ -2,6 +2,7 @@
 #define SENSJOIN_TESTBED_CHAOS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,31 @@ struct ChaosParams {
   /// Link-layer ARQ installed with the plan.
   bool arq_enabled = true;
   int arq_max_retransmissions = 3;
+
+  // --- Delivery-semantics axes (exactly-once layer). Direct plan knobs ---
+  // --- that consume no schedule randomness: all-defaults schedules are ---
+  // --- draw-for-draw identical to pre-existing ones. --------------------
+
+  /// Ambient per-link probability that a delivered logical message is
+  /// delivered a second time (ack-lost style duplication).
+  double duplication_rate = 0.0;
+
+  /// Per-message extra delivery latency drawn uniformly from [0,
+  /// max_jitter_s]: later sends can overtake earlier ones (reordering).
+  double max_jitter_s = 0.0;
+
+  /// Cross-attempt replay: messages still in flight when an attempt aborts
+  /// are re-delivered during the next attempt (stale-tag traffic).
+  bool enable_replay = false;
+};
+
+/// Sim-time progress bounds for the no-stall liveness invariant. A zero
+/// bound skips that check (the default-constructed value checks nothing).
+struct LivenessBounds {
+  /// Ceiling on the longest single span of any protocol phase (sim s).
+  double max_phase_span_s = 0.0;
+  /// Ceiling on the whole execution's response time (sim s).
+  double max_total_s = 0.0;
 };
 
 /// A generated fault scenario: the installable FaultPlan plus the draws
@@ -97,18 +123,42 @@ join::JoinResult ComputeGroundTruth(Testbed& testbed,
 /// the ground truth. Returns human-readable violations; empty means all
 /// invariants hold.
 ///
-///  1. No fabrication: every result row appears in the ground truth
-///     (multiset containment; non-aggregate queries).
+///  1. No fabrication, exactly-once rows: every result row appears in the
+///     ground truth AND with multiplicity no higher than the truth's —
+///     duplicated deliveries must never duplicate a join row, phantom rows
+///     must never appear (multiset containment; non-aggregate queries).
 ///  2. Certificate consistency: no contributing node is listed as excluded.
 ///  3. Certificate exactness (only when no corrupted payload was delivered
 ///     to the application): the result equals exactly the truth rows with
 ///     no contributor in the excluded set.
 ///  4. Trace cross-check (when `tracer` covers exactly the execution):
-///     repair fragments, join-kind fragments and total energy recomputed
-///     from the trace match the CostReport.
+///     repair fragments, join-kind fragments, duplicated/replayed
+///     fragments and total energy recomputed from the trace match the
+///     CostReport.
+///  5. No-stall liveness (when `liveness` sets a nonzero bound): every
+///     phase span and the total response time stay under their sim-time
+///     ceilings — recovery/repair loops must terminate, never spin.
 std::vector<std::string> CheckInvariants(const join::JoinResult& truth,
                                          const join::ExecutionReport& report,
-                                         const obs::Tracer* tracer = nullptr);
+                                         const obs::Tracer* tracer = nullptr,
+                                         const LivenessBounds* liveness =
+                                             nullptr);
+
+/// Serializes a schedule (the params that generated it plus the concrete
+/// draws) to a single JSON object — the reproducer format the chaos swarm
+/// dumps on first violation. Re-running the swarm binary with the same
+/// deployment and the embedded params regenerates the schedule exactly.
+std::string ChaosScheduleToJson(const ChaosParams& params,
+                                const ChaosSchedule& schedule);
+
+/// Greedy schedule minimizer: tries zeroing one fault axis at a time
+/// (replay, jitter, duplication, corruption, loss bursts, ambient loss,
+/// outages, mid-run crashes, pre-run crashes) and keeps each zeroing under
+/// which `reproduces` still returns true. The result is a (locally) minimal
+/// params whose schedule still triggers the violation.
+ChaosParams MinimizeChaos(const ChaosParams& params,
+                          const std::function<bool(const ChaosParams&)>&
+                              reproduces);
 
 }  // namespace sensjoin::testbed
 

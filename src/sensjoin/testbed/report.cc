@@ -144,6 +144,12 @@ std::string FaultToleranceSummary(const join::CostReport& cost,
        << " mJ, corruption-triggered retransmissions "
        << cost.integrity_retransmit_energy_mj << " mJ\n";
   }
+  if (cost.duplicate_packets > 0 || cost.replayed_packets > 0) {
+    os << "delivery: " << cost.duplicate_packets
+       << " duplicated deliveries (" << cost.duplicate_energy_mj
+       << " mJ), " << cost.replayed_packets << " cross-attempt replays ("
+       << cost.replay_energy_mj << " mJ)\n";
+  }
   os << "result completeness: " << completeness * 100.0 << "%\n";
   return os.str();
 }

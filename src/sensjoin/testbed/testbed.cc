@@ -77,6 +77,7 @@ Testbed::Testbed(TestbedParams params, net::Placement placement,
       data_(std::move(data)),
       tree_(std::move(tree)),
       rng_(rng) {
+  flooder_.emplace(*sim_);
   // Environment quantization (Sec. V-B: 0.1 degC temperature steps, 1 m
   // coordinate steps; other sensors at sensible environment resolutions).
   quantization_.by_attr["x"] = {0.0, params_.placement.area_width_m, 1.0};
@@ -93,7 +94,11 @@ StatusOr<query::AnalyzedQuery> Testbed::ParseQuery(
 }
 
 int Testbed::DisseminateQuery(const query::AnalyzedQuery& q) {
-  return net::FloodQuery(*sim_, tree_.root(), q.QueryWireBytes());
+  // A re-disseminated query is a new epoch: suppression memory from the
+  // previous flood must not mute the re-flood.
+  flooder_->ResetSuppression();
+  return flooder_->Flood(tree_.root(), q.QueryWireBytes(),
+                         sim::MessageKind::kQuery);
 }
 
 join::SensJoinExecutor Testbed::MakeSensJoin(join::ProtocolConfig config) {

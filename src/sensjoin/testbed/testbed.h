@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "sensjoin/common/rng.h"
@@ -11,6 +12,7 @@
 #include "sensjoin/join/external_join.h"
 #include "sensjoin/join/quantizer.h"
 #include "sensjoin/join/sens_join.h"
+#include "sensjoin/net/flooding.h"
 #include "sensjoin/net/routing_tree.h"
 #include "sensjoin/net/topology.h"
 #include "sensjoin/query/query.h"
@@ -58,7 +60,10 @@ class Testbed {
   StatusOr<query::AnalyzedQuery> ParseQuery(const std::string& sql) const;
 
   /// Floods `q` from the base station (accounted under kQuery) as the real
-  /// system would before executing. Returns nodes reached.
+  /// system would before executing, through the deployment's persistent
+  /// Flooder. Each call starts a new dissemination epoch (the per-node
+  /// re-broadcast suppression is reset first), so a query re-flood after a
+  /// re-execution reaches the whole field again. Returns nodes reached.
   int DisseminateQuery(const query::AnalyzedQuery& q);
 
   /// Executors bound to this deployment. The returned object references the
@@ -94,6 +99,9 @@ class Testbed {
   std::unique_ptr<data::NetworkData> data_;
   net::RoutingTree tree_;
   join::QuantizationConfig quantization_;
+  /// Node-resident flood-suppression state (see net::Flooder); engaged in
+  /// the constructor body once the simulator is in place.
+  std::optional<net::Flooder> flooder_;
   Rng rng_;
 };
 

@@ -1,9 +1,13 @@
 // Chaos soak for the self-healing execution path: many seeded fault
-// schedules (crashes, transient link outages, loss bursts) run against the
-// soundness invariants of testbed/chaos.h, plus determinism regressions —
-// the same chaos sweep must be byte-identical across thread counts and
-// across repeated runs, and a fault-free run with every self-healing
-// feature enabled must be bit-identical to one with the default config.
+// schedules composing all six fault axes (crashes, transient link outages,
+// loss bursts, duplication, delay-jitter reordering, cross-attempt replay)
+// run against the soundness invariants of testbed/chaos.h — including
+// exactly-once row accounting and the no-stall liveness bounds — plus
+// determinism regressions: the same chaos sweep must be byte-identical
+// across thread counts and across repeated runs, and a fault-free run with
+// every self-healing feature enabled must be bit-identical to one with the
+// default config. On the first invariant violation the soak prints a
+// minimized reproducer schedule as JSON.
 
 #include <cstdint>
 #include <cstring>
@@ -43,6 +47,29 @@ join::ProtocolConfig SelfHealingConfig() {
   config.enable_graceful_degradation = true;
   config.enable_phase_watchdog = true;
   return config;
+}
+
+/// Six-axis swarm parameters: the pre-existing crash/outage/loss defaults
+/// plus the delivery-semantics axes (duplication, jitter reordering,
+/// cross-attempt replay) at rates high enough to be exercised on every
+/// schedule.
+ChaosParams SwarmParams(uint64_t seed) {
+  ChaosParams params;
+  params.seed = seed;
+  params.duplication_rate = 0.05;
+  params.max_jitter_s = 0.005;
+  params.enable_replay = true;
+  return params;
+}
+
+/// Generous sim-time ceilings: orders of magnitude above a healthy run's
+/// millisecond-scale phases, so only a genuine stall (a repair or recovery
+/// loop that stops making progress) trips them.
+LivenessBounds SwarmLiveness() {
+  LivenessBounds bounds;
+  bounds.max_phase_span_s = 30.0;
+  bounds.max_total_s = 60.0;
+  return bounds;
 }
 
 uint64_t BitsOf(double v) {
@@ -98,6 +125,11 @@ std::string Fingerprint(const join::ExecutionReport& r,
       << " repairs=" << r.repairs_attempted << "/" << r.repairs_succeeded
       << " watchdog=" << r.watchdog_expirations
       << " corrupt=" << r.corrupted_deliveries
+      << " dup_pkts=" << r.total_cost.duplicate_packets
+      << " replay_pkts=" << r.total_cost.replayed_packets
+      << " dup_deliv=" << r.duplicate_deliveries
+      << " stale=" << r.stale_messages_dropped
+      << " reordered=" << r.reordered_messages
       << " degraded=" << r.certificate.degraded
       << " coverage=" << r.certificate.reporting_nodes << "/"
       << r.certificate.total_nodes << " excluded=";
@@ -118,23 +150,29 @@ struct TrialOutcome {
   size_t repairs_attempted = 0;
   size_t repairs_succeeded = 0;
   size_t watchdog_expirations = 0;
+  size_t duplicate_deliveries = 0;
+  size_t reordered_messages = 0;
+  size_t stale_messages_dropped = 0;
+  uint64_t duplicate_packets = 0;
+  uint64_t replayed_packets = 0;
+  size_t attempts = 0;
   bool degraded = false;
   bool success = false;
   double coverage = 0.0;
 };
 
-/// One chaos trial: an independent small deployment, a schedule drawn from
-/// the trial seed, one self-healing execution checked against the ground
-/// truth. `external` runs the external-join executor instead of SENS-Join.
-StatusOr<TrialOutcome> RunChaosTrial(uint64_t seed, bool external) {
-  auto tb = Testbed::Create(SmallDeployment(seed));
+/// One chaos trial: an independent small deployment (seeded by
+/// `params.seed`), a schedule drawn from `params`, one self-healing
+/// execution checked against the ground truth and the no-stall liveness
+/// bounds. `external` runs the external-join executor instead of SENS-Join.
+StatusOr<TrialOutcome> RunChaosTrial(const ChaosParams& params,
+                                     bool external) {
+  auto tb = Testbed::Create(SmallDeployment(params.seed));
   SENSJOIN_RETURN_IF_ERROR(tb.status());
   auto q = (*tb)->ParseQuery(kQuery);
   SENSJOIN_RETURN_IF_ERROR(q.status());
   (*tb)->DisseminateQuery(*q);
 
-  ChaosParams params;
-  params.seed = seed;
   const ChaosSchedule schedule = MakeChaosSchedule(**tb, params);
   ApplyChaos(**tb, schedule);
 
@@ -147,23 +185,47 @@ StatusOr<TrialOutcome> RunChaosTrial(uint64_t seed, bool external) {
   SENSJOIN_RETURN_IF_ERROR(report.status());
 
   const join::JoinResult truth = ComputeGroundTruth(**tb, *q, 0);
+  const LivenessBounds liveness = SwarmLiveness();
   TrialOutcome outcome;
-  outcome.violations = CheckInvariants(truth, *report, &tracer);
+  outcome.violations = CheckInvariants(truth, *report, &tracer, &liveness);
   outcome.fingerprint = Fingerprint(*report, &tracer);
   outcome.repairs_attempted = report->repairs_attempted;
   outcome.repairs_succeeded = report->repairs_succeeded;
   outcome.watchdog_expirations = report->watchdog_expirations;
+  outcome.duplicate_deliveries = report->duplicate_deliveries;
+  outcome.reordered_messages = report->reordered_messages;
+  outcome.stale_messages_dropped = report->stale_messages_dropped;
+  outcome.duplicate_packets = report->total_cost.duplicate_packets;
+  outcome.replayed_packets = report->total_cost.replayed_packets;
+  outcome.attempts = static_cast<size_t>(report->attempts);
   outcome.degraded = report->certificate.degraded;
   outcome.success = report->success;
   outcome.coverage = report->certificate.coverage();
   return outcome;
 }
 
+/// Greedily minimizes a violating schedule and renders it as the JSON
+/// reproducer. Deterministic: re-derives each candidate schedule from
+/// scratch.
+std::string MinimizedReproducer(const ChaosParams& params, bool external) {
+  const auto reproduces = [external](const ChaosParams& candidate) {
+    auto o = RunChaosTrial(candidate, external);
+    return o.ok() && !o->violations.empty();
+  };
+  const ChaosParams minimal = MinimizeChaos(params, reproduces);
+  auto tb = Testbed::Create(SmallDeployment(minimal.seed));
+  if (!tb.ok()) return "(reproducer testbed failed)";
+  auto q = (*tb)->ParseQuery(kQuery);
+  if (!q.ok()) return "(reproducer query failed)";
+  (*tb)->DisseminateQuery(*q);
+  return ChaosScheduleToJson(minimal, MakeChaosSchedule(**tb, minimal));
+}
+
 void SoakExecutor(bool external, int num_trials, uint64_t sweep_seed) {
   ParallelRunner runner(0);  // flag/env/hardware
   auto outcomes =
       runner.Run(num_trials, sweep_seed, [&](const TrialContext& ctx) {
-        auto o = RunChaosTrial(ctx.seed, external);
+        auto o = RunChaosTrial(SwarmParams(ctx.seed), external);
         EXPECT_TRUE(o.ok()) << "trial " << ctx.trial << ": " << o.status();
         return o.ok() ? *o : TrialOutcome{};
       });
@@ -172,6 +234,10 @@ void SoakExecutor(bool external, int num_trials, uint64_t sweep_seed) {
   size_t repairs = 0;
   size_t succeeded = 0;
   size_t degraded = 0;
+  size_t duplicates = 0;
+  size_t reordered = 0;
+  uint64_t dup_packets = 0;
+  bool dumped_reproducer = false;
   for (int i = 0; i < num_trials; ++i) {
     const TrialOutcome& o = (*outcomes)[static_cast<size_t>(i)];
     // With graceful degradation enabled an execution must always complete;
@@ -180,15 +246,31 @@ void SoakExecutor(bool external, int num_trials, uint64_t sweep_seed) {
     for (const std::string& v : o.violations) {
       ADD_FAILURE() << "trial " << i << ": " << v;
     }
+    if (!o.violations.empty() && !dumped_reproducer) {
+      // First violation: print a minimized schedule so the failure can be
+      // replayed standalone without re-running the whole swarm.
+      dumped_reproducer = true;
+      const uint64_t trial_seed =
+          DeriveTrialSeed(sweep_seed, static_cast<uint64_t>(i));
+      ADD_FAILURE() << "reproducer: "
+                    << MinimizedReproducer(SwarmParams(trial_seed), external);
+    }
     repairs += o.repairs_attempted;
     succeeded += o.repairs_succeeded;
     degraded += o.degraded ? 1u : 0u;
+    duplicates += o.duplicate_deliveries;
+    reordered += o.reordered_messages;
+    dup_packets += o.duplicate_packets;
   }
   // Non-vacuity: across the sweep the chaos must actually have exercised
-  // the repair path and the degradation path (deterministic: fixed seeds).
+  // the repair path, the degradation path and every delivery-semantics
+  // axis the guard defends against (deterministic: fixed seeds).
   EXPECT_GT(repairs, 0u);
   EXPECT_GT(succeeded, 0u);
   EXPECT_GT(degraded, 0u);
+  EXPECT_GT(duplicates, 0u);
+  EXPECT_GT(reordered, 0u);
+  EXPECT_GT(dup_packets, 0u);
 }
 
 TEST(ChaosSoakTest, FiftySchedulesSensJoinHoldInvariants) {
@@ -205,7 +287,7 @@ std::string RenderChaosSweep(int threads, uint64_t sweep_seed) {
   constexpr int kTrials = 6;
   ParallelRunner runner(threads);
   auto lines = runner.Run(kTrials, sweep_seed, [&](const TrialContext& ctx) {
-    auto o = RunChaosTrial(ctx.seed, /*external=*/false);
+    auto o = RunChaosTrial(SwarmParams(ctx.seed), /*external=*/false);
     EXPECT_TRUE(o.ok()) << o.status();
     return o.ok() ? o->fingerprint : std::string();
   });

@@ -58,6 +58,25 @@ TEST(TestbedTest, QueryDisseminationCostsQueryPackets) {
             before);
 }
 
+TEST(TestbedTest, RepeatedDisseminationReachesEveryNode) {
+  // Re-flooding a query (new epoch, re-execution after a failure) must
+  // reach the whole network again: the testbed resets the flood
+  // suppression state per call, so node-resident "already forwarded" marks
+  // from the previous epoch cannot smother the new flood.
+  TestbedParams params;
+  params.placement.num_nodes = 150;
+  params.placement.area_width_m = 350;
+  params.placement.area_height_m = 350;
+  auto tb = Testbed::Create(params);
+  ASSERT_TRUE(tb.ok());
+  auto q = (*tb)->ParseQuery(
+      "SELECT A.temp FROM sensors A, sensors B WHERE A.temp = B.temp ONCE");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*tb)->DisseminateQuery(*q), 150);
+  EXPECT_EQ((*tb)->DisseminateQuery(*q), 150);
+  EXPECT_EQ((*tb)->DisseminateQuery(*q), 150);
+}
+
 TEST(TestbedTest, RebuildTreeAfterFailure) {
   TestbedParams params;
   params.placement.num_nodes = 150;
