@@ -138,7 +138,7 @@ std::vector<sim::NodeId> PickRelayVictims(
     for (sim::NodeId c : tree.children(u)) {
       bool has_exit = false;
       for (sim::NodeId v : sim.radio().Neighbors(c)) {
-        if (!blocked[v] && tree.InTree(v) && sim.node(v).alive) {
+        if (!blocked[v] && tree.InTree(v) && sim.alive(v)) {
           has_exit = true;
           break;
         }
@@ -684,6 +684,7 @@ std::string ParseJsonFlag(const std::string& flag, int* argc, char** argv) {
 
 int main(int argc, char** argv) {
   const int threads = sensjoin::testbed::ParseThreadsFlag(&argc, argv);
+  sensjoin::testbed::ParseEngineFlag(&argc, argv);
   const sensjoin::bench::TraceFlag trace =
       sensjoin::bench::ParseTraceFlag(&argc, argv);
   const std::string repair_json =

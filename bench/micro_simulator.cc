@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "sensjoin/sensjoin.h"
+#include "sensjoin/sim/arena.h"
+#include "sensjoin/sim/node.h"
 
 namespace sensjoin {
 namespace {
@@ -159,6 +161,131 @@ BENCHMARK(BM_TestbedTrials)
     ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// --- Memory-layout microbenches -------------------------------------------
+//
+// The two layout decisions behind the 100k+ node scaling work, measured in
+// isolation: pooled arena slots vs per-delivery heap allocation, and
+// struct-of-arrays vs array-of-structs for the per-node hot state.
+
+/// A delivery slot as the simulator sees it: a Message plus its scheduling
+/// metadata. Heavy enough (std::any, tag) that per-delivery malloc shows.
+struct DeliverySlot {
+  sim::Message msg;
+  sim::SimTime deliver_at = 0.0;
+  uint32_t fragments = 0;
+};
+
+/// Steady-state delivery churn with one heap allocation per delivery — the
+/// layout before the arena: ~kInFlight slots live at any moment, every
+/// delivery a fresh new/delete pair.
+void BM_DeliverySlotsHeap(benchmark::State& state) {
+  constexpr int kInFlight = 256;
+  std::vector<DeliverySlot*> live;
+  live.reserve(kInFlight);
+  uint64_t deliveries = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kInFlight; ++i) {
+      auto* slot = new DeliverySlot();
+      slot->msg.src = i;
+      slot->msg.payload_bytes = 48;
+      live.push_back(slot);
+    }
+    for (DeliverySlot* slot : live) {
+      deliveries += slot->msg.payload_bytes;
+      delete slot;
+    }
+    live.clear();
+  }
+  benchmark::DoNotOptimize(deliveries);
+  state.SetItemsProcessed(state.iterations() * kInFlight);
+}
+BENCHMARK(BM_DeliverySlotsHeap);
+
+/// The same churn through an ArenaPool: after the first wave every Create
+/// is a free-list pop, so the steady state touches the allocator never.
+void BM_DeliverySlotsArena(benchmark::State& state) {
+  constexpr int kInFlight = 256;
+  sim::Arena arena;
+  sim::ArenaPool<DeliverySlot> pool(&arena);
+  std::vector<DeliverySlot*> live;
+  live.reserve(kInFlight);
+  uint64_t deliveries = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kInFlight; ++i) {
+      DeliverySlot* slot = pool.Create();
+      slot->msg.src = i;
+      slot->msg.payload_bytes = 48;
+      live.push_back(slot);
+    }
+    for (DeliverySlot* slot : live) {
+      deliveries += slot->msg.payload_bytes;
+      pool.Destroy(slot);
+    }
+    live.clear();
+  }
+  benchmark::DoNotOptimize(deliveries);
+  state.SetItemsProcessed(state.iterations() * kInFlight);
+}
+BENCHMARK(BM_DeliverySlotsArena);
+
+/// Array-of-structs per-node state: the pre-SoA layout, where bumping one
+/// hot counter drags the node's whole NodeStats (plus liveness flag)
+/// through the cache.
+struct NodeAoS {
+  bool alive = true;
+  sim::NodeStats stats;
+};
+
+void BM_NodeStateAoS(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<NodeAoS> nodes(static_cast<size_t>(n));
+  uint64_t alive_seen = 0;
+  for (auto _ : state) {
+    // The simulator's hot loop shape at scale: scan every node's liveness,
+    // but only a sparse subset is transmitting this instant. In AoS the
+    // flags sit one per ~200-byte struct, so the scan walks the whole
+    // state through the cache.
+    for (int i = 0; i < n; ++i) {
+      NodeAoS& node = nodes[static_cast<size_t>(i)];
+      if (!node.alive) continue;
+      ++alive_seen;
+      if ((i & 15) == 0) {
+        ++node.stats.packets_sent;
+        node.stats.bytes_sent += 48;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(alive_seen);
+  benchmark::DoNotOptimize(nodes.data());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NodeStateAoS)->Arg(4096)->Arg(65536);
+
+/// Struct-of-arrays per-node state: liveness packed one byte per node,
+/// stats in their own array — the Simulator's current layout. The liveness
+/// scan walks contiguous bytes and only the transmitting nodes' stats
+/// lines load.
+void BM_NodeStateSoA(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<uint8_t> alive(static_cast<size_t>(n), 1);
+  std::vector<sim::NodeStats> stats(static_cast<size_t>(n));
+  uint64_t alive_seen = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      if (!alive[static_cast<size_t>(i)]) continue;
+      ++alive_seen;
+      if ((i & 15) == 0) {
+        ++stats[static_cast<size_t>(i)].packets_sent;
+        stats[static_cast<size_t>(i)].bytes_sent += 48;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(alive_seen);
+  benchmark::DoNotOptimize(stats.data());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NodeStateSoA)->Arg(4096)->Arg(65536);
 
 }  // namespace
 }  // namespace sensjoin

@@ -56,7 +56,7 @@ void Main(uint64_t seed, int threads) {
     double max_energy = 0;
     for (int i = 0; i < tb->simulator().num_nodes(); ++i) {
       max_energy =
-          std::max(max_energy, tb->simulator().node(i).stats.energy_mj);
+          std::max(max_energy, tb->simulator().stats(i).energy_mj);
     }
     const uint64_t executions =
         static_cast<uint64_t>(kBatteryBudgetJ * 1000.0 / max_energy);
@@ -83,6 +83,7 @@ void Main(uint64_t seed, int threads) {
 
 int main(int argc, char** argv) {
   const int threads = sensjoin::testbed::ParseThreadsFlag(&argc, argv);
+  sensjoin::testbed::ParseEngineFlag(&argc, argv);
   const sensjoin::bench::TraceFlag trace =
       sensjoin::bench::ParseTraceFlag(&argc, argv);
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;

@@ -28,11 +28,25 @@ Runtime mode:
   no-tracer rate. Disabled tracing is one branch on the hot path, so the
   bound is enforced regardless of CPU count; the check is skipped only
   when the trace fields are absent (baseline predating the tracer).
+
+Scale mode:
+    check_bench_speedup.py --scale <BENCH_runtime.json> [min_ratio]
+  Validates the single-topology scale sweep (the "scale" section written
+  by `fig14_network_size --scale --scale-json=...`):
+  - every size must report fingerprint_match (the windowed engine's
+    execution was bit-identical to sequential) — enforced always;
+  - peak RSS of the largest size must stay under RSS_PER_NODE_BUDGET_KB
+    per node — the compact-layout budget, enforced always;
+  - on hosts with >= 4 CPUs, the windowed engine's intra-trial events/sec
+    on the largest size must be >= min_ratio (default 1.5) times the
+    sequential engine's. On smaller hosts the windowed engine has no
+    cores to win with, so the numbers are printed and the check passes.
 """
 import json
 import sys
 
 TRACE_OVERHEAD_TOLERANCE = 0.05
+RSS_PER_NODE_BUDGET_KB = 32.0
 
 
 def check_filterjoin(path: str, n: str, min_ratio: float) -> int:
@@ -119,12 +133,68 @@ def check_runtime(path: str, min_ratio: float) -> int:
     return 1 if failures else 0
 
 
+def check_scale(path: str, min_ratio: float) -> int:
+    with open(path) as f:
+        doc = json.load(f)
+    host_cpus = int(doc.get("host_cpus", 1))
+    enforce = host_cpus >= 4
+    if not enforce:
+        print(f"host_cpus={host_cpus} < 4: windowed-engine speedup not "
+              "measurable on this host; reporting numbers only")
+
+    sizes = doc.get("scale", {}).get("sizes", [])
+    if not sizes:
+        print(f"scale section missing or empty in {path}")
+        return 1
+
+    failures = []
+    for entry in sizes:
+        n = entry["nodes"]
+        if not entry.get("fingerprint_match", False):
+            failures.append(f"engine fingerprints diverged at {n} nodes")
+
+    largest = max(sizes, key=lambda entry: entry["nodes"])
+    n = largest["nodes"]
+    seq = largest.get("sequential", {})
+    win = largest.get("windowed", {})
+
+    # Peak RSS is read after each run of an ascending sweep, so the largest
+    # size's windowed reading is the process-wide peak.
+    rss_kb = max(seq.get("maxrss_kb", 0), win.get("maxrss_kb", 0))
+    per_node = rss_kb / n
+    print(f"peak RSS at {n} nodes: {rss_kb / 1024.0:.1f} MB "
+          f"({per_node:.2f} KB/node, budget {RSS_PER_NODE_BUDGET_KB} "
+          "KB/node)")
+    if per_node > RSS_PER_NODE_BUDGET_KB:
+        failures.append("peak RSS per node above budget")
+
+    seq_rate, win_rate = seq.get("events_per_sec"), win.get("events_per_sec")
+    if seq_rate and win_rate:
+        ratio = win_rate / seq_rate
+        print(f"events/sec at {n} nodes: sequential={seq_rate:.0f}  "
+              f"windowed={win_rate:.0f} ({win.get('workers', '?')} workers)  "
+              f"speedup: {ratio:.2f}x (required >= {min_ratio}x)")
+        if enforce and ratio < min_ratio:
+            failures.append("windowed events/sec speedup below threshold")
+    else:
+        print(f"events_per_sec missing from scale section of {path}")
+        failures.append("events_per_sec missing")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def main() -> int:
     args = sys.argv[1:]
     if args and args[0] == "--runtime":
         path = args[1]
         min_ratio = float(args[2]) if len(args) > 2 else 2.0
         return check_runtime(path, min_ratio)
+    if args and args[0] == "--scale":
+        path = args[1]
+        min_ratio = float(args[2]) if len(args) > 2 else 1.5
+        return check_scale(path, min_ratio)
     path = args[0]
     n = args[1] if len(args) > 1 else "1500"
     min_ratio = float(args[2]) if len(args) > 2 else 1.0

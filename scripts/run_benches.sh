@@ -26,29 +26,43 @@ run micro_pointset "${OUT_DIR}/BENCH_pointset.json"
 # distilled into the "micro" section of BENCH_runtime.json
 # (run_all_benches.sh fills the "benches" wall-clock section of the same
 # file), the fault-tolerance ablation's repair-vs-re-execution sweep into
-# its "repair" section, and the delivery-semantics sweep (duplication x
-# jitter x cross-attempt replay) into its "delivery" section.
+# its "repair" section, the delivery-semantics sweep (duplication x
+# jitter x cross-attempt replay) into its "delivery" section, and the
+# single-topology sequential-vs-windowed sweep into its "scale" section.
 RAW_JSON="$(mktemp)"
 RAW_TRACE_JSON="$(mktemp)"
 RAW_REPAIR_JSON="$(mktemp)"
 RAW_DELIVERY_JSON="$(mktemp)"
+RAW_SCALE_JSON="$(mktemp)"
 trap 'rm -f "${RAW_JSON}" "${RAW_TRACE_JSON}" "${RAW_REPAIR_JSON}" \
-  "${RAW_DELIVERY_JSON}"' EXIT
+  "${RAW_DELIVERY_JSON}" "${RAW_SCALE_JSON}"' EXIT
 
 echo "===== abl_fault_tolerance (repair + delivery sweeps) ====="
 "${BUILD_DIR}/bench/abl_fault_tolerance" \
   --repair-json="${RAW_REPAIR_JSON}" \
   --delivery-json="${RAW_DELIVERY_JSON}" 42 250 > /dev/null
+
+# Single-topology scale sweep (sequential vs windowed engine). Override
+# SCALE_SIZES to trade coverage for wall-clock (CI smoke uses 20000,50000;
+# the tracked baseline uses the full 5k/15k/50k/150k ladder).
+SCALE_SIZES="${SCALE_SIZES:-5000,15000,50000,150000}"
+echo "===== fig14_network_size --scale (${SCALE_SIZES}) ====="
+"${BUILD_DIR}/bench/fig14_network_size" --scale \
+  --scale-sizes="${SCALE_SIZES}" \
+  --scale-json="${RAW_SCALE_JSON}" 42
+
 run micro_simulator "${RAW_JSON}"
 run micro_trace "${RAW_TRACE_JSON}"
 python3 - "${RAW_JSON}" "${RAW_TRACE_JSON}" "${RAW_REPAIR_JSON}" \
-  "${RAW_DELIVERY_JSON}" "${OUT_DIR}/BENCH_runtime.json" <<'PY'
+  "${RAW_DELIVERY_JSON}" "${RAW_SCALE_JSON}" \
+  "${OUT_DIR}/BENCH_runtime.json" <<'PY'
 import json
 import os
 import sys
 
-raw_path, trace_path, repair_path, delivery_path, out_path = (
-    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5])
+raw_path, trace_path, repair_path, delivery_path, scale_path, out_path = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5],
+    sys.argv[6])
 rates = {}
 for path in (raw_path, trace_path):
     with open(path) as f:
@@ -85,6 +99,14 @@ doc["micro"] = {
             "BM_UnicastTracerEnabled"),
         "buffer_appends_per_sec": rates.get("BM_TraceBufferAppend"),
     },
+    "alloc": {
+        "delivery_slots_heap_per_sec": rates.get("BM_DeliverySlotsHeap"),
+        "delivery_slots_arena_per_sec": rates.get("BM_DeliverySlotsArena"),
+    },
+    "layout": {
+        "node_state_aos_per_sec_65536": rates.get("BM_NodeStateAoS/65536"),
+        "node_state_soa_per_sec_65536": rates.get("BM_NodeStateSoA/65536"),
+    },
 }
 
 with open(repair_path) as f:
@@ -93,8 +115,11 @@ with open(repair_path) as f:
 with open(delivery_path) as f:
     doc["delivery"] = json.load(f)
 
+with open(scale_path) as f:
+    doc["scale"] = json.load(f)
+
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"wrote micro, repair and delivery sections of {out_path}")
+print(f"wrote micro, repair, delivery and scale sections of {out_path}")
 PY

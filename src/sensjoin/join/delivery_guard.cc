@@ -24,19 +24,38 @@ const char* DeliveryVerdictName(DeliveryVerdict verdict) {
   return "unknown";
 }
 
-DeliveryGuard::DeliveryGuard(int dedup_window, int tag_wire_bytes)
+DeliveryGuard::DeliveryGuard(int dedup_window, int tag_wire_bytes,
+                             int num_nodes)
     : dedup_window_(std::max(1, dedup_window)),
-      tag_wire_bytes_(std::max(0, tag_wire_bytes)) {}
+      tag_wire_bytes_(std::max(0, tag_wire_bytes)),
+      by_src_(static_cast<size_t>(std::max(0, num_nodes))) {}
 
 void DeliveryGuard::BeginAttempt(uint32_t attempt_id) {
   attempt_id_ = attempt_id;
-  links_.clear();
+  // Shards are retained (only cleared) so a pre-sized table never
+  // reallocates mid-attempt under concurrent stamping.
+  for (auto& shard : by_src_) shard.clear();
+}
+
+DeliveryGuard::LinkState& DeliveryGuard::LinkFor(sim::NodeId src,
+                                                 sim::NodeId dst) {
+  const auto s = static_cast<size_t>(src);
+  if (s >= by_src_.size()) by_src_.resize(s + 1);
+  return by_src_[s][dst];
+}
+
+DeliveryGuard::LinkState* DeliveryGuard::FindLink(sim::NodeId src,
+                                                  sim::NodeId dst) {
+  const auto s = static_cast<size_t>(src);
+  if (s >= by_src_.size()) return nullptr;
+  auto it = by_src_[s].find(dst);
+  return it == by_src_[s].end() ? nullptr : &it->second;
 }
 
 void DeliveryGuard::Stamp(sim::Message& msg) {
   SENSJOIN_CHECK(msg.dst != sim::kInvalidNode)
       << "only unicasts carry delivery tags";
-  LinkState& link = links_[LinkKey(msg.src, msg.dst)];
+  LinkState& link = LinkFor(msg.src, msg.dst);
   msg.tag.attempt_id = attempt_id_;
   msg.tag.seq = link.next_seq++;
   link.window.push_back(Entry{msg.tag.seq, false});
@@ -48,9 +67,9 @@ void DeliveryGuard::Stamp(sim::Message& msg) {
 
 void DeliveryGuard::Retract(const sim::Message& msg) {
   if (!msg.tag.tagged() || msg.tag.attempt_id != attempt_id_) return;
-  auto it = links_.find(LinkKey(msg.src, msg.dst));
-  if (it == links_.end()) return;
-  std::deque<Entry>& window = it->second.window;
+  LinkState* state = FindLink(msg.src, msg.dst);
+  if (state == nullptr) return;
+  std::deque<Entry>& window = state->window;
   for (auto e = window.begin(); e != window.end(); ++e) {
     if (e->seq == msg.tag.seq) {
       window.erase(e);
@@ -75,8 +94,7 @@ DeliveryVerdict DeliveryGuard::Classify(sim::NodeId receiver,
     ++stale_drops_;
     return DeliveryVerdict::kStale;
   }
-  auto it = links_.find(LinkKey(msg.src, msg.dst));
-  LinkState* link = it == links_.end() ? nullptr : &it->second;
+  LinkState* link = FindLink(msg.src, msg.dst);
   Entry* entry = nullptr;
   bool earlier_outstanding = false;
   if (link != nullptr) {

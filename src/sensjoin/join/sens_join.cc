@@ -14,6 +14,7 @@
 #include "sensjoin/join/join_attr_codec.h"
 #include "sensjoin/join/join_filter.h"
 #include "sensjoin/join/representation.h"
+#include "sensjoin/sim/parallel_engine.h"
 
 namespace sensjoin::join {
 namespace {
@@ -67,7 +68,8 @@ StatusOr<ExecutionReport> SensJoinExecutor::Execute(
   // keeps fault-free runs bit-identical to the seed.
   DeliveryGuard guard(
       config_.dedup_window,
-      config_.charge_tag_wire_bytes ? config_.tag_wire_bytes : 0);
+      config_.charge_tag_wire_bytes ? config_.tag_wire_bytes : 0,
+      sim_.num_nodes());
   auto previous_handler = sim_.SetReceiveHandler(
       [this, &guard](sim::NodeId receiver, const sim::Message& msg) {
         const DeliveryVerdict verdict = guard.Classify(receiver, msg);
@@ -160,7 +162,7 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       return false;
     }
     for (int r = 0; r < config_.max_recovery_requests; ++r) {
-      if (!sim_.node(msg.src).alive || !sim_.node(msg.dst).alive ||
+      if (!sim_.alive(msg.src) || !sim_.alive(msg.dst) ||
           !sim_.radio().LinkUp(msg.src, msg.dst)) {
         guard->Retract(msg);
         return false;  // persistent: needs CTP repair
@@ -226,6 +228,23 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
 
   const sim::NodeId root = tree_.root();
   std::vector<data::Tuple> base_candidates;
+
+  // Windowed execution: the attempt's partitions are the depth-1 subtrees
+  // of the tree it walks. Turn bodies write directly into same-partition
+  // state (the parent of a non-depth-1 node is in its own subtree, and its
+  // turn runs later on the same worker); anything that crosses a partition
+  // boundary — a depth-1 node merging into the base station's pending
+  // state, shared report counters — goes through engine.Defer, which the
+  // windowed engine commits in turn order at the window barrier and the
+  // sequential engine runs inline, so both paths execute the same
+  // statements in the same order. Fault-handling branches (rescues,
+  // corrupted deliveries, recovery requests) mutate coordinator state
+  // directly: they are unreachable inside a parallel window because the
+  // engine falls back to sequential whenever any fault machinery is armed
+  // (sim::Simulator::WindowSafe).
+  sim::ParallelEngine& engine = sim_.engine();
+  const sim::PartitionMap parts =
+      sim::PartitionMap::FromParents(tree_.parents(), root);
 
   // --- Self-healing machinery ---------------------------------------------
   // Persistent hop failures escalate in order: phase watchdog (give up on a
@@ -312,14 +331,15 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
   };
 
   // Fidelity check (tests): everything handed to the radio must survive an
-  // actual serialize/parse roundtrip through the Fig. 9 wire format.
-  auto verify_wire = [this, &codec,
-                      scratch = BitWriter{}](const PointSet& set) mutable {
+  // actual serialize/parse roundtrip through the Fig. 9 wire format. The
+  // encoding buffer is the per-worker scratch (one buffer per worker, not
+  // one per node), so concurrent turns never share it.
+  auto verify_wire = [this, &codec](const PointSet& set, BitWriter& scratch) {
     if (!config_.verify_wire_roundtrip ||
         config_.representation != JoinAttrRepresentation::kQuadtree) {
       return;
     }
-    set.EncodeTo(&scratch);  // one encoding buffer across all nodes
+    set.EncodeTo(&scratch);
     auto decoded = PointSet::Decode(codec.layout(), scratch);
     SENSJOIN_CHECK(decoded.ok()) << decoded.status();
     SENSJOIN_CHECK(*decoded == set) << "wire roundtrip mismatch";
@@ -445,7 +465,9 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
   };
 
   const std::vector<sim::NodeId> order_1a = tree_.collection_order();
-  for (sim::NodeId u : order_1a) {
+  engine.RunTurns(parts, order_1a, [&](sim::NodeId u,
+                                       sim::ParallelEngine::Scratch& scratch) {
+    if (*failed) return;  // a prior turn aborted the attempt
     done1a[u] = 1;
     NodeState& s = states[u];
     const ExecutorContext::NodeInfo& info = ctx.info(u);
@@ -463,7 +485,7 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       s.pending_attrs.InsertAll(std::move(base_keys));
       s.subtree_attrs = s.pending_attrs;  // powered node: no memory limit
       s.has_subtree_attrs = true;
-      continue;
+      return;
     }
 
     size_t full_bytes = info.has_tuple ? info.full_tuple_bytes : 0;
@@ -479,8 +501,8 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       std::vector<data::Tuple> contribution = std::move(s.pending_full);
       if (info.has_tuple) contribution.push_back(info.tuple);
       s.exited = true;
-      ++report->treecut_exited_nodes;
-      if (contribution.empty()) continue;
+      engine.Defer([report] { ++report->treecut_exited_nodes; });
+      if (contribution.empty()) return;
       sim::Message msg;
       msg.src = u;
       msg.dst = tree_.parent(u);
@@ -499,20 +521,29 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
         keys.InsertAll(std::move(key_list));
         if (!rescue_collection(u, keys, std::move(contribution), full_bytes)) {
           *failed = true;
-          return Status::Ok();
         }
-        continue;
+        return;
       }
       if (corrupted) {
         // Garbled full tuples are unusable; the subtree's rows are lost.
         ++report->corrupted_deliveries;
-        continue;
+        return;
       }
-      NodeState& p = states[tree_.parent(u)];
-      p.pending_full.insert(p.pending_full.end(),
-                            std::make_move_iterator(contribution.begin()),
-                            std::make_move_iterator(contribution.end()));
-      continue;
+      const sim::NodeId parent = tree_.parent(u);
+      if (parts.SamePartition(u, parent)) {
+        NodeState& p = states[parent];
+        p.pending_full.insert(p.pending_full.end(),
+                              std::make_move_iterator(contribution.begin()),
+                              std::make_move_iterator(contribution.end()));
+      } else {
+        engine.Defer([&p = states[parent],
+                      contribution = std::move(contribution)]() mutable {
+          p.pending_full.insert(p.pending_full.end(),
+                                std::make_move_iterator(contribution.begin()),
+                                std::make_move_iterator(contribution.end()));
+        });
+      }
+      return;
     }
 
     // Act as a proxy for received complete tuples; remember the subtree's
@@ -526,9 +557,9 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       s.has_subtree_attrs = true;
     }
 
-    // After this iteration u's accumulated structure is only needed as
-    // `out` (subtree_attrs already holds its copy when selective
-    // forwarding kept one), so hand the buffer over instead of cloning.
+    // After this turn u's accumulated structure is only needed as `out`
+    // (subtree_attrs already holds its copy when selective forwarding kept
+    // one), so hand the buffer over instead of cloning.
     PointSet out = std::move(s.pending_attrs);
     std::vector<uint64_t> local_keys;
     local_keys.reserve(s.proxy_tuples.size() + 1);
@@ -537,8 +568,8 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     }
     if (info.has_tuple) local_keys.push_back(node_key[u]);
     out.InsertAll(std::move(local_keys));
-    if (out.empty()) continue;  // nothing in this subtree
-    verify_wire(out);
+    if (out.empty()) return;  // nothing in this subtree
+    verify_wire(out, scratch.bits);
 
     sim::Message msg;
     msg.src = u;
@@ -549,25 +580,36 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     if (!send_with_recovery(msg, &corrupted)) {
       if (!rescue_collection(u, out, {}, 0)) {
         *failed = true;
-        return Status::Ok();
+        return;
       }
       // A degraded rescue leaves u out of the upward structure flow, so its
       // parent must not expect it as a dissemination target in step 1b.
       if (excluded.count(u) == 0) s.sent_attrs = true;
-      continue;
+      return;
     }
     s.sent_attrs = true;
-    NodeState& p = states[tree_.parent(u)];
+    const sim::NodeId parent = tree_.parent(u);
     if (corrupted) {
+      // Fault-only path (sequential by construction).
       auto damaged = receive_damaged(out);
-      if (!damaged.ok()) continue;  // parent discards the garbled structure
-      p.pending_attrs.UnionInPlace(*damaged, &union_scratch);
-    } else {
-      p.pending_attrs.UnionInPlace(out, &union_scratch);
+      if (!damaged.ok()) return;  // parent discards the garbled structure
+      out = std::move(*damaged);
     }
-    p.any_attrs_child = true;
-  }
+    if (parts.SamePartition(u, parent)) {
+      NodeState& p = states[parent];
+      p.pending_attrs.UnionInPlace(out, &scratch.u64);
+      p.any_attrs_child = true;
+    } else {
+      engine.Defer([&p = states[parent], out = std::move(out),
+                    &union_scratch]() mutable {
+        p.pending_attrs.UnionInPlace(out, &union_scratch);
+        p.any_attrs_child = true;
+      });
+    }
+  });
+  if (*failed) return Status::Ok();
   sim_.events().Run();
+  sim_.events().ShrinkToFit();
   span.reset();
 
   // ---- Base station: conservative filter join ---------------------------
@@ -588,21 +630,29 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
   // ancestor-pruned filter widened to the new path's subtree, which cannot
   // be reconstructed locally without risking silent row loss. A child that
   // cannot be reached degrades into a certified exclusion instead.
-  for (sim::NodeId u : tree_.dissemination_order()) {
+  engine.RunTurns(parts, tree_.dissemination_order(), [&](sim::NodeId u,
+                                                          sim::ParallelEngine::
+                                                              Scratch&
+                                                                  scratch) {
+    if (*failed) return;  // a prior turn aborted the attempt
     NodeState& s = states[u];
-    if (s.exited || !s.got_filter) continue;
+    if (s.exited || !s.got_filter) return;
 
+    // Every write below lands in u's own subtree (its targets are its
+    // children), so partitioned turns never touch foreign state: the root's
+    // writes into its depth-1 children happen on its inline turn before the
+    // window starts.
     std::vector<sim::NodeId> targets;
     for (sim::NodeId c : tree_.children(u)) {
       if (states[c].sent_attrs) targets.push_back(c);
     }
-    if (targets.empty()) continue;
+    if (targets.empty()) return;
 
     PointSet forward = s.has_subtree_attrs
                            ? PointSet::Intersect(s.filter, s.subtree_attrs)
                            : s.filter;  // over budget: cannot prune
-    if (forward.empty()) continue;  // subtree holds no result tuples
-    verify_wire(forward);
+    if (forward.empty()) return;  // subtree holds no result tuples
+    verify_wire(forward, scratch.bits);
 
     sim::Message msg;
     msg.src = u;
@@ -653,7 +703,7 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
             continue;
           }
           *failed = true;
-          return Status::Ok();
+          return;
         }
         child_filter = forward;
         if (corrupted) {
@@ -667,8 +717,10 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
       states[c].filter = std::move(child_filter);
       states[c].got_filter = true;
     }
-  }
+  });
+  if (*failed) return Status::Ok();
   sim_.events().Run();
+  sim_.events().ShrinkToFit();
   span.reset();
 
   // ---- Phase 2: Final-Result-Computation ---------------------------------
@@ -727,10 +779,12 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
   };
 
   const std::vector<sim::NodeId> order_2 = tree_.collection_order();
-  for (sim::NodeId u : order_2) {
+  engine.RunTurns(parts, order_2, [&](sim::NodeId u,
+                                      sim::ParallelEngine::Scratch&) {
+    if (*failed) return;  // a prior turn aborted the attempt
     done2[u] = 1;
     NodeState& s = states[u];
-    if (u != root && s.exited) continue;
+    if (u != root && s.exited) return;
 
     std::vector<data::Tuple> contribution = std::move(pending_final[u]);
     if (u != root && s.got_filter) {
@@ -746,15 +800,17 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
           ++own;
         }
       }
-      report->final_tuples_shipped += own;
+      if (own != 0) {
+        engine.Defer([report, own] { report->final_tuples_shipped += own; });
+      }
     }
     if (u == root) {
       base_candidates.insert(base_candidates.end(),
                              std::make_move_iterator(contribution.begin()),
                              std::make_move_iterator(contribution.end()));
-      continue;
+      return;
     }
-    if (contribution.empty()) continue;
+    if (contribution.empty()) return;
 
     size_t payload = 0;
     for (const data::Tuple& t : contribution) {
@@ -769,20 +825,30 @@ Status SensJoinExecutor::ExecuteAttempt(const query::AnalyzedQuery& q,
     if (!send_with_recovery(msg, &corrupted)) {
       if (!rescue_final(u, std::move(contribution), payload)) {
         *failed = true;
-        return Status::Ok();
       }
-      continue;
+      return;
     }
     if (corrupted) {
       // Garbled result rows are discarded upstream.
       ++report->corrupted_deliveries;
-      continue;
+      return;
     }
-    std::vector<data::Tuple>& up = pending_final[tree_.parent(u)];
-    up.insert(up.end(), std::make_move_iterator(contribution.begin()),
-              std::make_move_iterator(contribution.end()));
-  }
+    const sim::NodeId parent = tree_.parent(u);
+    if (parts.SamePartition(u, parent)) {
+      std::vector<data::Tuple>& up = pending_final[parent];
+      up.insert(up.end(), std::make_move_iterator(contribution.begin()),
+                std::make_move_iterator(contribution.end()));
+    } else {
+      engine.Defer([&up = pending_final[parent],
+                    contribution = std::move(contribution)]() mutable {
+        up.insert(up.end(), std::make_move_iterator(contribution.begin()),
+                  std::make_move_iterator(contribution.end()));
+      });
+    }
+  });
+  if (*failed) return Status::Ok();
   sim_.events().Run();
+  sim_.events().ShrinkToFit();
   span.reset();
 
   report->candidate_tuples = base_candidates.size();

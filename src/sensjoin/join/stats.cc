@@ -48,7 +48,7 @@ StatsSnapshot::StatsSnapshot(const sim::Simulator& sim)
       replay_energy_(sim.replay_energy_mj()) {
   per_node_join_packets_.resize(sim.num_nodes());
   for (int i = 0; i < sim.num_nodes(); ++i) {
-    per_node_join_packets_[i] = JoinPacketsOfNode(sim.node(i).stats);
+    per_node_join_packets_[i] = JoinPacketsOfNode(sim.stats(i));
   }
 }
 
@@ -87,7 +87,7 @@ CostReport StatsSnapshot::DeltaTo(const sim::Simulator& sim) const {
   report.per_node_packets.resize(sim.num_nodes());
   for (int i = 0; i < sim.num_nodes(); ++i) {
     report.per_node_packets[i] =
-        JoinPacketsOfNode(sim.node(i).stats) - per_node_join_packets_[i];
+        JoinPacketsOfNode(sim.stats(i)) - per_node_join_packets_[i];
   }
   return report;
 }

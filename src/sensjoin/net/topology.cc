@@ -10,16 +10,20 @@
 namespace sensjoin::net {
 namespace {
 
-/// Marks every node reachable from `root` over the unit-disk graph.
+/// Marks every node reachable from `root` over the unit-disk graph. Uses
+/// the scratch-buffer neighbor API so connectivity checks work in on-demand
+/// (100k+ node) radio mode too.
 std::vector<char> ReachableFrom(const sim::Radio& radio, sim::NodeId root) {
   std::vector<char> seen(radio.num_nodes(), 0);
   std::queue<sim::NodeId> frontier;
+  std::vector<sim::NodeId> nbrs;
   frontier.push(root);
   seen[root] = 1;
   while (!frontier.empty()) {
     const sim::NodeId u = frontier.front();
     frontier.pop();
-    for (sim::NodeId v : radio.Neighbors(u)) {
+    radio.Neighbors(u, nbrs);
+    for (sim::NodeId v : nbrs) {
       if (!seen[v]) {
         seen[v] = 1;
         frontier.push(v);
@@ -64,7 +68,11 @@ StatusOr<Placement> GenerateConnectedPlacement(const PlacementParams& params,
   // Iteratively resample nodes that cannot reach the base station; this
   // converges much faster than regenerating whole placements.
   for (int attempt = 0; attempt < params.max_attempts; ++attempt) {
-    sim::Radio radio(placement.positions, params.range_m);
+    // Materialization is skipped: the connectivity check only needs one
+    // BFS pass, so the grid-backed on-demand mode is both faster to build
+    // and far smaller at 100k+ nodes.
+    sim::Radio radio(placement.positions, params.range_m,
+                     sim::RadioOptions{.materialize_threshold = 0});
     std::vector<char> seen = ReachableFrom(radio, 0);
     int unreachable = 0;
     for (int i = 0; i < params.num_nodes; ++i) {

@@ -110,7 +110,7 @@ TreeMaintenance::TreeMaintenance(sim::Simulator& sim, RoutingTree& tree,
 bool TreeMaintenance::HasLiveRootPath(sim::NodeId id) const {
   if (!tree_.InTree(id)) return false;
   for (sim::NodeId u = id; u != tree_.root();) {
-    if (!sim_.node(u).alive) return false;
+    if (!sim_.alive(u)) return false;
     const sim::NodeId p = tree_.parent(u);
     if (p == sim::kInvalidNode) return false;
     // An active outage window passes repair traffic but blocks the join
@@ -120,17 +120,17 @@ bool TreeMaintenance::HasLiveRootPath(sim::NodeId id) const {
     }
     u = p;
   }
-  return sim_.node(tree_.root()).alive;
+  return sim_.alive(tree_.root());
 }
 
 std::vector<sim::NodeId> TreeMaintenance::DetectOrphans() const {
   std::vector<sim::NodeId> orphans;
   for (sim::NodeId u = 0; u < sim_.num_nodes(); ++u) {
     if (u == tree_.root() || !tree_.InTree(u)) continue;
-    if (!sim_.node(u).alive) continue;
+    if (!sim_.alive(u)) continue;
     const sim::NodeId p = tree_.parent(u);
     if (p == sim::kInvalidNode) continue;
-    if (!sim_.node(p).alive || !sim_.radio().LinkUp(u, p) ||
+    if (!sim_.alive(p) || !sim_.radio().LinkUp(u, p) ||
         sim_.radio().OutageActive(u, p)) {
       orphans.push_back(u);
     }
@@ -142,7 +142,7 @@ bool TreeMaintenance::Repair(sim::NodeId orphan,
                              const ParentAcceptable& acceptable) {
   SENSJOIN_CHECK(orphan >= 0 && orphan < sim_.num_nodes());
   SENSJOIN_CHECK(orphan != tree_.root()) << "the root cannot be an orphan";
-  if (!sim_.node(orphan).alive || !tree_.InTree(orphan)) return false;
+  if (!sim_.alive(orphan) || !tree_.InTree(orphan)) return false;
 
   obs::ScopedPhase span(sim_.tracer(), sim_.events(), obs::Phase::kTreeRepair);
   ++stats_.orphans_detected;

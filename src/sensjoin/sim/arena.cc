@@ -1,0 +1,39 @@
+#include "sensjoin/sim/arena.h"
+
+namespace sensjoin::sim {
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (current_ < chunks_.size()) {
+      Chunk& c = chunks_[current_];
+      const size_t base = reinterpret_cast<size_t>(c.data.get());
+      const size_t aligned = (base + c.used + alignment - 1) & ~(alignment - 1);
+      const size_t offset = aligned - base;
+      if (offset + bytes <= c.size) {
+        c.used = offset + bytes;
+        bytes_allocated_ += bytes;
+        return c.data.get() + offset;
+      }
+      // Chunk exhausted: advance (a later chunk may already exist after a
+      // Reset; otherwise fall through to grow).
+      ++current_;
+      continue;
+    }
+    // Chunks grow geometrically so huge trials amortize to O(log n)
+    // allocations; an oversized request gets a dedicated chunk.
+    size_t size = chunk_bytes_ << (chunks_.size() < 8 ? chunks_.size() : 8);
+    if (size < bytes + alignment) size = bytes + alignment;
+    chunks_.push_back(
+        Chunk{std::make_unique<std::byte[]>(size), size, /*used=*/0});
+    bytes_reserved_ += size;
+  }
+}
+
+void Arena::Reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  current_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace sensjoin::sim

@@ -1,5 +1,6 @@
 #include "sensjoin/sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sensjoin/common/logging.h"
@@ -16,6 +17,7 @@ EventId EventQueue::ScheduleAt(SimTime t, Callback cb) {
   } else {
     slot = static_cast<uint32_t>(slots_.size());
     slots_.emplace_back();
+    slots_.back().generation = generation_floor_;
   }
   Slot& s = slots_[slot];
   s.cb = std::move(cb);
@@ -52,6 +54,7 @@ bool EventQueue::RunOne() {
     const Entry top = heap_.top();
     heap_.pop();
     const uint32_t slot = SlotOf(top.id);
+    if (slot >= slots_.size()) continue;  // slot discarded by ShrinkToFit
     Slot& s = slots_[slot];
     if (!s.active || s.generation != GenerationOf(top.id)) continue;
     Callback cb = std::move(s.cb);
@@ -69,7 +72,12 @@ size_t EventQueue::RunUntil(SimTime t) {
   while (!heap_.empty()) {
     // Skip canceled entries without advancing time.
     const Entry& top = heap_.top();
-    const Slot& s = slots_[SlotOf(top.id)];
+    const uint32_t slot = SlotOf(top.id);
+    if (slot >= slots_.size()) {  // slot discarded by ShrinkToFit
+      heap_.pop();
+      continue;
+    }
+    const Slot& s = slots_[slot];
     if (!s.active || s.generation != GenerationOf(top.id)) {
       heap_.pop();
       continue;
@@ -80,6 +88,37 @@ size_t EventQueue::RunUntil(SimTime t) {
   }
   if (now_ < t) now_ = t;
   return fired;
+}
+
+void EventQueue::ShrinkToFit() {
+  if (pending_count_ == 0) {
+    // Drained queue: everything goes, including stale heap entries left by
+    // cancellations. The generation floor keeps every outstanding id dead.
+    for (const Slot& s : slots_) {
+      generation_floor_ = std::max(generation_floor_, s.generation + 1);
+    }
+    slots_.clear();
+    slots_.shrink_to_fit();
+    free_slots_.clear();
+    free_slots_.shrink_to_fit();
+    if (!heap_.empty()) heap_ = decltype(heap_){};
+    return;
+  }
+  // Live events pin their slot indices, so only the trailing run of
+  // inactive slots can be returned to the allocator.
+  size_t keep = slots_.size();
+  while (keep > 0 && !slots_[keep - 1].active) {
+    generation_floor_ =
+        std::max(generation_floor_, slots_[keep - 1].generation + 1);
+    --keep;
+  }
+  if (keep < slots_.size()) {
+    slots_.resize(keep);
+    slots_.shrink_to_fit();
+    std::erase_if(free_slots_,
+                  [keep](uint32_t s) { return static_cast<size_t>(s) >= keep; });
+  }
+  free_slots_.shrink_to_fit();
 }
 
 size_t EventQueue::Run(size_t max_events) {

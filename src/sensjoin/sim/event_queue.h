@@ -61,6 +61,20 @@ class EventQueue {
   /// runaway self-rescheduling loops. Returns the number of events fired.
   size_t Run(size_t max_events = 100'000'000);
 
+  /// Returns high-water storage to the allocator after a burst: all slots
+  /// when the queue is drained (plus any stale heap entries), otherwise the
+  /// trailing run of inactive slots and the free list's slack. Outstanding
+  /// EventIds stay valid — ids of discarded slots are permanently dead via
+  /// a generation floor, so a recycled slot index can never alias an old
+  /// handle. Executors call this at phase boundaries, where the queue is
+  /// empty but its high-water mark reflects the whole previous phase.
+  void ShrinkToFit();
+
+  /// Pool introspection (diagnostics / tests).
+  size_t slot_count() const { return slots_.size(); }
+  size_t slot_capacity() const { return slots_.capacity(); }
+  size_t free_slot_count() const { return free_slots_.size(); }
+
   // Lifetime statistics, captured into metrics dumps by
   // obs::CaptureSimulatorMetrics. Never reset (they describe the whole run).
   uint64_t total_scheduled() const { return total_scheduled_; }
@@ -104,6 +118,10 @@ class EventQueue {
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
+  /// Slots created after a ShrinkToFit start their generation here, above
+  /// every generation a discarded slot ever handed out, so stale EventIds
+  /// can never alias a recreated slot index.
+  uint32_t generation_floor_ = 0;
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   size_t pending_count_ = 0;

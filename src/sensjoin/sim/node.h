@@ -51,13 +51,9 @@ struct NodeStats {
   void Reset() { *this = NodeStats{}; }
 };
 
-/// Network-level node state. Sensor readings live in the data layer; the
-/// simulator only tracks communication and liveness.
-struct Node {
-  NodeId id = kInvalidNode;
-  bool alive = true;
-  NodeStats stats;
-};
+// Network-level per-node state (liveness, stats) is stored
+// struct-of-arrays inside the Simulator — see Simulator::alive() /
+// Simulator::stats(). Sensor readings live in the data layer.
 
 }  // namespace sensjoin::sim
 

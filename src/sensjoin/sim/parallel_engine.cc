@@ -1,0 +1,218 @@
+#include "sensjoin/sim/parallel_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "sensjoin/common/logging.h"
+#include "sensjoin/sim/simulator.h"
+
+namespace sensjoin::sim {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSequential:
+      return "sequential";
+    case EngineKind::kWindowed:
+      return "windowed";
+  }
+  return "unknown";
+}
+
+PartitionMap PartitionMap::FromParents(const std::vector<NodeId>& parent,
+                                       NodeId root) {
+  PartitionMap map;
+  const NodeId n = static_cast<NodeId>(parent.size());
+  map.part.assign(parent.size(), kUnpartitioned);
+  std::vector<NodeId> chain;
+  for (NodeId u = 0; u < n; ++u) {
+    if (u == root || parent[u] == kInvalidNode ||
+        map.part[u] != kUnpartitioned) {
+      continue;
+    }
+    // Climb toward the root, memoizing the whole chain. A depth-1 node
+    // founds a new partition; a chain that dead-ends (orphaned subtree)
+    // stays unpartitioned, which is merely conservative.
+    chain.clear();
+    NodeId v = u;
+    while (map.part[v] == kUnpartitioned && v != root &&
+           parent[v] != kInvalidNode) {
+      if (parent[v] == root) {
+        map.part[v] = map.count++;
+        break;
+      }
+      chain.push_back(v);
+      v = parent[v];
+    }
+    const int32_t p = map.part[v];
+    for (NodeId w : chain) map.part[w] = p;
+  }
+  return map;
+}
+
+ParallelEngine::ParallelEngine(Simulator& sim, EngineConfig config)
+    : sim_(sim), config_(config) {
+  if (config_.kind == EngineKind::kWindowed) {
+    int w = config_.workers;
+    if (w <= 0) w = static_cast<int>(std::thread::hardware_concurrency());
+    resolved_workers_ = std::max(1, w);
+  }
+  scratch_.resize(resolved_workers_);
+}
+
+ParallelEngine::~ParallelEngine() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ParallelEngine::Defer(std::function<void()> fn) {
+  // Decide before moving: CaptureCall takes ownership of its argument, so
+  // handing `fn` over and then invoking it on the not-capturing path would
+  // call a moved-from function.
+  if (sim_.capturing()) {
+    sim_.CaptureCall(std::move(fn));
+  } else {
+    fn();
+  }
+}
+
+void ParallelEngine::RunTurns(const PartitionMap& parts,
+                              const std::vector<NodeId>& order,
+                              const TurnFn& turn) {
+  const bool parallel_ok = config_.kind == EngineKind::kWindowed &&
+                           resolved_workers_ > 1 && parts.count >= 2 &&
+                           sim_.WindowSafe();
+  if (!parallel_ok) {
+    ++sequential_windows_;
+    Scratch& s = scratch_[0];
+    for (NodeId u : order) turn(u, s);
+    return;
+  }
+  // Split the order into inline runs (unpartitioned turns — the root / base
+  // station) and parallel windows (maximal runs of partitioned turns). The
+  // inline turns run on this thread between windows, so both
+  // children-before-parent and root-first orders work unchanged.
+  size_t i = 0;
+  while (i < order.size()) {
+    if (parts.part[order[i]] < 0) {
+      turn(order[i], scratch_[0]);
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < order.size() && parts.part[order[j]] >= 0) ++j;
+    RunWindow(parts, order, i, j, turn);
+    i = j;
+  }
+}
+
+void ParallelEngine::RunWindow(const PartitionMap& parts,
+                               const std::vector<NodeId>& order, size_t begin,
+                               size_t end, const TurnFn& turn) {
+  // Group the window's turns by partition, preserving each partition's
+  // internal order. `groups_` / `effects_` are members so their buffers
+  // recycle across windows.
+  group_of_part_.assign(static_cast<size_t>(parts.count), -1);
+  size_t active = 0;
+  for (size_t idx = begin; idx < end; ++idx) {
+    const int32_t p = parts.part[order[idx]];
+    if (group_of_part_[p] < 0) {
+      group_of_part_[p] = static_cast<int32_t>(active);
+      if (groups_.size() <= active) groups_.emplace_back();
+      groups_[active].clear();
+      ++active;
+    }
+    groups_[group_of_part_[p]].push_back(static_cast<uint32_t>(idx - begin));
+  }
+  if (active < 2) {
+    // One partition: concurrency buys nothing; run the reference loop.
+    ++sequential_windows_;
+    for (size_t idx = begin; idx < end; ++idx) {
+      turn(order[idx], scratch_[0]);
+    }
+    return;
+  }
+  ++parallel_windows_;
+  const size_t turns = end - begin;
+  if (effects_.size() < turns) effects_.resize(turns);
+  // Largest partitions first so the stragglers start early.
+  work_order_.resize(active);
+  for (size_t g = 0; g < active; ++g) work_order_[g] = static_cast<int32_t>(g);
+  std::sort(work_order_.begin(), work_order_.end(),
+            [this](int32_t a, int32_t b) {
+              return groups_[a].size() > groups_[b].size();
+            });
+
+  std::atomic<size_t> next{0};
+  const auto job = [&](int worker_id) {
+    Scratch& s = scratch_[worker_id];
+    for (;;) {
+      const size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= work_order_.size()) break;
+      for (uint32_t idx : groups_[work_order_[k]]) {
+        const NodeId u = order[begin + idx];
+        effects_[idx].Clear();
+        sim_.BeginTurnCapture(&effects_[idx], parts.part[u],
+                              parts.part.data());
+        turn(u, s);
+        sim_.EndTurnCapture();
+      }
+    }
+  };
+  StartWorkers();
+  ForkJoin(job);
+  captured_turns_ += turns;
+  // Barrier: replay every turn's effect log in sequential turn order.
+  for (size_t idx = 0; idx < turns; ++idx) {
+    sim_.CommitTurnEffects(effects_[idx]);
+  }
+}
+
+void ParallelEngine::StartWorkers() {
+  if (!threads_.empty()) return;
+  threads_.reserve(resolved_workers_ - 1);
+  for (int w = 1; w < resolved_workers_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+void ParallelEngine::WorkerLoop(int worker_id) {
+  uint64_t seen = 0;
+  for (;;) {
+    std::function<void(int)> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock,
+                     [&] { return stopping_ || job_generation_ != seen; });
+      if (stopping_) return;
+      seen = job_generation_;
+      job = job_;
+    }
+    job(worker_id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--job_outstanding_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ParallelEngine::ForkJoin(const std::function<void(int)>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    job_outstanding_ = static_cast<int>(threads_.size());
+    ++job_generation_;
+  }
+  cv_start_.notify_all();
+  job(0);  // the coordinating thread is worker 0
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return job_outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace sensjoin::sim

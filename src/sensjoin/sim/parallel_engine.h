@@ -1,0 +1,147 @@
+#ifndef SENSJOIN_SIM_PARALLEL_ENGINE_H_
+#define SENSJOIN_SIM_PARALLEL_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sensjoin/common/bit_stream.h"
+#include "sensjoin/sim/sim_config.h"
+#include "sensjoin/sim/time.h"
+
+namespace sensjoin::sim {
+
+class Simulator;
+class TurnEffects;
+
+/// Node -> partition assignment for windowed execution. Partitions are the
+/// depth-1 subtrees of the routing tree: two nodes share a partition iff
+/// their paths to the root pass through the same depth-1 child. The root
+/// itself and out-of-tree nodes are kUnpartitioned — their turns always run
+/// inline on the coordinating thread.
+///
+/// Executors re-derive the map per attempt (the tree may have been rebuilt,
+/// repaired or reparented between attempts), which keeps the partitioning
+/// consistent with whatever tree the attempt actually walks.
+struct PartitionMap {
+  static constexpr int32_t kUnpartitioned = -1;
+
+  std::vector<int32_t> part;  ///< node id -> partition id (or kUnpartitioned)
+  int32_t count = 0;          ///< number of distinct partitions
+
+  /// Derives the map from a parent array (`parent[root]` and out-of-tree
+  /// nodes hold `kInvalidNode`).
+  static PartitionMap FromParents(const std::vector<NodeId>& parent,
+                                  NodeId root);
+
+  bool SamePartition(NodeId a, NodeId b) const {
+    return part[a] >= 0 && part[a] == part[b];
+  }
+};
+
+/// Conservative time-windowed parallel turn execution.
+///
+/// The join executors are staged drivers: each protocol phase walks a node
+/// order at one fixed sim-time and runs a per-node "turn" (compute + sends);
+/// deliveries drain afterwards. RunTurns executes such a phase. Under
+/// EngineKind::kSequential — or whenever the window is not provably
+/// partitionable (fault machinery active, fewer than two partitions, a raw
+/// trace sink installed) — it is the plain sequential loop. Under
+/// kWindowed it splits the order into maximal runs of partitioned nodes and
+/// executes each run as one window: per-partition workers run their turns
+/// concurrently (respecting the order within each partition), every
+/// simulator side effect of a captured turn (global counters, per-node
+/// stats, tracer records, delivery scheduling, Defer'd closures) lands in a
+/// per-turn effect log, and at the window barrier the logs are committed in
+/// sequential turn order. Committing in turn order replays the exact
+/// sequence of counter additions, trace records and event-queue insertions
+/// the sequential engine would have produced — including the
+/// floating-point accumulation order — which is what makes windowed output
+/// byte-identical to sequential output.
+///
+/// Unpartitioned turns (the root / base station) run inline between
+/// windows, so orders like collection (root last) and dissemination (root
+/// first) both work unchanged.
+class ParallelEngine {
+ public:
+  /// Per-worker recycled buffers handed to each turn, replacing the
+  /// executor-level scratch that a sequential loop could share globally.
+  struct Scratch {
+    std::vector<uint64_t> u64;  ///< PointSet union scratch
+    BitWriter bits;             ///< wire-verification encoding scratch
+  };
+
+  using TurnFn = std::function<void(NodeId, Scratch&)>;
+
+  ParallelEngine(Simulator& sim, EngineConfig config);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  const EngineConfig& config() const { return config_; }
+
+  /// Worker threads a parallel window will use (resolved from config;
+  /// includes the coordinating thread).
+  int resolved_workers() const { return resolved_workers_; }
+
+  /// Runs `turn(u, scratch)` for every u in `order` (see class comment).
+  void RunTurns(const PartitionMap& parts, const std::vector<NodeId>& order,
+                const TurnFn& turn);
+
+  /// Defers `fn` to the window barrier when called from a captured turn
+  /// (committed in turn order, interleaved with the turn's simulator
+  /// effects in program order); runs it immediately otherwise. Turns use
+  /// this for mutations that cross partition boundaries — merging a
+  /// subtree root's contribution into the base station's pending state.
+  void Defer(std::function<void()> fn);
+
+  // Window diagnostics (for tests asserting the parallel path engaged).
+  uint64_t parallel_windows() const { return parallel_windows_; }
+  uint64_t sequential_windows() const { return sequential_windows_; }
+  uint64_t captured_turns() const { return captured_turns_; }
+
+ private:
+  void RunWindow(const PartitionMap& parts, const std::vector<NodeId>& order,
+                 size_t begin, size_t end, const TurnFn& turn);
+  void StartWorkers();
+  void WorkerLoop(int worker_id);
+  /// Runs `job` on every worker (ids 1..resolved_workers_-1) plus the
+  /// calling thread (id 0); returns when all are done.
+  void ForkJoin(const std::function<void(int)>& job);
+
+  Simulator& sim_;
+  EngineConfig config_;
+  int resolved_workers_ = 1;
+  std::vector<Scratch> scratch_;  ///< one per worker (0 = caller thread)
+
+  // Window-local buffers, recycled across windows. `effects_[i]` is the
+  // captured side-effect log of the window's i-th turn; `groups_[g]` lists
+  // turn indices of one partition in order.
+  std::vector<int32_t> group_of_part_;
+  std::vector<std::vector<uint32_t>> groups_;
+  std::vector<int32_t> work_order_;
+  std::vector<TurnEffects> effects_;
+
+  // Fork/join pool state.
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  uint64_t job_generation_ = 0;
+  int job_outstanding_ = 0;
+  std::function<void(int)> job_;
+  bool stopping_ = false;
+
+  uint64_t parallel_windows_ = 0;
+  uint64_t sequential_windows_ = 0;
+  uint64_t captured_turns_ = 0;
+};
+
+}  // namespace sensjoin::sim
+
+#endif  // SENSJOIN_SIM_PARALLEL_ENGINE_H_

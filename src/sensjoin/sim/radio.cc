@@ -10,46 +10,65 @@
 
 namespace sensjoin::sim {
 
-Radio::Radio(std::vector<Point> positions, double range_m)
+namespace {
+constexpr int64_t kCellHash = 1'000'003;
+}  // namespace
+
+Radio::Radio(std::vector<Point> positions, double range_m,
+             RadioOptions options)
     : positions_(std::move(positions)), range_m_(range_m) {
   SENSJOIN_CHECK_GT(range_m_, 0.0);
   const int n = num_nodes();
-  neighbors_.resize(n);
+  materialized_ = options.materialize_threshold < 0 ||
+                  n <= options.materialize_threshold;
   // Grid-bucketed neighbor search: O(n) buckets of side `range_m`.
   if (n == 0) return;
-  double min_x = positions_[0].x, min_y = positions_[0].y;
+  grid_min_x_ = positions_[0].x;
+  grid_min_y_ = positions_[0].y;
   for (const Point& p : positions_) {
-    min_x = std::min(min_x, p.x);
-    min_y = std::min(min_y, p.y);
+    grid_min_x_ = std::min(grid_min_x_, p.x);
+    grid_min_y_ = std::min(grid_min_y_, p.y);
   }
-  auto cell_of = [&](const Point& p) {
-    const int64_t cx = static_cast<int64_t>((p.x - min_x) / range_m_);
-    const int64_t cy = static_cast<int64_t>((p.y - min_y) / range_m_);
-    return std::make_pair(cx, cy);
-  };
-  std::unordered_map<int64_t, std::vector<NodeId>> grid;
-  auto key_of = [](int64_t cx, int64_t cy) { return cx * 1'000'003 + cy; };
-  grid.reserve(static_cast<size_t>(n));
+  grid_.reserve(static_cast<size_t>(n));
   for (NodeId i = 0; i < n; ++i) {
-    auto [cx, cy] = cell_of(positions_[i]);
-    grid[key_of(cx, cy)].push_back(i);
+    grid_[CellKey(positions_[i])].push_back(i);
   }
+  if (!materialized_) return;  // on-demand mode keeps the grid instead
+  neighbors_.resize(n);
   for (NodeId i = 0; i < n; ++i) {
-    auto [cx, cy] = cell_of(positions_[i]);
-    for (int64_t dx = -1; dx <= 1; ++dx) {
-      for (int64_t dy = -1; dy <= 1; ++dy) {
-        auto it = grid.find(key_of(cx + dx, cy + dy));
-        if (it == grid.end()) continue;
-        for (NodeId j : it->second) {
-          if (j == i) continue;
-          if (Distance(positions_[i], positions_[j]) <= range_m_) {
-            neighbors_[i].push_back(j);
-          }
+    Neighbors(i, neighbors_[i]);
+  }
+  grid_.clear();
+}
+
+int64_t Radio::CellKey(const Point& p) const {
+  const int64_t cx = static_cast<int64_t>((p.x - grid_min_x_) / range_m_);
+  const int64_t cy = static_cast<int64_t>((p.y - grid_min_y_) / range_m_);
+  return cx * kCellHash + cy;
+}
+
+void Radio::Neighbors(NodeId id, std::vector<NodeId>& out) const {
+  out.clear();
+  if (materialized_ && grid_.empty()) {
+    const std::vector<NodeId>& list = neighbors_[id];
+    out.assign(list.begin(), list.end());
+    return;
+  }
+  const Point& p = positions_[id];
+  const int64_t cx = static_cast<int64_t>((p.x - grid_min_x_) / range_m_);
+  const int64_t cy = static_cast<int64_t>((p.y - grid_min_y_) / range_m_);
+  for (int64_t dx = -1; dx <= 1; ++dx) {
+    for (int64_t dy = -1; dy <= 1; ++dy) {
+      auto it = grid_.find((cx + dx) * kCellHash + (cy + dy));
+      if (it == grid_.end()) continue;
+      for (NodeId j : it->second) {
+        if (j != id && Distance(p, positions_[j]) <= range_m_) {
+          out.push_back(j);
         }
       }
     }
-    std::sort(neighbors_[i].begin(), neighbors_[i].end());
   }
+  std::sort(out.begin(), out.end());
 }
 
 uint64_t Radio::LinkKey(NodeId a, NodeId b) const {
@@ -59,7 +78,14 @@ uint64_t Radio::LinkKey(NodeId a, NodeId b) const {
 }
 
 bool Radio::InRange(NodeId a, NodeId b) const {
-  return a != b && Distance(positions_[a], positions_[b]) <= range_m_;
+  if (a == b) return false;
+  if (materialized_) {
+    // The neighbor list of `a` is exactly the sorted set of in-range nodes:
+    // a binary search replaces the sqrt of the distance computation.
+    const std::vector<NodeId>& list = neighbors_[a];
+    return std::binary_search(list.begin(), list.end(), b);
+  }
+  return Distance(positions_[a], positions_[b]) <= range_m_;
 }
 
 bool Radio::LinkUp(NodeId a, NodeId b) const {
@@ -156,13 +182,21 @@ bool Radio::IsConnected(NodeId root) const {
   if (n == 0) return true;
   std::vector<char> seen(n, 0);
   std::queue<NodeId> frontier;
+  std::vector<NodeId> scratch;
   frontier.push(root);
   seen[root] = 1;
   int count = 1;
   while (!frontier.empty()) {
     const NodeId u = frontier.front();
     frontier.pop();
-    for (NodeId v : neighbors_[u]) {
+    const std::vector<NodeId>* nbrs;
+    if (materialized_) {
+      nbrs = &neighbors_[u];
+    } else {
+      Neighbors(u, scratch);
+      nbrs = &scratch;
+    }
+    for (NodeId v : *nbrs) {
       if (!seen[v] && LinkUp(u, v)) {
         seen[v] = 1;
         ++count;

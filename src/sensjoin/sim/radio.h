@@ -8,9 +8,20 @@
 #include <vector>
 
 #include "sensjoin/common/geometry.h"
+#include "sensjoin/common/logging.h"
 #include "sensjoin/sim/time.h"
 
 namespace sensjoin::sim {
+
+/// Memory-layout knobs for the radio.
+struct RadioOptions {
+  /// Up to this many nodes the radio materializes per-node sorted adjacency
+  /// lists (fast repeated iteration, O(avg_degree * n) memory). Above it the
+  /// radio keeps only the spatial grid and answers neighbor queries on
+  /// demand — at 100k+ nodes the adjacency lists would dominate the
+  /// footprint. Negative means "always materialize".
+  int materialize_threshold = 32768;
+};
 
 /// The wireless medium: unit-disk connectivity with bidirectional links
 /// (the common setting the paper adopts, Sec. VI "General setting") plus
@@ -19,25 +30,51 @@ class Radio {
  public:
   /// Builds the adjacency from node `positions` and a fixed communication
   /// `range_m` (paper default: 50 m).
-  Radio(std::vector<Point> positions, double range_m);
+  Radio(std::vector<Point> positions, double range_m,
+        RadioOptions options = RadioOptions{});
 
   int num_nodes() const { return static_cast<int>(positions_.size()); }
   double range_m() const { return range_m_; }
   const Point& position(NodeId id) const { return positions_[id]; }
   const std::vector<Point>& positions() const { return positions_; }
 
+  /// True when per-node adjacency lists are materialized (node count at or
+  /// below RadioOptions::materialize_threshold).
+  bool materialized() const { return materialized_; }
+
   /// Nodes within communication range of `id` (excluding failed links is the
-  /// caller's concern; this is the static neighborhood).
+  /// caller's concern; this is the static neighborhood). Only valid in
+  /// materialized mode — callers that must work at any scale use the
+  /// scratch-buffer overload below.
   const std::vector<NodeId>& Neighbors(NodeId id) const {
+    SENSJOIN_DCHECK(materialized_);
     return neighbors_[id];
   }
+
+  /// Fills `out` with the static neighborhood of `id`, ascending. Works in
+  /// both modes: materialized mode copies the precomputed list, on-demand
+  /// mode scans the 3x3 grid cells around the node. The two modes produce
+  /// identical output (regression-tested).
+  void Neighbors(NodeId id, std::vector<NodeId>& out) const;
 
   /// True if a and b are within range of each other and the link is not
   /// currently failed.
   bool LinkUp(NodeId a, NodeId b) const;
 
-  /// True if a and b are within range (ignoring failures).
+  /// True if a and b are within range (ignoring failures). Materialized
+  /// mode binary-searches the sorted neighbor list (no sqrt); on-demand
+  /// mode falls back to the distance computation.
   bool InRange(NodeId a, NodeId b) const;
+
+  /// True when any probabilistic fault axis is configured (nonzero default
+  /// loss / corruption / duplication rate, or any per-link override
+  /// present). The windowed engine uses this as a conservative gate: rates
+  /// all zero means transmissions draw no fault randomness at all.
+  bool AnyFaultRatesConfigured() const {
+    return default_loss_rate_ > 0.0 || default_corruption_rate_ > 0.0 ||
+           default_duplication_rate_ > 0.0 || !link_loss_.empty() ||
+           !link_corruption_.empty() || !link_duplication_.empty();
+  }
 
   /// Marks the (bidirectional) link between a and b as down / up again.
   /// Out-of-range node ids and self-links (a == b) are ignored.
@@ -150,10 +187,16 @@ class Radio {
   bool ValidLink(NodeId a, NodeId b) const {
     return a != b && a >= 0 && b >= 0 && a < num_nodes() && b < num_nodes();
   }
+  int64_t CellKey(const Point& p) const;
 
   std::vector<Point> positions_;
   double range_m_;
-  std::vector<std::vector<NodeId>> neighbors_;
+  bool materialized_ = true;
+  std::vector<std::vector<NodeId>> neighbors_;  ///< materialized mode only
+  /// On-demand mode: grid cells of side range_m, kept for neighbor scans.
+  std::unordered_map<int64_t, std::vector<NodeId>> grid_;
+  double grid_min_x_ = 0.0;
+  double grid_min_y_ = 0.0;
   std::unordered_set<uint64_t> failed_links_;
   std::unordered_set<uint64_t> outage_links_;
   LinkObserver link_observer_;

@@ -1,0 +1,41 @@
+#ifndef SENSJOIN_SIM_SIM_CONFIG_H_
+#define SENSJOIN_SIM_SIM_CONFIG_H_
+
+namespace sensjoin::sim {
+
+/// Which event engine executes a trial's protocol turn loops.
+enum class EngineKind {
+  /// The classic single-threaded loop: every turn runs inline, effects
+  /// apply immediately. The reference semantics.
+  kSequential,
+  /// Conservative time-windowed parallelism: turns of disjoint routing-tree
+  /// subtree partitions run concurrently inside a window, their simulator
+  /// side effects are captured and committed at the window barrier in
+  /// sequential turn order, so output stays byte-identical to kSequential
+  /// (see sim/parallel_engine.h). Falls back to sequential execution
+  /// whenever a window could contain non-partitionable work (fault
+  /// machinery active, trace sinks installed).
+  kWindowed,
+};
+
+struct EngineConfig {
+  EngineKind kind = EngineKind::kSequential;
+  /// Worker threads for kWindowed; 0 resolves to hardware concurrency.
+  int workers = 0;
+};
+
+/// Simulator-level configuration selected per deployment (testbed) and by
+/// the harnesses' --engine flags.
+struct SimConfig {
+  EngineConfig engine;
+  /// Above this node count the Radio keeps the spatial grid and answers
+  /// neighbor queries on demand instead of materializing per-node
+  /// adjacency lists (see sim/radio.h).
+  int neighbor_materialize_threshold = 32768;
+};
+
+const char* EngineKindName(EngineKind kind);
+
+}  // namespace sensjoin::sim
+
+#endif  // SENSJOIN_SIM_SIM_CONFIG_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdarg>
+#include <cstring>
 #include <cstdio>
 #include <functional>
 #include <sstream>
@@ -46,7 +47,74 @@ bool RowLess(const std::vector<double>& a, const std::vector<double>& b) {
   return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
 }
 
+uint64_t BitsOf(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
 }  // namespace
+
+uint64_t TraceDigest(const obs::Tracer& tracer) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  tracer.buffer().ForEach([&](const obs::TraceEvent& e) {
+    mix(BitsOf(e.time));
+    mix(static_cast<uint64_t>(e.node));
+    mix(static_cast<uint64_t>(e.peer));
+    mix(e.count);
+    mix(e.detail);
+    mix(e.bytes);
+    mix(BitsOf(e.energy_mj));
+    mix(static_cast<uint64_t>(e.kind));
+    mix(static_cast<uint64_t>(e.msg_kind));
+    mix(static_cast<uint64_t>(e.phase));
+  });
+  return h;
+}
+
+std::string ExecutionFingerprint(const join::ExecutionReport& r,
+                                 const obs::Tracer* tracer) {
+  std::ostringstream out;
+  out << "rows=" << r.result.rows.size()
+      << " matched=" << r.result.matched_combinations << " contributing=";
+  for (sim::NodeId u : r.result.contributing_nodes) out << u << ",";
+  out << " pkts=" << r.cost.join_packets << " bytes=" << r.cost.join_bytes
+      << " energy=" << std::hex << BitsOf(r.cost.energy_mj) << std::dec
+      << " retx=" << r.cost.retransmitted_packets
+      << " acks=" << r.cost.ack_packets
+      << " repair_pkts=" << r.cost.repair_packets
+      << " repair_bytes=" << r.cost.repair_bytes_sent
+      << " repair_energy=" << std::hex << BitsOf(r.cost.repair_energy_mj)
+      << std::dec << " success=" << r.success << " attempts=" << r.attempts
+      << " recovery=" << r.recovery_requests
+      << " repairs=" << r.repairs_attempted << "/" << r.repairs_succeeded
+      << " watchdog=" << r.watchdog_expirations
+      << " corrupt=" << r.corrupted_deliveries
+      << " dup_pkts=" << r.total_cost.duplicate_packets
+      << " replay_pkts=" << r.total_cost.replayed_packets
+      << " dup_deliv=" << r.duplicate_deliveries
+      << " stale=" << r.stale_messages_dropped
+      << " reordered=" << r.reordered_messages
+      << " degraded=" << r.certificate.degraded
+      << " coverage=" << r.certificate.reporting_nodes << "/"
+      << r.certificate.total_nodes << " excluded=";
+  for (sim::NodeId u : r.certificate.excluded_nodes) out << u << ",";
+  out << " roots=";
+  for (sim::NodeId u : r.certificate.excluded_subtree_roots) out << u << ",";
+  out << " repaired=";
+  for (sim::NodeId u : r.certificate.repaired_roots) out << u << ",";
+  if (tracer != nullptr) {
+    out << " trace=" << std::hex << TraceDigest(*tracer) << std::dec;
+  }
+  return out.str();
+}
 
 ChaosSchedule MakeChaosSchedule(Testbed& testbed, const ChaosParams& params) {
   SENSJOIN_CHECK(params.window_s >= 0);
@@ -75,7 +143,7 @@ ChaosSchedule MakeChaosSchedule(Testbed& testbed, const ChaosParams& params) {
   std::vector<sim::NodeId> nodes;
   std::vector<sim::NodeId> edge_children;  // edge = (child, parent(child))
   for (sim::NodeId u = 0; u < tree.num_nodes(); ++u) {
-    if (!tree.InTree(u) || u == tree.root() || !sim.node(u).alive) continue;
+    if (!tree.InTree(u) || u == tree.root() || !sim.alive(u)) continue;
     nodes.push_back(u);
     edge_children.push_back(u);
   }

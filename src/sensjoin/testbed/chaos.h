@@ -144,6 +144,20 @@ std::vector<std::string> CheckInvariants(const join::JoinResult& truth,
                                          const LivenessBounds* liveness =
                                              nullptr);
 
+/// FNV-1a over every field of every trace event: any reordering, drop or
+/// numeric drift between two runs changes the digest. Doubles are hashed
+/// as bit patterns, so the digest certifies bit-identical floating-point
+/// accumulation, not just closeness — the property the windowed engine's
+/// turn-ordered effect commit is designed to preserve.
+uint64_t TraceDigest(const obs::Tracer& tracer);
+
+/// Every number a replay (or an engine-equivalence check) must reproduce,
+/// in one string: result, costs (doubles as bit patterns), self-healing
+/// counters, the full completeness certificate, and — when `tracer` is
+/// non-null — the trace digest.
+std::string ExecutionFingerprint(const join::ExecutionReport& r,
+                                 const obs::Tracer* tracer = nullptr);
+
 /// Serializes a schedule (the params that generated it plus the concrete
 /// draws) to a single JSON object — the reproducer format the chaos swarm
 /// dumps on first violation. Re-running the swarm binary with the same

@@ -1,12 +1,15 @@
 #include "sensjoin/testbed/parallel.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <mutex>
 #include <string>
 #include <thread>
+
+#include "sensjoin/testbed/testbed.h"
 
 namespace sensjoin::testbed {
 namespace {
@@ -62,6 +65,46 @@ int ParseThreadsFlag(int* argc, char** argv) {
   *argc = out;
   argv[out] = nullptr;
   return threads > 0 ? threads : 0;
+}
+
+sim::SimConfig ParseEngineFlag(int* argc, char** argv) {
+  const char* value = nullptr;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--engine") == 0 && i + 1 < *argc) {
+      value = argv[i + 1];
+      ++i;  // skip the value
+      continue;
+    }
+    if (std::strncmp(arg, "--engine=", 9) == 0) {
+      value = arg + 9;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  if (value == nullptr) return DefaultSimConfig();
+
+  sim::SimConfig config = DefaultSimConfig();
+  std::string kind(value);
+  if (const size_t colon = kind.find(':'); colon != std::string::npos) {
+    config.engine.workers = std::atoi(kind.c_str() + colon + 1);
+    kind.resize(colon);
+  }
+  if (kind == "seq" || kind == "sequential") {
+    config.engine.kind = sim::EngineKind::kSequential;
+  } else if (kind == "windowed") {
+    config.engine.kind = sim::EngineKind::kWindowed;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --engine value '%s' (want seq|windowed[:N])\n",
+                 value);
+    std::exit(2);
+  }
+  SetDefaultSimConfig(config);
+  return config;
 }
 
 ParallelRunner::ParallelRunner(int threads)

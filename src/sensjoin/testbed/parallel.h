@@ -8,6 +8,7 @@
 
 #include "sensjoin/common/status.h"
 #include "sensjoin/common/statusor.h"
+#include "sensjoin/sim/sim_config.h"
 
 namespace sensjoin::testbed {
 
@@ -30,6 +31,16 @@ int ResolveThreadCount(int requested = 0);
 /// fall through to the environment). Mutates argv in place so positional
 /// arguments (seed, node count) keep their indices for existing parsing.
 int ParseThreadsFlag(int* argc, char** argv);
+
+/// Strips a `--engine KIND` / `--engine=KIND` argument from (argc, argv),
+/// where KIND is `seq`/`sequential` or `windowed`, optionally suffixed with
+/// `:N` to pin the windowed worker count (`--engine=windowed:4`). The
+/// parsed selection is installed as the process default
+/// (SetDefaultSimConfig), so TestbedParams built afterwards inherit it.
+/// Mutates argv in place like ParseThreadsFlag; returns the resulting
+/// config (the untouched default when the flag is absent). Unrecognized
+/// KINDs abort with a clear message.
+sim::SimConfig ParseEngineFlag(int* argc, char** argv);
 
 /// Identity of one trial inside a sweep, handed to the trial callback.
 struct TrialContext {

@@ -72,77 +72,8 @@ LivenessBounds SwarmLiveness() {
   return bounds;
 }
 
-uint64_t BitsOf(double v) {
-  uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
-}
-
-/// FNV-1a over every field of every trace event: any reordering, drop or
-/// numeric drift between two runs changes the digest.
-uint64_t TraceDigest(const obs::Tracer& tracer) {
-  uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xFF;
-      h *= 1099511628211ull;
-    }
-  };
-  tracer.buffer().ForEach([&](const obs::TraceEvent& e) {
-    mix(BitsOf(e.time));
-    mix(static_cast<uint64_t>(e.node));
-    mix(static_cast<uint64_t>(e.peer));
-    mix(e.count);
-    mix(e.detail);
-    mix(e.bytes);
-    mix(BitsOf(e.energy_mj));
-    mix(static_cast<uint64_t>(e.kind));
-    mix(static_cast<uint64_t>(e.msg_kind));
-    mix(static_cast<uint64_t>(e.phase));
-  });
-  return h;
-}
-
-/// Every number a replay must reproduce, in one string: result, costs
-/// (doubles as bit patterns — bit-identical, not just close), self-healing
-/// counters, the full certificate and the trace digest.
-std::string Fingerprint(const join::ExecutionReport& r,
-                        const obs::Tracer* tracer) {
-  std::ostringstream out;
-  out << "rows=" << r.result.rows.size()
-      << " matched=" << r.result.matched_combinations << " contributing=";
-  for (sim::NodeId u : r.result.contributing_nodes) out << u << ",";
-  out << " pkts=" << r.cost.join_packets << " bytes=" << r.cost.join_bytes
-      << " energy=" << std::hex << BitsOf(r.cost.energy_mj) << std::dec
-      << " retx=" << r.cost.retransmitted_packets
-      << " acks=" << r.cost.ack_packets
-      << " repair_pkts=" << r.cost.repair_packets
-      << " repair_bytes=" << r.cost.repair_bytes_sent
-      << " repair_energy=" << std::hex << BitsOf(r.cost.repair_energy_mj)
-      << std::dec << " success=" << r.success << " attempts=" << r.attempts
-      << " recovery=" << r.recovery_requests
-      << " repairs=" << r.repairs_attempted << "/" << r.repairs_succeeded
-      << " watchdog=" << r.watchdog_expirations
-      << " corrupt=" << r.corrupted_deliveries
-      << " dup_pkts=" << r.total_cost.duplicate_packets
-      << " replay_pkts=" << r.total_cost.replayed_packets
-      << " dup_deliv=" << r.duplicate_deliveries
-      << " stale=" << r.stale_messages_dropped
-      << " reordered=" << r.reordered_messages
-      << " degraded=" << r.certificate.degraded
-      << " coverage=" << r.certificate.reporting_nodes << "/"
-      << r.certificate.total_nodes << " excluded=";
-  for (sim::NodeId u : r.certificate.excluded_nodes) out << u << ",";
-  out << " roots=";
-  for (sim::NodeId u : r.certificate.excluded_subtree_roots) out << u << ",";
-  out << " repaired=";
-  for (sim::NodeId u : r.certificate.repaired_roots) out << u << ",";
-  if (tracer != nullptr) {
-    out << " trace=" << std::hex << TraceDigest(*tracer) << std::dec;
-  }
-  return out.str();
-}
+// TraceDigest / ExecutionFingerprint live in testbed/chaos.h now, shared
+// with the windowed-engine equivalence tests.
 
 struct TrialOutcome {
   std::string fingerprint;
@@ -188,7 +119,7 @@ StatusOr<TrialOutcome> RunChaosTrial(const ChaosParams& params,
   const LivenessBounds liveness = SwarmLiveness();
   TrialOutcome outcome;
   outcome.violations = CheckInvariants(truth, *report, &tracer, &liveness);
-  outcome.fingerprint = Fingerprint(*report, &tracer);
+  outcome.fingerprint = ExecutionFingerprint(*report, &tracer);
   outcome.repairs_attempted = report->repairs_attempted;
   outcome.repairs_succeeded = report->repairs_succeeded;
   outcome.watchdog_expirations = report->watchdog_expirations;
@@ -331,7 +262,7 @@ TEST(ChaosDeterminismTest, SelfHealingIsInertWithoutFaults) {
     auto report = (*tb)->MakeSensJoin(config).Execute(*q, 0);
     (*tb)->AttachTracer(nullptr);
     if (!report.ok()) return "execute-failed";
-    return Fingerprint(*report, &tracer);
+    return ExecutionFingerprint(*report, &tracer);
   };
   const std::string baseline = run(join::ProtocolConfig{});
   const std::string healing = run(SelfHealingConfig());

@@ -88,7 +88,7 @@ TEST(CorruptionTest, DetectedCorruptionFeedsArqLikeLoss) {
   EXPECT_GT(sim.crc_bytes_sent(), 0u);
   EXPECT_GT(sim.crc_energy_mj(), 0.0);
   // The receiver physically heard (and paid for) the damaged fragments.
-  EXPECT_EQ(sim.node(1).stats.corrupted_packets_received,
+  EXPECT_EQ(sim.stats(1).corrupted_packets_received,
             sim.total_corrupted_packets());
 }
 
@@ -116,7 +116,7 @@ TEST(CorruptionTest, WithoutCrcCorruptionArrivesUndetected) {
   EXPECT_EQ(sim.total_corrupted_packets(), 0u);
   EXPECT_EQ(sim.total_undetected_corrupted_packets(), 1u);
   EXPECT_EQ(sim.crc_bytes_sent(), 0u);
-  EXPECT_EQ(sim.node(1).stats.packets_received, 1u);
+  EXPECT_EQ(sim.stats(1).packets_received, 1u);
 }
 
 TEST(CorruptionTest, BeaconsAndQueryFloodsAreExempt) {

@@ -155,7 +155,7 @@ TEST(ErrorToleranceTest, NodeDeathDropsOnlyThatNodesData) {
     }
   }
   ASSERT_NE(victim, sim::kInvalidNode);
-  (*tb)->simulator().node(victim).alive = false;
+  (*tb)->simulator().set_alive(victim, false);
 
   auto report = (*tb)->MakeSensJoin().Execute(*q, 0);
   ASSERT_TRUE(report.ok()) << report.status();
@@ -191,7 +191,7 @@ TEST(ErrorToleranceTest, DeadLeafIsSimplySkipped) {
     }
   }
   ASSERT_NE(leaf, sim::kInvalidNode);
-  (*tb)->simulator().node(leaf).alive = false;
+  (*tb)->simulator().set_alive(leaf, false);
   auto report = (*tb)->MakeSensJoin().Execute(*q, 0);
   ASSERT_TRUE(report.ok()) << report.status();
   EXPECT_EQ(report->attempts, 2);
@@ -260,7 +260,7 @@ TEST(ErrorToleranceTest, LossyRunWithCrashMatchesFaultFreeResult) {
     sim.SetTraceSink([&sim, &crashed, victim](const sim::TraceRecord& r) {
       if (!crashed && r.kind == sim::MessageKind::kCollection) {
         crashed = true;
-        sim.node(victim).alive = false;
+        sim.set_alive(victim, false);
         sim.ScheduleRecovery(victim, sim.now() + 0.25);
       }
     });
@@ -312,7 +312,7 @@ TEST(ErrorToleranceTest, NodeCrashDuringFilterDisseminationIsSurvived) {
   sim.SetTraceSink([&sim, &crashed, victim](const sim::TraceRecord& r) {
     if (!crashed && r.kind == sim::MessageKind::kFilter) {
       crashed = true;
-      sim.node(victim).alive = false;
+      sim.set_alive(victim, false);
     }
   });
 

@@ -103,5 +103,63 @@ TEST(EventQueueDeathTest, SchedulingIntoThePastAborts) {
   EXPECT_DEATH(q.ScheduleAt(1.0, [] {}), "scheduling into the past");
 }
 
+TEST(EventQueueTest, ShrinkToFitReleasesDrainedPool) {
+  EventQueue q;
+  for (int i = 0; i < 1000; ++i) q.ScheduleAt(static_cast<SimTime>(i), [] {});
+  q.Run();
+  EXPECT_GE(q.slot_count(), 1000u);  // high-water mark from the burst
+  q.ShrinkToFit();
+  EXPECT_EQ(q.slot_count(), 0u);
+  EXPECT_EQ(q.free_slot_count(), 0u);
+  // The queue is fully usable afterwards.
+  std::vector<int> fired;
+  q.ScheduleAfter(1.0, [&] { fired.push_back(1); });
+  q.ScheduleAfter(2.0, [&] { fired.push_back(2); });
+  q.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, ShrinkToFitKeepsPendingEventsIntact) {
+  EventQueue q;
+  std::vector<int> fired;
+  // Survivors claim the first slots, then a burst drains above them: shrink
+  // must drop only the trailing inactive run, never a pending callback.
+  const EventId keep = q.ScheduleAt(2.0, [&] { fired.push_back(2); });
+  q.ScheduleAt(3.0, [&] { fired.push_back(3); });
+  for (int i = 0; i < 500; ++i) q.ScheduleAt(1.0, [] {});
+  q.RunUntil(1.5);
+  q.ShrinkToFit();
+  EXPECT_EQ(q.PendingCount(), 2u);
+  EXPECT_EQ(q.slot_count(), 2u);
+  // Outstanding handles still work after the shrink.
+  EXPECT_TRUE(q.Cancel(keep));
+  q.Run();
+  EXPECT_EQ(fired, (std::vector<int>{3}));
+}
+
+TEST(EventQueueTest, StaleIdsStayDeadAcrossShrink) {
+  EventQueue q;
+  const EventId fired_id = q.ScheduleAt(1.0, [] {});
+  q.Run();
+  q.ShrinkToFit();
+  // New events may reuse the discarded slot index; the old id must not
+  // cancel them (generation floor).
+  std::vector<int> fired;
+  q.ScheduleAfter(1.0, [&] { fired.push_back(1); });
+  EXPECT_FALSE(q.Cancel(fired_id));
+  q.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+}
+
+TEST(EventQueueTest, ShrinkToFitPreservesStatistics) {
+  EventQueue q;
+  for (int i = 0; i < 64; ++i) q.ScheduleAt(1.0, [] {});
+  q.Run();
+  q.ShrinkToFit();
+  EXPECT_EQ(q.total_scheduled(), 64u);
+  EXPECT_EQ(q.total_fired(), 64u);
+  EXPECT_EQ(q.max_pending(), 64u);
+}
+
 }  // namespace
 }  // namespace sensjoin::sim

@@ -35,17 +35,17 @@ TEST(FaultInjectionTest, CertainLossWithoutArqDropsEveryMessage) {
   sim.radio().set_default_loss_rate(1.0);
   EXPECT_FALSE(sim.SendUnicast(UnicastMsg(0, 1, 10)));
   // The sender still paid for the transmission; nothing arrived.
-  EXPECT_EQ(sim.node(0).stats.packets_sent, 1u);
-  EXPECT_EQ(sim.node(1).stats.packets_received, 0u);
+  EXPECT_EQ(sim.stats(0).packets_sent, 1u);
+  EXPECT_EQ(sim.stats(1).packets_received, 0u);
   EXPECT_EQ(sim.total_packets_retransmitted(), 0u);
 }
 
 TEST(FaultInjectionTest, ZeroLossBehavesExactlyLikeTheSeed) {
   Simulator sim = MakeChain();
   EXPECT_TRUE(sim.SendUnicast(UnicastMsg(0, 1, 100)));  // 3 fragments
-  EXPECT_EQ(sim.node(0).stats.packets_sent, 3u);
-  EXPECT_EQ(sim.node(0).stats.bytes_sent, 100u + 3 * 8u);
-  EXPECT_EQ(sim.node(1).stats.packets_received, 3u);
+  EXPECT_EQ(sim.stats(0).packets_sent, 3u);
+  EXPECT_EQ(sim.stats(0).bytes_sent, 100u + 3 * 8u);
+  EXPECT_EQ(sim.stats(1).packets_received, 3u);
   EXPECT_EQ(sim.total_packets_retransmitted(), 0u);
   EXPECT_EQ(sim.total_ack_packets(), 0u);
   EXPECT_DOUBLE_EQ(sim.retransmit_energy_mj(), 0.0);
@@ -73,9 +73,9 @@ TEST(FaultInjectionTest, ArqRecoversLossAndItemizesRetransmissions) {
   EXPECT_GT(sim.retransmit_energy_mj(), 0.0);
   EXPECT_GT(sim.ack_energy_mj(), 0.0);
   // Retransmissions are part of the packet totals and itemized on top.
-  EXPECT_EQ(sim.node(0).stats.packets_retransmitted,
+  EXPECT_EQ(sim.stats(0).packets_retransmitted,
             sim.total_packets_retransmitted());
-  EXPECT_GT(sim.node(0).stats.packets_sent,
+  EXPECT_GT(sim.stats(0).packets_sent,
             static_cast<uint64_t>(3 * kMessages));
   // The itemization never exceeds the whole.
   EXPECT_LT(sim.retransmit_energy_mj() + sim.ack_energy_mj(),
@@ -91,7 +91,7 @@ TEST(FaultInjectionTest, ArqGivesUpAfterBoundedRetransmissions) {
   sim.set_arq_params(arq);
   EXPECT_FALSE(sim.SendUnicast(UnicastMsg(0, 1, 10)));  // 1 fragment
   // Initial attempt + 3 retransmissions, all futile, all paid for.
-  EXPECT_EQ(sim.node(0).stats.packets_sent, 4u);
+  EXPECT_EQ(sim.stats(0).packets_sent, 4u);
   EXPECT_EQ(sim.total_packets_retransmitted(), 3u);
   EXPECT_EQ(sim.total_ack_packets(), 0u);  // nothing ever arrived
 }
@@ -123,9 +123,9 @@ TEST(FaultInjectionTest, BroadcastRollsLossPerReceiver) {
   EXPECT_EQ(sim.Broadcast(msg, &reached), 1);
   EXPECT_EQ(reached, (std::vector<NodeId>{0}));
   // One broadcast transmission regardless of receiver outcomes.
-  EXPECT_EQ(sim.node(1).stats.packets_sent, 1u);
-  EXPECT_EQ(sim.node(0).stats.packets_received, 1u);
-  EXPECT_EQ(sim.node(2).stats.packets_received, 0u);
+  EXPECT_EQ(sim.stats(1).packets_sent, 1u);
+  EXPECT_EQ(sim.stats(0).packets_received, 1u);
+  EXPECT_EQ(sim.stats(2).packets_received, 0u);
 }
 
 TEST(FaultInjectionTest, CrashAndRecoveryFireThroughTheEventQueue) {
@@ -134,11 +134,11 @@ TEST(FaultInjectionTest, CrashAndRecoveryFireThroughTheEventQueue) {
   sim.ScheduleRecovery(1, 2.0);
   EXPECT_TRUE(sim.SendUnicast(UnicastMsg(0, 1, 10)));  // before the crash
   sim.events().RunUntil(1.5);
-  EXPECT_FALSE(sim.node(1).alive);
+  EXPECT_FALSE(sim.alive(1));
   EXPECT_FALSE(sim.SendUnicast(UnicastMsg(0, 1, 10)));
   EXPECT_FALSE(sim.SendUnicast(UnicastMsg(1, 0, 10)));
   sim.events().RunUntil(2.5);
-  EXPECT_TRUE(sim.node(1).alive);
+  EXPECT_TRUE(sim.alive(1));
   EXPECT_TRUE(sim.SendUnicast(UnicastMsg(0, 1, 10)));
 }
 
@@ -159,9 +159,9 @@ TEST(FaultInjectionTest, ApplyFaultPlanInstallsEverything) {
   EXPECT_TRUE(sim.arq_params().enabled);
   EXPECT_EQ(sim.arq_params().max_retransmissions, 5);
   sim.events().RunUntil(2.0);
-  EXPECT_FALSE(sim.node(2).alive);
+  EXPECT_FALSE(sim.alive(2));
   sim.events().RunUntil(4.0);
-  EXPECT_TRUE(sim.node(2).alive);
+  EXPECT_TRUE(sim.alive(2));
 }
 
 TEST(FaultInjectionTest, DropDecisionsAreDeterministicUnderASeed) {

@@ -26,7 +26,7 @@ TEST(FloodingTest, ReachesAllConnectedNodesWithOneBroadcastEach) {
   // Simple flooding: every node rebroadcasts exactly once.
   EXPECT_EQ(sim.packets_sent_by_kind(sim::MessageKind::kQuery), 200u);
   for (int i = 0; i < sim.num_nodes(); ++i) {
-    EXPECT_EQ(sim.node(i).stats.packets_sent_by_kind[static_cast<size_t>(
+    EXPECT_EQ(sim.stats(i).packets_sent_by_kind[static_cast<size_t>(
                   sim::MessageKind::kQuery)],
               1u);
   }
@@ -42,7 +42,7 @@ TEST(FloodingTest, LargeQueriesCostMultiplePacketsPerHop) {
   std::vector<Point> pos = {{0, 0}, {40, 0}};
   sim::Simulator sim{sim::Radio(pos, 50.0)};
   FloodQuery(sim, 0, 100);  // 3 fragments at 40-byte capacity
-  EXPECT_EQ(sim.node(0).stats.packets_sent, 3u);
+  EXPECT_EQ(sim.stats(0).packets_sent, 3u);
 }
 
 /// Regression for the re-flood bug: suppression state is node-resident, so

@@ -138,5 +138,81 @@ TEST(RadioTest, ConnectivityDetection) {
   EXPECT_FALSE(radio2.IsConnected(0));
 }
 
+// --- Materialized vs on-demand mode agreement -----------------------------
+//
+// Above RadioOptions::materialize_threshold the radio stops building
+// adjacency lists and answers neighbor queries from the spatial grid. The
+// two modes must be observationally identical: same neighbor sets (same
+// ascending order) and same InRange answers for every pair — the
+// materialized mode's binary search and the on-demand mode's distance
+// computation are different code paths over the same geometry.
+
+std::vector<Point> RandomPositions(int n, double side, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pos;
+  pos.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    pos.push_back({rng.UniformDouble(0, side), rng.UniformDouble(0, side)});
+  }
+  return pos;
+}
+
+TEST(RadioTest, MaterializedAndOnDemandNeighborsAgree) {
+  const std::vector<Point> pos = RandomPositions(300, 500.0, 77);
+  RadioOptions always;
+  always.materialize_threshold = -1;  // force adjacency lists
+  RadioOptions never;
+  never.materialize_threshold = 0;  // force grid-backed on-demand
+  Radio mat(pos, 50.0, always);
+  Radio grid(pos, 50.0, never);
+  ASSERT_TRUE(mat.materialized());
+  ASSERT_FALSE(grid.materialized());
+
+  std::vector<NodeId> from_mat, from_grid;
+  for (NodeId i = 0; i < mat.num_nodes(); ++i) {
+    mat.Neighbors(i, from_mat);
+    grid.Neighbors(i, from_grid);
+    ASSERT_EQ(from_mat, from_grid) << "node " << i;
+    // The scratch overload must also match the materialized reference list.
+    ASSERT_EQ(from_mat, mat.Neighbors(i)) << "node " << i;
+  }
+}
+
+TEST(RadioTest, MaterializedAndOnDemandInRangeAgree) {
+  // Includes exact-boundary pairs (distance == range) so the binary-search
+  // path and the distance path are tested on the inclusive edge too.
+  std::vector<Point> pos = RandomPositions(120, 300.0, 78);
+  pos.push_back({0, 0});
+  pos.push_back({50, 0});  // exactly at range
+  RadioOptions always;
+  always.materialize_threshold = -1;
+  RadioOptions never;
+  never.materialize_threshold = 0;
+  Radio mat(pos, 50.0, always);
+  Radio grid(pos, 50.0, never);
+  for (NodeId a = 0; a < mat.num_nodes(); ++a) {
+    for (NodeId b = 0; b < mat.num_nodes(); ++b) {
+      ASSERT_EQ(mat.InRange(a, b), grid.InRange(a, b))
+          << "pair (" << a << ", " << b << ")";
+    }
+  }
+  const NodeId x = static_cast<NodeId>(pos.size()) - 2;
+  EXPECT_TRUE(mat.InRange(x, x + 1));
+  EXPECT_TRUE(grid.InRange(x, x + 1));
+}
+
+TEST(RadioTest, OnDemandModeSupportsLinkFaults) {
+  std::vector<Point> pos = {{0, 0}, {40, 0}, {80, 0}};
+  RadioOptions never;
+  never.materialize_threshold = 0;
+  Radio radio(pos, 50.0, never);
+  EXPECT_TRUE(radio.LinkUp(0, 1));
+  radio.FailLink(0, 1);
+  EXPECT_FALSE(radio.LinkUp(0, 1));
+  EXPECT_TRUE(radio.InRange(0, 1));  // range ignores failures
+  radio.RestoreLink(0, 1);
+  EXPECT_TRUE(radio.LinkUp(0, 1));
+}
+
 }  // namespace
 }  // namespace sensjoin::sim

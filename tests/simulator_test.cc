@@ -44,9 +44,9 @@ TEST(SimulatorTest, UnicastAccountsTxAndRx) {
   msg.payload_bytes = 100;  // 3 fragments of 40
   EXPECT_TRUE(sim.SendUnicast(msg));
   sim.events().Run();
-  EXPECT_EQ(sim.node(0).stats.packets_sent, 3u);
-  EXPECT_EQ(sim.node(1).stats.packets_received, 3u);
-  EXPECT_EQ(sim.node(0).stats.bytes_sent, 100u + 3 * 8u);
+  EXPECT_EQ(sim.stats(0).packets_sent, 3u);
+  EXPECT_EQ(sim.stats(1).packets_received, 3u);
+  EXPECT_EQ(sim.stats(0).bytes_sent, 100u + 3 * 8u);
   EXPECT_EQ(sim.total_packets_sent(), 3u);
   EXPECT_EQ(sim.packets_sent_by_kind(MessageKind::kFinal), 3u);
   EXPECT_EQ(sim.packets_sent_by_kind(MessageKind::kCollection), 0u);
@@ -60,8 +60,8 @@ TEST(SimulatorTest, UnicastOutOfRangeCountsTxOnly) {
   msg.dst = 2;  // out of range
   msg.payload_bytes = 10;
   EXPECT_FALSE(sim.SendUnicast(msg));
-  EXPECT_EQ(sim.node(0).stats.packets_sent, 1u);
-  EXPECT_EQ(sim.node(2).stats.packets_received, 0u);
+  EXPECT_EQ(sim.stats(0).packets_sent, 1u);
+  EXPECT_EQ(sim.stats(2).packets_received, 0u);
 }
 
 TEST(SimulatorTest, UnicastOverFailedLinkIsLost) {
@@ -72,26 +72,26 @@ TEST(SimulatorTest, UnicastOverFailedLinkIsLost) {
   msg.dst = 1;
   msg.payload_bytes = 10;
   EXPECT_FALSE(sim.SendUnicast(msg));
-  EXPECT_EQ(sim.node(0).stats.packets_sent, 1u);  // tx cost still paid
-  EXPECT_EQ(sim.node(1).stats.packets_received, 0u);
+  EXPECT_EQ(sim.stats(0).packets_sent, 1u);  // tx cost still paid
+  EXPECT_EQ(sim.stats(1).packets_received, 0u);
 }
 
 TEST(SimulatorTest, DeadNodesNeitherSendNorReceive) {
   Simulator sim = MakeChain();
-  sim.node(1).alive = false;
+  sim.set_alive(1, false);
   Message msg;
   msg.src = 0;
   msg.dst = 1;
   msg.payload_bytes = 10;
   EXPECT_FALSE(sim.SendUnicast(msg));
-  EXPECT_EQ(sim.node(1).stats.packets_received, 0u);
+  EXPECT_EQ(sim.stats(1).packets_received, 0u);
 
   Message from_dead;
   from_dead.src = 1;
   from_dead.dst = 0;
   from_dead.payload_bytes = 10;
   EXPECT_FALSE(sim.SendUnicast(from_dead));
-  EXPECT_EQ(sim.node(1).stats.packets_sent, 0u);
+  EXPECT_EQ(sim.stats(1).packets_sent, 0u);
 }
 
 TEST(SimulatorTest, BroadcastIsOneTransmissionManyReceivers) {
@@ -101,9 +101,9 @@ TEST(SimulatorTest, BroadcastIsOneTransmissionManyReceivers) {
   msg.kind = MessageKind::kQuery;
   msg.payload_bytes = 10;
   EXPECT_EQ(sim.Broadcast(msg), 2);
-  EXPECT_EQ(sim.node(1).stats.packets_sent, 1u);
-  EXPECT_EQ(sim.node(0).stats.packets_received, 1u);
-  EXPECT_EQ(sim.node(2).stats.packets_received, 1u);
+  EXPECT_EQ(sim.stats(1).packets_sent, 1u);
+  EXPECT_EQ(sim.stats(0).packets_received, 1u);
+  EXPECT_EQ(sim.stats(2).packets_received, 1u);
 }
 
 TEST(SimulatorTest, MessageDeliveryInvokesHandlerWithContent) {
@@ -151,7 +151,7 @@ TEST(SimulatorTest, ResetStatsClearsEverything) {
   EXPECT_EQ(sim.total_packets_sent(), 0u);
   EXPECT_EQ(sim.total_bytes_sent(), 0u);
   EXPECT_EQ(sim.total_energy_mj(), 0.0);
-  EXPECT_EQ(sim.node(0).stats.packets_sent, 0u);
+  EXPECT_EQ(sim.stats(0).packets_sent, 0u);
 }
 
 TEST(EnergyModelTest, CostsAreLinear) {

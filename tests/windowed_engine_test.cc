@@ -1,0 +1,174 @@
+// Equivalence proof for the windowed parallel engine: a join execution
+// under EngineKind::kWindowed must be byte-identical to the sequential
+// engine — same ExecutionReport numbers (doubles compared as bit
+// patterns via ExecutionFingerprint), same FNV-1a trace digest, at every
+// worker count — and the parallel path must actually engage (the test is
+// not allowed to pass by silently falling back to sequential). Under
+// chaos (loss + ARQ + crashes + outages) the engine must detect the armed
+// fault machinery and fall back, still byte-identical.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sensjoin/join/protocol.h"
+#include "sensjoin/obs/trace.h"
+#include "sensjoin/sensjoin.h"
+#include "sensjoin/sim/parallel_engine.h"
+#include "sensjoin/testbed/chaos.h"
+
+namespace sensjoin::testbed {
+namespace {
+
+constexpr const char* kQuery =
+    "SELECT A.hum, B.hum FROM sensors A, sensors B "
+    "WHERE |A.temp - B.temp| < 0.5 "
+    "AND distance(A.x, A.y, B.x, B.y) > 100 ONCE";
+
+TestbedParams Deployment(uint64_t seed, sim::EngineKind kind, int workers) {
+  TestbedParams params;
+  params.placement.num_nodes = 220;
+  params.placement.area_width_m = 420;
+  params.placement.area_height_m = 420;
+  params.seed = seed;
+  params.sim.engine.kind = kind;
+  params.sim.engine.workers = workers;
+  return params;
+}
+
+struct RunResult {
+  std::string fingerprint;       ///< report + trace digest, bit-exact
+  std::string external_fingerprint;
+  uint64_t parallel_windows = 0;
+  uint64_t sequential_windows = 0;
+  double now = 0.0;              ///< final sim time (event-count proxy)
+  uint64_t events_fired = 0;
+};
+
+/// One full execution (query flood + external join + SENS-Join) on a fresh
+/// deployment with the given engine. `chaos_seed != 0` applies a seeded
+/// six-axis fault schedule before executing.
+RunResult RunOnce(uint64_t seed, sim::EngineKind kind, int workers,
+                  uint64_t chaos_seed = 0) {
+  auto tb = Testbed::Create(Deployment(seed, kind, workers));
+  SENSJOIN_CHECK(tb.ok()) << tb.status();
+  auto q = (*tb)->ParseQuery(kQuery);
+  SENSJOIN_CHECK(q.ok()) << q.status();
+  (*tb)->DisseminateQuery(*q);
+
+  join::ProtocolConfig config;
+  if (chaos_seed != 0) {
+    ChaosParams params;
+    params.seed = chaos_seed;
+    params.arq_enabled = true;
+    params.duplication_rate = 0.05;
+    params.max_jitter_s = 0.005;
+    params.enable_replay = true;
+    ApplyChaos(**tb, MakeChaosSchedule(**tb, params));
+    config.enable_phase_recovery = true;
+    config.enable_tree_repair = true;
+    config.enable_graceful_degradation = true;
+    config.enable_phase_watchdog = true;
+  }
+
+  obs::Tracer tracer;
+  (*tb)->AttachTracer(&tracer);
+  auto ext = (*tb)->MakeExternalJoin(config).Execute(*q, 0);
+  auto sens = (*tb)->MakeSensJoin(config).Execute(*q, 0);
+  (*tb)->AttachTracer(nullptr);
+  SENSJOIN_CHECK(ext.ok()) << ext.status();
+  SENSJOIN_CHECK(sens.ok()) << sens.status();
+
+  RunResult r;
+  r.fingerprint = ExecutionFingerprint(*sens, &tracer);
+  r.external_fingerprint = ExecutionFingerprint(*ext, nullptr);
+  r.parallel_windows = (*tb)->simulator().engine().parallel_windows();
+  r.sequential_windows = (*tb)->simulator().engine().sequential_windows();
+  r.now = (*tb)->simulator().now();
+  r.events_fired = (*tb)->simulator().events().total_fired();
+  return r;
+}
+
+TEST(WindowedEngineTest, ByteIdenticalAcrossWorkerCounts) {
+  // Seed 101's routing tree has several depth-1 subtrees, so windows can
+  // actually split (a root with a single child would force the fallback).
+  const RunResult seq = RunOnce(101, sim::EngineKind::kSequential, 0);
+  EXPECT_EQ(seq.parallel_windows, 0u);
+  for (int workers : {1, 2, 8}) {
+    const RunResult win = RunOnce(101, sim::EngineKind::kWindowed, workers);
+    EXPECT_EQ(win.fingerprint, seq.fingerprint) << "workers=" << workers;
+    EXPECT_EQ(win.external_fingerprint, seq.external_fingerprint)
+        << "workers=" << workers;
+    EXPECT_EQ(win.now, seq.now) << "workers=" << workers;
+    EXPECT_EQ(win.events_fired, seq.events_fired) << "workers=" << workers;
+    if (workers > 1) {
+      // The equivalence must be earned, not inherited from a fallback.
+      EXPECT_GT(win.parallel_windows, 0u) << "workers=" << workers;
+    } else {
+      // One worker cannot split a window; the engine runs inline.
+      EXPECT_EQ(win.parallel_windows, 0u);
+    }
+  }
+}
+
+TEST(WindowedEngineTest, ByteIdenticalAcrossSeeds) {
+  for (uint64_t seed : {7u, 101u, 9000u}) {
+    const RunResult seq = RunOnce(seed, sim::EngineKind::kSequential, 0);
+    const RunResult win = RunOnce(seed, sim::EngineKind::kWindowed, 4);
+    EXPECT_EQ(win.fingerprint, seq.fingerprint) << "seed=" << seed;
+    EXPECT_EQ(win.external_fingerprint, seq.external_fingerprint)
+        << "seed=" << seed;
+    EXPECT_GT(win.parallel_windows, 0u) << "seed=" << seed;
+  }
+}
+
+TEST(WindowedEngineTest, RepeatedWindowedRunsAreDeterministic) {
+  const RunResult a = RunOnce(55, sim::EngineKind::kWindowed, 8);
+  const RunResult b = RunOnce(55, sim::EngineKind::kWindowed, 8);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.external_fingerprint, b.external_fingerprint);
+  EXPECT_EQ(a.parallel_windows, b.parallel_windows);
+}
+
+TEST(WindowedEngineTest, ChaosFallsBackSequentialAndStaysIdentical) {
+  // With loss, ARQ, crashes and outages armed, WindowSafe() is false: the
+  // windowed engine must take the sequential path on every window and the
+  // outcome must match the sequential engine bit for bit.
+  for (uint64_t chaos_seed : {3u, 17u}) {
+    const RunResult seq =
+        RunOnce(21, sim::EngineKind::kSequential, 0, chaos_seed);
+    const RunResult win =
+        RunOnce(21, sim::EngineKind::kWindowed, 8, chaos_seed);
+    EXPECT_EQ(win.fingerprint, seq.fingerprint) << "chaos=" << chaos_seed;
+    EXPECT_EQ(win.external_fingerprint, seq.external_fingerprint)
+        << "chaos=" << chaos_seed;
+    EXPECT_EQ(win.parallel_windows, 0u)
+        << "chaos must force the sequential fallback";
+    EXPECT_GT(win.sequential_windows, 0u);
+  }
+}
+
+TEST(PartitionMapTest, FromParentsAssignsDepthOneSubtrees) {
+  // Tree: 0 is root; 1, 2 are depth-1; 3, 4 under 1; 5 under 4; 6 orphan.
+  const std::vector<sim::NodeId> parent = {sim::kInvalidNode, 0, 0, 1,
+                                           1, 4, sim::kInvalidNode};
+  const sim::PartitionMap map = sim::PartitionMap::FromParents(parent, 0);
+  EXPECT_EQ(map.count, 2);
+  EXPECT_EQ(map.part[0], sim::PartitionMap::kUnpartitioned);
+  EXPECT_EQ(map.part[6], sim::PartitionMap::kUnpartitioned);
+  EXPECT_GE(map.part[1], 0);
+  EXPECT_GE(map.part[2], 0);
+  EXPECT_NE(map.part[1], map.part[2]);
+  EXPECT_EQ(map.part[3], map.part[1]);
+  EXPECT_EQ(map.part[4], map.part[1]);
+  EXPECT_EQ(map.part[5], map.part[1]);
+  EXPECT_TRUE(map.SamePartition(3, 5));
+  EXPECT_FALSE(map.SamePartition(3, 2));
+  EXPECT_FALSE(map.SamePartition(1, 0));
+  EXPECT_FALSE(map.SamePartition(0, 0));  // unpartitioned never matches
+}
+
+}  // namespace
+}  // namespace sensjoin::testbed
