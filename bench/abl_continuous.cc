@@ -10,6 +10,7 @@
 // testbeds, byte-identical to a sequential run.
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <vector>
 
@@ -30,20 +31,24 @@ struct Snapshot {
   uint64_t matched_combinations = 0;
 };
 
-void Main(uint64_t seed, int threads) {
+void Main(uint64_t seed, int threads, bool use_treecut) {
   const testbed::ParallelRunner runner(threads);
   auto tb = MustCreateTestbed(PaperDefaultParams(seed));
   std::cout << "Extension -- continuous queries with delta collection "
-               "(33% ratio, 5% fraction), seed "
-            << seed << "\n\n";
+               "(33% ratio, 5% fraction, Treecut "
+            << (use_treecut ? "on" : "off") << "), seed " << seed << "\n\n";
   const Calibration cal = CalibrateFraction(
       *tb, [](double d) { return RatioQueryOneJoinAttr(3, d); }, 0.0, 25.0,
       0.05, /*increasing=*/false, /*epoch=*/0, /*iterations=*/22, &runner);
   auto q = tb->ParseQuery(cal.sql);
   SENSJOIN_CHECK(q.ok());
 
+  // Continuous mode supports Treecut (frozen at the bootstrap boundary;
+  // exited nodes re-ship changed tuples to their proxy). Default off so the
+  // headline rows isolate the delta-collection effect; --treecut quantifies
+  // the interaction.
   join::ProtocolConfig config;
-  config.use_treecut = false;  // continuous mode runs without Treecut
+  config.use_treecut = use_treecut;
 
   auto snapshots =
       runner.Run(kEpochs, seed, [&](const testbed::TrialContext& ctx) {
@@ -81,6 +86,21 @@ void Main(uint64_t seed, int threads) {
   table.Print(std::cout);
 }
 
+/// Strips a `--treecut` argument; returns whether it was present.
+bool ParseTreecutFlag(int* argc, char** argv) {
+  bool found = false;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--treecut") == 0) {
+      found = true;
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  *argc = w;
+  return found;
+}
+
 }  // namespace
 }  // namespace sensjoin::bench
 
@@ -89,8 +109,9 @@ int main(int argc, char** argv) {
   sensjoin::testbed::ParseEngineFlag(&argc, argv);
   const sensjoin::bench::TraceFlag trace =
       sensjoin::bench::ParseTraceFlag(&argc, argv);
+  const bool use_treecut = sensjoin::bench::ParseTreecutFlag(&argc, argv);
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
-  if (!trace.only) sensjoin::bench::Main(seed, threads);
+  if (!trace.only) sensjoin::bench::Main(seed, threads, use_treecut);
   if (trace.enabled()) sensjoin::bench::RunTracedExecution(trace, seed);
   return 0;
 }

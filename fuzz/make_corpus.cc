@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -182,6 +183,33 @@ int main(int argc, char** argv) {
       const std::string s(q);
       WriteSeed(dir, "seed" + std::to_string(n++),
                 std::vector<uint8_t>(s.begin(), s.end()));
+    }
+  }
+
+  // --- service_admission_fuzz ---------------------------------------------
+  {
+    const std::filesystem::path dir = root / "service_admission_fuzz";
+    std::filesystem::create_directories(dir);
+    // Framing: capacity byte, op stream (op % 4: 0 register, 1 cancel,
+    // 2 lookup, 3 list-invariants), then NUL-separated query texts the
+    // register ops consume round-robin.
+    const char* queries[] = {
+        "SELECT A.hum, B.hum FROM sensors A, sensors B "
+        "WHERE A.temp - B.temp > 1.0 ONCE",
+        "SELECT s.temp, t.temp FROM sensors s, sensors t "
+        "WHERE abs(s.temp - t.temp) < 2 SAMPLE PERIOD 30",
+        "SELECT temp FROM sensors ONCE",  // single table: rejected
+        "SELECT FROM WHERE",              // malformed: rejected
+    };
+    int n = 0;
+    for (uint8_t capacity : {1, 4}) {
+      // register x4, list, cancel the first id, lookup, register again
+      std::vector<uint8_t> seed = {capacity, 0, 0, 0, 0, 3, 5, 6, 0};
+      for (const char* q : queries) {
+        seed.insert(seed.end(), q, q + std::strlen(q));
+        seed.push_back(0);
+      }
+      WriteSeed(dir, "seed" + std::to_string(n++), seed);
     }
   }
 

@@ -41,12 +41,29 @@ Scale mode:
     on the largest size must be >= min_ratio (default 1.5) times the
     sequential engine's. On smaller hosts the windowed engine has no
     cores to win with, so the numbers are printed and the check passes.
+
+Service mode:
+    check_bench_speedup.py --service <BENCH_runtime.json>
+  Validates the continuous multi-query service sweep (the "service"
+  section written by `svc_service --service-json=...`):
+  - steady-state delta collection packets must be <= COLLECTION_RATIO
+    (0.5) times the snapshot executor's collection packets for the same
+    query — the delta engine must at least halve the recurring upward
+    cost;
+  - at the 16-query sweep point, the shared steady-state per-epoch cost
+    must be <= SHARING_RATIO (0.25) times the dedicated cost — shared
+    phases must amortize at least 4x at 16 queries.
+  Both bounds are deterministic simulator packet counts, not wall-clock
+  timings, so they are enforced unconditionally.
 """
 import json
 import sys
 
 TRACE_OVERHEAD_TOLERANCE = 0.05
 RSS_PER_NODE_BUDGET_KB = 32.0
+SERVICE_COLLECTION_RATIO = 0.5
+SERVICE_SHARING_RATIO = 0.25
+SERVICE_SHARING_POINT = 16
 
 
 def check_filterjoin(path: str, n: str, min_ratio: float) -> int:
@@ -133,6 +150,58 @@ def check_runtime(path: str, min_ratio: float) -> int:
     return 1 if failures else 0
 
 
+def check_service(path: str) -> int:
+    with open(path) as f:
+        doc = json.load(f)
+    service = doc.get("service")
+    if service is None:
+        print(f"FAIL: {path} has no 'service' section")
+        return 1
+
+    collection = service["collection"]
+    snapshot = float(collection["snapshot_packets_per_epoch"])
+    delta = float(collection["delta_steady_packets_per_epoch"])
+    print(
+        f"collection: delta steady {delta:.1f} pkts/epoch, "
+        f"snapshot {snapshot:.1f} pkts/epoch "
+        f"(ratio {delta / snapshot:.3f}, bound {SERVICE_COLLECTION_RATIO})"
+    )
+    if delta > SERVICE_COLLECTION_RATIO * snapshot:
+        print(
+            "FAIL: steady-state delta collection exceeds "
+            f"{SERVICE_COLLECTION_RATIO}x the snapshot collection cost"
+        )
+        return 1
+
+    point = next(
+        (
+            entry
+            for entry in service["sweep"]
+            if entry["queries"] == SERVICE_SHARING_POINT
+        ),
+        None,
+    )
+    if point is None:
+        print(f"FAIL: sweep has no {SERVICE_SHARING_POINT}-query point")
+        return 1
+    shared = float(point["shared_steady_packets_per_epoch"])
+    dedicated = float(point["dedicated_steady_packets_per_epoch"])
+    print(
+        f"sharing at {SERVICE_SHARING_POINT} queries: shared "
+        f"{shared:.1f} pkts/epoch, dedicated {dedicated:.1f} pkts/epoch "
+        f"(ratio {shared / dedicated:.3f}, bound {SERVICE_SHARING_RATIO})"
+    )
+    if shared > SERVICE_SHARING_RATIO * dedicated:
+        print(
+            "FAIL: shared phases amortize less than "
+            f"{1.0 / SERVICE_SHARING_RATIO:.0f}x at "
+            f"{SERVICE_SHARING_POINT} queries"
+        )
+        return 1
+    print("OK: service sweep bounds hold")
+    return 0
+
+
 def check_scale(path: str, min_ratio: float) -> int:
     with open(path) as f:
         doc = json.load(f)
@@ -195,6 +264,8 @@ def main() -> int:
         path = args[1]
         min_ratio = float(args[2]) if len(args) > 2 else 1.5
         return check_scale(path, min_ratio)
+    if args and args[0] == "--service":
+        return check_service(args[1])
     path = args[0]
     n = args[1] if len(args) > 1 else "1500"
     min_ratio = float(args[2]) if len(args) > 2 else 1.0

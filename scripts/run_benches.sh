@@ -27,20 +27,29 @@ run micro_pointset "${OUT_DIR}/BENCH_pointset.json"
 # (run_all_benches.sh fills the "benches" wall-clock section of the same
 # file), the fault-tolerance ablation's repair-vs-re-execution sweep into
 # its "repair" section, the delivery-semantics sweep (duplication x
-# jitter x cross-attempt replay) into its "delivery" section, and the
-# single-topology sequential-vs-windowed sweep into its "scale" section.
+# jitter x cross-attempt replay) into its "delivery" section, the
+# single-topology sequential-vs-windowed sweep into its "scale" section,
+# and the continuous multi-query service sweep into its "service" section.
 RAW_JSON="$(mktemp)"
 RAW_TRACE_JSON="$(mktemp)"
 RAW_REPAIR_JSON="$(mktemp)"
 RAW_DELIVERY_JSON="$(mktemp)"
 RAW_SCALE_JSON="$(mktemp)"
+RAW_SERVICE_JSON="$(mktemp)"
 trap 'rm -f "${RAW_JSON}" "${RAW_TRACE_JSON}" "${RAW_REPAIR_JSON}" \
-  "${RAW_DELIVERY_JSON}" "${RAW_SCALE_JSON}"' EXIT
+  "${RAW_DELIVERY_JSON}" "${RAW_SCALE_JSON}" "${RAW_SERVICE_JSON}"' EXIT
 
 echo "===== abl_fault_tolerance (repair + delivery sweeps) ====="
 "${BUILD_DIR}/bench/abl_fault_tolerance" \
   --repair-json="${RAW_REPAIR_JSON}" \
   --delivery-json="${RAW_DELIVERY_JSON}" 42 250 > /dev/null
+
+# Continuous multi-query service sweep (delta collection vs snapshot,
+# shared vs dedicated phases at 1/4/16/64 queries) into the "service"
+# section.
+echo "===== svc_service (continuous service sweep) ====="
+"${BUILD_DIR}/bench/svc_service" \
+  --service-json="${RAW_SERVICE_JSON}" 42 > /dev/null
 
 # Single-topology scale sweep (sequential vs windowed engine). Override
 # SCALE_SIZES to trade coverage for wall-clock (CI smoke uses 20000,50000;
@@ -54,15 +63,16 @@ echo "===== fig14_network_size --scale (${SCALE_SIZES}) ====="
 run micro_simulator "${RAW_JSON}"
 run micro_trace "${RAW_TRACE_JSON}"
 python3 - "${RAW_JSON}" "${RAW_TRACE_JSON}" "${RAW_REPAIR_JSON}" \
-  "${RAW_DELIVERY_JSON}" "${RAW_SCALE_JSON}" \
+  "${RAW_DELIVERY_JSON}" "${RAW_SCALE_JSON}" "${RAW_SERVICE_JSON}" \
   "${OUT_DIR}/BENCH_runtime.json" <<'PY'
 import json
 import os
 import sys
 
-raw_path, trace_path, repair_path, delivery_path, scale_path, out_path = (
+(raw_path, trace_path, repair_path, delivery_path, scale_path,
+ service_path, out_path) = (
     sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5],
-    sys.argv[6])
+    sys.argv[6], sys.argv[7])
 rates = {}
 for path in (raw_path, trace_path):
     with open(path) as f:
@@ -118,8 +128,12 @@ with open(delivery_path) as f:
 with open(scale_path) as f:
     doc["scale"] = json.load(f)
 
+with open(service_path) as f:
+    doc["service"] = json.load(f)
+
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"wrote micro, repair, delivery and scale sections of {out_path}")
+print(f"wrote micro, repair, delivery, scale and service sections "
+      f"of {out_path}")
 PY

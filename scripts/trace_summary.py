@@ -36,6 +36,7 @@ PHASE_NAMES = [
     "FinalResult",
     "ExternalCollection",
     "TreeRepair",
+    "ServiceEpoch",
 ]
 
 EVENT_NAMES = [

@@ -1,14 +1,15 @@
 #include "sensjoin/join/continuous.h"
 
+#include <algorithm>
+#include <iterator>
 #include <set>
 #include <utility>
 
 #include "sensjoin/common/logging.h"
-#include "sensjoin/join/executor_context.h"
-#include "sensjoin/join/join_filter.h"
 #include "sensjoin/join/representation.h"
 #include "sensjoin/join/result.h"
 #include "sensjoin/join/stats.h"
+#include "sensjoin/obs/trace.h"
 
 namespace sensjoin::join {
 namespace {
@@ -69,22 +70,425 @@ std::vector<int> QueryJoinAttrIndices(const query::AnalyzedQuery& q) {
 
 }  // namespace
 
+DeltaGroupExecutor::DeltaGroupExecutor(sim::Simulator& sim,
+                                       const data::NetworkData& data,
+                                       QuantizationConfig quantization,
+                                       ProtocolConfig config)
+    : sim_(sim),
+      data_(data),
+      quantization_(std::move(quantization)),
+      config_(config) {}
+
+void DeltaGroupExecutor::Reset() {
+  bootstrapped_ = false;
+  tree_ = nullptr;
+  ctx_.reset();
+  codec_.reset();
+  new_key_.clear();
+  new_valid_.clear();
+  last_key_.clear();
+  last_valid_.clear();
+  subtree_counts_.clear();
+  base_counts_.clear();
+  exited_.clear();
+  proxy_of_.clear();
+  proxied_at_.clear();
+  stored_tuple_.clear();
+}
+
+bool DeltaGroupExecutor::SendWithResync(sim::Message msg, size_t* resyncs) {
+  bool corrupted = false;
+  if (sim_.SendUnicast(msg, &corrupted) && !corrupted) return true;
+  if (!config_.enable_phase_recovery) return false;
+  // A lost or garbled hop is re-pulled by the receiver (NACK down the hop,
+  // re-send from stored state), a bounded number of times. Persistent
+  // failures fall through to a full re-collection with tree rebuild — the
+  // base multiset is never left silently stale.
+  for (int r = 0; r < config_.max_recovery_requests; ++r) {
+    if (!sim_.alive(msg.src) || !sim_.alive(msg.dst) ||
+        !sim_.radio().LinkUp(msg.src, msg.dst)) {
+      return false;  // persistent: needs CTP repair
+    }
+    sim::Message rereq;
+    rereq.src = msg.dst;
+    rereq.dst = msg.src;
+    rereq.kind = sim::MessageKind::kControl;
+    rereq.payload_bytes = 4;  // names the missing delta
+    sim_.SendUnicast(rereq);
+    ++*resyncs;
+    if (obs::kTracingCompiledIn && sim_.tracer() != nullptr &&
+        sim_.tracer()->enabled()) {
+      sim_.tracer()->Record(obs::EventKind::kRecoveryRequest, sim_.now(),
+                            msg.dst, msg.src, msg.kind, /*count=*/1,
+                            /*bytes=*/0, /*energy_mj=*/0.0);
+    }
+    corrupted = false;
+    if (sim_.SendUnicast(msg, &corrupted) && !corrupted) return true;
+  }
+  return false;
+}
+
+PointSet DeltaGroupExecutor::CollectedSet() const {
+  SENSJOIN_CHECK(codec_ != nullptr) << "CollectedSet before Collect";
+  return SetView(base_counts_, *codec_);
+}
+
+Status DeltaGroupExecutor::Collect(const net::RoutingTree& tree,
+                                   const query::AnalyzedQuery& q,
+                                   uint64_t epoch, CollectOutcome* out) {
+  *out = CollectOutcome{};
+  tree_ = &tree;
+  const int n = sim_.num_nodes();
+  const sim::NodeId root = tree.root();
+  ctx_.emplace(data_, q, epoch);
+
+  if (!bootstrapped_) {
+    last_key_.assign(n, 0);
+    last_valid_.assign(n, 0);
+    subtree_counts_.assign(n, {});
+    base_counts_.clear();
+    exited_.assign(n, 0);
+    proxy_of_.assign(n, sim::kInvalidNode);
+    proxied_at_.assign(n, {});
+    stored_tuple_.assign(n, std::nullopt);
+    const std::vector<int> boot_dims = QueryJoinAttrIndices(q);
+    SENSJOIN_ASSIGN_OR_RETURN(
+        Quantizer quantizer,
+        Quantizer::FromConfig(q.schema(), boot_dims, quantization_));
+    codec_ = std::make_unique<JoinAttrCodec>(std::move(quantizer),
+                                             ctx_->num_relations());
+    out->bootstrap = true;
+  }
+  const JoinAttrCodec& codec = *codec_;
+  const std::vector<int> dims = QueryJoinAttrIndices(q);
+  const bool bootstrap = out->bootstrap;
+
+  // New keys for this epoch.
+  new_key_.assign(n, 0);
+  new_valid_.assign(n, 0);
+  std::vector<double> dim_values(dims.size());
+  for (sim::NodeId u = 0; u < n; ++u) {
+    const ExecutorContext::NodeInfo& info = ctx_->info(u);
+    if (!info.has_tuple || !tree.InTree(u) || u == root) continue;
+    for (size_t d = 0; d < dims.size(); ++d) {
+      dim_values[d] = info.tuple.values[dims[d]];
+    }
+    new_key_[u] = codec.EncodeTuple(dim_values, info.membership);
+    new_valid_[u] = 1;
+  }
+
+  obs::ScopedPhase span(sim_.tracer(), sim_.events(),
+                        obs::Phase::kJoinAttrCollection);
+
+  // In-flight state of the leaf-to-root walk.
+  std::vector<Delta> pending(n);
+  std::vector<std::vector<data::Tuple>> pending_tuples(n);
+  std::vector<size_t> pending_tuple_bytes(n, 0);
+  std::vector<std::vector<sim::NodeId>> pending_tombstones(n);
+  std::vector<char> any_attrs_child(n, 0);  // bootstrap Treecut decisions
+
+  // Folds owner `o`'s key change into `own` and advances the last-reported
+  // state. Exited owners' changes are folded at their proxy, everyone
+  // else's at the node itself.
+  auto merge_owner_change = [&](sim::NodeId o, Delta* own) {
+    Delta change;
+    if (last_valid_[o]) change[last_key_[o]] -= 1;
+    if (new_valid_[o]) change[new_key_[o]] += 1;
+    for (auto it = change.begin(); it != change.end();) {
+      it = it->second == 0 ? change.erase(it) : std::next(it);
+    }
+    if (!change.empty()) ++out->changed_nodes;
+    Merge(own, change);
+    last_key_[o] = new_key_[o];
+    last_valid_[o] = new_valid_[o];
+  };
+
+  auto store_at = [&](sim::NodeId proxy, const data::Tuple& t) {
+    if (proxy_of_[t.node] == sim::kInvalidNode) {
+      proxy_of_[t.node] = proxy;
+      proxied_at_[proxy].push_back(t.node);
+    }
+    stored_tuple_[t.node] = t;
+  };
+
+  // True when an exited node's current content differs from the copy its
+  // proxy stores (so the proxy's store — and the exact rows it can produce
+  // in the final phase — would go stale without a re-ship).
+  auto content_changed = [&](sim::NodeId o) {
+    const std::optional<data::Tuple>& stored = stored_tuple_[o];
+    if (!new_valid_[o]) return stored.has_value();
+    return !stored.has_value() ||
+           stored->values != ctx_->info(o).tuple.values;
+  };
+
+  for (sim::NodeId u : tree.collection_order()) {
+    if (u == root) {
+      Delta delta = std::move(pending[u]);
+      // The base station acts as proxy for complete tuples that reached it.
+      for (const data::Tuple& t : pending_tuples[u]) {
+        store_at(u, t);
+        merge_owner_change(t.node, &delta);
+      }
+      for (sim::NodeId o : pending_tombstones[u]) {
+        stored_tuple_[o].reset();
+        merge_owner_change(o, &delta);
+      }
+      // Apply to the base multiset, recording the set-level transitions the
+      // incremental filter maintenance consumes.
+      for (const auto& [key, change] : delta) {
+        auto [it, inserted] = base_counts_.try_emplace(key, 0);
+        const int before = it->second;
+        const int after = (it->second += change);
+        SENSJOIN_CHECK_GE(after, 0) << "multiset underflow for key" << key;
+        if (before == 0 && after > 0) out->added.push_back(key);
+        if (before > 0 && after == 0) out->removed.push_back(key);
+        if (after == 0) base_counts_.erase(it);
+      }
+      break;  // root is last in collection order
+    }
+    const ExecutorContext::NodeInfo& info = ctx_->info(u);
+    const sim::NodeId parent = tree.parent(u);
+
+    if (bootstrap && config_.use_treecut) {
+      // Treecut boundary, decided exactly as in the snapshot protocol: a
+      // node with no structure-sending child whose accumulated complete
+      // tuples fit Dmax ships them up and exits; the first node over the
+      // threshold stores them as their proxy.
+      const size_t full_bytes =
+          (new_valid_[u] ? static_cast<size_t>(info.full_tuple_bytes) : 0) +
+          pending_tuple_bytes[u];
+      if (!any_attrs_child[u] &&
+          full_bytes <= static_cast<size_t>(config_.dmax_bytes)) {
+        exited_[u] = 1;
+        std::vector<data::Tuple> contribution = std::move(pending_tuples[u]);
+        if (new_valid_[u]) contribution.push_back(info.tuple);
+        if (contribution.empty()) continue;
+        sim::Message msg;
+        msg.src = u;
+        msg.dst = parent;
+        msg.kind = sim::MessageKind::kCollection;
+        msg.payload_bytes = full_bytes;
+        if (!SendWithResync(msg, &out->resyncs)) {
+          out->failed = true;
+          return Status::Ok();
+        }
+        std::vector<data::Tuple>& up = pending_tuples[parent];
+        up.insert(up.end(), std::make_move_iterator(contribution.begin()),
+                  std::make_move_iterator(contribution.end()));
+        pending_tuple_bytes[parent] += full_bytes;
+        continue;
+      }
+    }
+
+    if (!bootstrap && exited_[u]) {
+      // Steady-state Treecut: the exited fringe re-ships only content that
+      // changed since the proxy stored it (a disappeared tuple travels as a
+      // one-byte tombstone). Key changes ride along implicitly — the proxy
+      // folds them into its own delta.
+      SENSJOIN_DCHECK(pending[u].empty());
+      std::vector<data::Tuple> contribution = std::move(pending_tuples[u]);
+      size_t bytes = pending_tuple_bytes[u];
+      std::vector<sim::NodeId> tombs = std::move(pending_tombstones[u]);
+      if (content_changed(u)) {
+        if (new_valid_[u]) {
+          contribution.push_back(info.tuple);
+          bytes += static_cast<size_t>(info.full_tuple_bytes);
+        } else {
+          tombs.push_back(u);
+          bytes += 1;
+        }
+      }
+      if (contribution.empty() && tombs.empty()) continue;
+      sim::Message msg;
+      msg.src = u;
+      msg.dst = parent;
+      msg.kind = sim::MessageKind::kCollection;
+      msg.payload_bytes = bytes;
+      if (!SendWithResync(msg, &out->resyncs)) {
+        out->failed = true;
+        return Status::Ok();
+      }
+      std::vector<data::Tuple>& up = pending_tuples[parent];
+      up.insert(up.end(), std::make_move_iterator(contribution.begin()),
+                std::make_move_iterator(contribution.end()));
+      pending_tuple_bytes[parent] += bytes;
+      std::vector<sim::NodeId>& ut = pending_tombstones[parent];
+      ut.insert(ut.end(), tombs.begin(), tombs.end());
+      continue;
+    }
+
+    // Non-exited node: the delta protocol. Incremental SubtreeJoinAtts
+    // maintenance — the delta from below is exactly the change of this
+    // node's descendant multiset.
+    Delta delta = std::move(pending[u]);
+    Apply(&subtree_counts_[u], delta);
+
+    Delta own;
+    for (const data::Tuple& t : pending_tuples[u]) {
+      store_at(u, t);
+      merge_owner_change(t.node, &own);
+    }
+    for (sim::NodeId o : pending_tombstones[u]) {
+      stored_tuple_[o].reset();
+      merge_owner_change(o, &own);
+    }
+    merge_owner_change(u, &own);
+    Merge(&delta, own);
+
+    if (delta.empty()) continue;
+    sim::Message msg;
+    msg.src = u;
+    msg.dst = parent;
+    msg.kind = sim::MessageKind::kCollection;
+    msg.payload_bytes = DeltaWireBytes(delta, codec, config_.representation);
+    if (!SendWithResync(msg, &out->resyncs)) {
+      out->failed = true;
+      return Status::Ok();
+    }
+    Merge(&pending[parent], delta);
+    any_attrs_child[parent] = 1;
+  }
+  sim_.events().Run();
+
+  out->treecut_exited = static_cast<size_t>(
+      std::count(exited_.begin(), exited_.end(), char{1}));
+  bootstrapped_ = true;
+  return Status::Ok();
+}
+
+Status DeltaGroupExecutor::DisseminateAndFinalize(const PointSet& filter,
+                                                  FinalOutcome* out) {
+  *out = FinalOutcome{};
+  SENSJOIN_CHECK(tree_ != nullptr && ctx_.has_value())
+      << "DisseminateAndFinalize without a preceding Collect";
+  const net::RoutingTree& tree = *tree_;
+  const int n = sim_.num_nodes();
+  const sim::NodeId root = tree.root();
+  const JoinAttrCodec& codec = *codec_;
+
+  // ---- Filter dissemination ----------------------------------------------
+  std::vector<PointSet> filter_at(n, codec.EmptySet());
+  std::vector<char> got_filter(n, 0);
+  filter_at[root] = filter;
+  got_filter[root] = 1;
+  {
+    obs::ScopedPhase span(sim_.tracer(), sim_.events(),
+                          obs::Phase::kFilterDissemination);
+    for (sim::NodeId u : tree.dissemination_order()) {
+      if (!got_filter[u]) continue;
+      std::vector<sim::NodeId> targets;
+      for (sim::NodeId c : tree.children(u)) {
+        // Exited subtrees are answered for by their proxy; everyone else
+        // needs the filter only if their subtree ever reported data.
+        if (exited_[c]) continue;
+        if (!subtree_counts_[c].empty() || last_valid_[c] ||
+            !proxied_at_[c].empty()) {
+          targets.push_back(c);
+        }
+      }
+      if (targets.empty()) continue;
+      const PointSet subtree_view = u == root
+                                        ? SetView(base_counts_, codec)
+                                        : SetView(subtree_counts_[u], codec);
+      PointSet forward = filter_at[u];
+      const bool can_prune =
+          config_.use_selective_forwarding &&
+          (u == root ||
+           StructureWireBytes(subtree_view, codec, config_.representation) <=
+               static_cast<size_t>(config_.filter_memory_bytes));
+      if (can_prune) {
+        // Include the children's own keys, which the subtree multiset of u
+        // already covers (it aggregates everything reported from below).
+        forward = PointSet::Intersect(filter_at[u], subtree_view);
+      }
+      if (forward.empty()) continue;
+      for (sim::NodeId c : targets) {
+        if (!sim_.radio().LinkUp(u, c)) {
+          out->failed = true;
+          return Status::Ok();
+        }
+      }
+      sim::Message msg;
+      msg.src = u;
+      msg.kind = sim::MessageKind::kFilter;
+      msg.payload_bytes =
+          StructureWireBytes(forward, codec, config_.representation);
+      sim_.Broadcast(std::move(msg));
+      for (sim::NodeId c : targets) {
+        filter_at[c] = forward;
+        got_filter[c] = 1;
+      }
+    }
+    sim_.events().Run();
+  }
+
+  // ---- Final result computation ------------------------------------------
+  obs::ScopedPhase span(sim_.tracer(), sim_.events(),
+                        obs::Phase::kFinalResult);
+  std::vector<std::vector<data::Tuple>> pending_final(n);
+  for (sim::NodeId u : tree.collection_order()) {
+    std::vector<data::Tuple> contribution = std::move(pending_final[u]);
+    if (u == root) {
+      out->candidates = std::move(contribution);
+      // Stored tuples at the base station are already in place; the filter
+      // still gates them into the candidate pool (it is conservative, so
+      // no true match is lost).
+      for (sim::NodeId o : proxied_at_[u]) {
+        if (stored_tuple_[o].has_value() && last_valid_[o] &&
+            filter.Contains(last_key_[o])) {
+          out->candidates.push_back(*stored_tuple_[o]);
+        }
+      }
+      continue;
+    }
+    if (exited_[u]) {
+      SENSJOIN_DCHECK(contribution.empty());
+      continue;
+    }
+    if (got_filter[u]) {
+      if (new_valid_[u] && filter_at[u].Contains(new_key_[u])) {
+        contribution.push_back(ctx_->info(u).tuple);
+        ++out->final_tuples_shipped;
+      }
+      // Proxy duty: ship stored tuples that match the filter on behalf of
+      // the exited fringe.
+      for (sim::NodeId o : proxied_at_[u]) {
+        if (stored_tuple_[o].has_value() && last_valid_[o] &&
+            filter_at[u].Contains(last_key_[o])) {
+          contribution.push_back(*stored_tuple_[o]);
+          ++out->final_tuples_shipped;
+        }
+      }
+    }
+    if (contribution.empty()) continue;
+    size_t payload = 0;
+    for (const data::Tuple& t : contribution) {
+      payload += ctx_->info(t.node).full_tuple_bytes;
+    }
+    sim::Message msg;
+    msg.src = u;
+    msg.dst = tree.parent(u);
+    msg.kind = sim::MessageKind::kFinal;
+    msg.payload_bytes = payload;
+    if (!SendWithResync(msg, &out->resyncs)) {
+      out->failed = true;
+      return Status::Ok();
+    }
+    std::vector<data::Tuple>& up = pending_final[tree.parent(u)];
+    up.insert(up.end(), std::make_move_iterator(contribution.begin()),
+              std::make_move_iterator(contribution.end()));
+  }
+  sim_.events().Run();
+  return Status::Ok();
+}
+
 ContinuousSensJoinExecutor::ContinuousSensJoinExecutor(
     sim::Simulator& sim, net::RoutingTree tree, const data::NetworkData& data,
     QuantizationConfig quantization, ProtocolConfig config)
     : sim_(sim),
       tree_(std::move(tree)),
-      data_(data),
-      quantization_(std::move(quantization)),
-      config_(config) {}
-
-void ContinuousSensJoinExecutor::ResetDistributedState() {
-  bootstrapped_ = false;
-  last_key_.assign(sim_.num_nodes(), 0);
-  last_valid_.assign(sim_.num_nodes(), 0);
-  subtree_counts_.assign(sim_.num_nodes(), {});
-  base_counts_.clear();
-}
+      config_(config),
+      engine_(sim, data, std::move(quantization), config) {}
 
 StatusOr<ExecutionReport> ContinuousSensJoinExecutor::ExecuteEpoch(
     const query::AnalyzedQuery& q, uint64_t epoch) {
@@ -92,197 +496,55 @@ StatusOr<ExecutionReport> ContinuousSensJoinExecutor::ExecuteEpoch(
     return Status::InvalidArgument(
         "SENS-Join requires at least two relations in FROM");
   }
+  if (config_.use_treecut &&
+      config_.dmax_bytes >= sim_.packet_params().max_packet_bytes) {
+    return Status::InvalidArgument(
+        "Dmax must be below the maximum packet size (Sec. IV-E)");
+  }
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
     ExecutionReport report;
     report.attempts = attempt + 1;
     const StatsSnapshot snapshot(sim_);
     const double start_time = sim_.now();
-    bool failed = false;
-    SENSJOIN_RETURN_IF_ERROR(ExecuteAttempt(q, epoch, &report, &failed));
-    sim_.events().Run();
+
+    DeltaGroupExecutor::CollectOutcome collected;
+    SENSJOIN_RETURN_IF_ERROR(engine_.Collect(tree_, q, epoch, &collected));
+    bool failed = collected.failed;
     if (!failed) {
-      report.success = true;
-      report.cost = snapshot.DeltaTo(sim_);
-      report.response_time_s = sim_.now() - start_time;
-      return report;
+      const PointSet collected_set = engine_.CollectedSet();
+      const FilterJoinResult& filter_result =
+          filter_.Update(q, *engine_.codec(), collected_set, collected.added,
+                         collected.removed);
+      report.collected_points = collected_set.size();
+      report.filter_points = filter_result.filter.size();
+      report.delta_changed_nodes = collected.changed_nodes;
+      report.delta_resyncs = collected.resyncs;
+      report.treecut_exited_nodes = collected.treecut_exited;
+
+      DeltaGroupExecutor::FinalOutcome fin;
+      SENSJOIN_RETURN_IF_ERROR(
+          engine_.DisseminateAndFinalize(filter_result.filter, &fin));
+      report.delta_resyncs += fin.resyncs;
+      failed = fin.failed;
+      if (!failed) {
+        report.final_tuples_shipped = fin.final_tuples_shipped;
+        report.candidate_tuples = fin.candidates.size();
+        report.result = ComputeExactJoin(
+            q, engine_.context()->PerTableCandidates(fin.candidates));
+        report.success = true;
+        report.cost = snapshot.DeltaTo(sim_);
+        report.response_time_s = sim_.now() - start_time;
+        return report;
+      }
     }
     // Topology changed mid-execution: the distributed state no longer
-    // matches the tree. Repair and bootstrap.
+    // matches the tree. Repair and bootstrap (a full collection).
     tree_ = net::RoutingTree::Build(sim_, tree_.root());
-    ResetDistributedState();
+    engine_.Reset();
+    filter_.Reset();
   }
   return Status::ResourceExhausted(
       "continuous SENS-Join failed after retries");
-}
-
-Status ContinuousSensJoinExecutor::ExecuteAttempt(
-    const query::AnalyzedQuery& q, uint64_t epoch, ExecutionReport* report,
-    bool* failed) {
-  *failed = false;
-  const int n = sim_.num_nodes();
-  const ExecutorContext ctx(data_, q, epoch);
-
-  if (!bootstrapped_) {
-    ResetDistributedState();
-    const std::vector<int> dims = QueryJoinAttrIndices(q);
-    SENSJOIN_ASSIGN_OR_RETURN(
-        Quantizer quantizer,
-        Quantizer::FromConfig(q.schema(), dims, quantization_));
-    codec_ = std::make_unique<JoinAttrCodec>(std::move(quantizer),
-                                             ctx.num_relations());
-  }
-  const JoinAttrCodec& codec = *codec_;
-  const std::vector<int> dims = QueryJoinAttrIndices(q);
-
-  // New keys for this epoch.
-  std::vector<uint64_t> new_key(n, 0);
-  std::vector<char> new_valid(n, 0);
-  std::vector<double> dim_values(dims.size());
-  for (sim::NodeId u = 0; u < n; ++u) {
-    const ExecutorContext::NodeInfo& info = ctx.info(u);
-    if (!info.has_tuple || !tree_.InTree(u) || u == tree_.root()) continue;
-    for (size_t d = 0; d < dims.size(); ++d) {
-      dim_values[d] = info.tuple.values[dims[d]];
-    }
-    new_key[u] = codec.EncodeTuple(dim_values, info.membership);
-    new_valid[u] = 1;
-  }
-
-  // ---- Delta collection (leaf to root) -----------------------------------
-  std::vector<Delta> pending(n);
-  size_t changed_nodes = 0;
-  for (sim::NodeId u : tree_.collection_order()) {
-    Delta delta = std::move(pending[u]);
-    pending[u].clear();
-    if (u == tree_.root()) {
-      Apply(&base_counts_, delta);
-      break;  // root is last in collection order
-    }
-    // Incremental SubtreeJoinAtts maintenance: the delta from below is
-    // exactly the change of this node's descendant multiset.
-    Apply(&subtree_counts_[u], delta);
-
-    // Own change.
-    Delta own;
-    if (last_valid_[u]) own[last_key_[u]] -= 1;
-    if (new_valid[u]) own[new_key[u]] += 1;
-    // A node whose key did not move contributes nothing.
-    for (auto it = own.begin(); it != own.end();) {
-      it = it->second == 0 ? own.erase(it) : std::next(it);
-    }
-    if (!own.empty()) ++changed_nodes;
-    Merge(&delta, own);
-    last_key_[u] = new_key[u];
-    last_valid_[u] = new_valid[u];
-
-    if (delta.empty()) continue;
-    sim::Message msg;
-    msg.src = u;
-    msg.dst = tree_.parent(u);
-    msg.kind = sim::MessageKind::kCollection;
-    msg.payload_bytes = DeltaWireBytes(delta, codec, config_.representation);
-    if (!sim_.SendUnicast(std::move(msg))) {
-      *failed = true;
-      return Status::Ok();
-    }
-    Merge(&pending[tree_.parent(u)], delta);
-  }
-  sim_.events().Run();
-
-  // ---- Base station: filter join over the maintained multiset ------------
-  const PointSet collected = SetView(base_counts_, codec);
-  const FilterJoinResult filter_result =
-      ComputeJoinFilter(q, codec, collected);
-  report->collected_points = collected.size();
-  report->filter_points = filter_result.filter.size();
-  report->delta_changed_nodes = changed_nodes;
-
-  // ---- Filter dissemination ----------------------------------------------
-  std::vector<PointSet> filter_at(n, codec.EmptySet());
-  std::vector<char> got_filter(n, 0);
-  filter_at[tree_.root()] = filter_result.filter;
-  got_filter[tree_.root()] = 1;
-  for (sim::NodeId u : tree_.dissemination_order()) {
-    if (!got_filter[u]) continue;
-    std::vector<sim::NodeId> targets;
-    for (sim::NodeId c : tree_.children(u)) {
-      // Only subtrees that ever reported data need the filter.
-      if (!subtree_counts_[c].empty() || last_valid_[c]) targets.push_back(c);
-    }
-    if (targets.empty()) continue;
-    const PointSet subtree_view =
-        u == tree_.root() ? SetView(base_counts_, codec)
-                          : SetView(subtree_counts_[u], codec);
-    PointSet forward = filter_at[u];
-    const bool can_prune =
-        config_.use_selective_forwarding &&
-        (u == tree_.root() ||
-         StructureWireBytes(subtree_view, codec, config_.representation) <=
-             static_cast<size_t>(config_.filter_memory_bytes));
-    if (can_prune) {
-      // Include the children's own keys, which the subtree multiset of u
-      // already covers (it aggregates everything reported from below).
-      forward = PointSet::Intersect(filter_at[u], subtree_view);
-    }
-    if (forward.empty()) continue;
-    for (sim::NodeId c : targets) {
-      if (!sim_.radio().LinkUp(u, c)) {
-        *failed = true;
-        return Status::Ok();
-      }
-    }
-    sim::Message msg;
-    msg.src = u;
-    msg.kind = sim::MessageKind::kFilter;
-    msg.payload_bytes =
-        StructureWireBytes(forward, codec, config_.representation);
-    sim_.Broadcast(std::move(msg));
-    for (sim::NodeId c : targets) {
-      filter_at[c] = forward;
-      got_filter[c] = 1;
-    }
-  }
-  sim_.events().Run();
-
-  // ---- Final result computation ------------------------------------------
-  std::vector<std::vector<data::Tuple>> pending_final(n);
-  std::vector<data::Tuple> base_candidates;
-  for (sim::NodeId u : tree_.collection_order()) {
-    std::vector<data::Tuple> contribution = std::move(pending_final[u]);
-    if (u != tree_.root() && got_filter[u] && new_valid[u] &&
-        filter_at[u].Contains(new_key[u])) {
-      contribution.push_back(ctx.info(u).tuple);
-      ++report->final_tuples_shipped;
-    }
-    if (u == tree_.root()) {
-      base_candidates = std::move(contribution);
-      continue;
-    }
-    if (contribution.empty()) continue;
-    size_t payload = 0;
-    for (const data::Tuple& t : contribution) {
-      payload += ctx.info(t.node).full_tuple_bytes;
-    }
-    sim::Message msg;
-    msg.src = u;
-    msg.dst = tree_.parent(u);
-    msg.kind = sim::MessageKind::kFinal;
-    msg.payload_bytes = payload;
-    if (!sim_.SendUnicast(std::move(msg))) {
-      *failed = true;
-      return Status::Ok();
-    }
-    std::vector<data::Tuple>& up = pending_final[tree_.parent(u)];
-    up.insert(up.end(), std::make_move_iterator(contribution.begin()),
-              std::make_move_iterator(contribution.end()));
-  }
-  sim_.events().Run();
-
-  report->candidate_tuples = base_candidates.size();
-  report->result =
-      ComputeExactJoin(q, ctx.PerTableCandidates(base_candidates));
-  bootstrapped_ = true;
-  return Status::Ok();
 }
 
 }  // namespace sensjoin::join

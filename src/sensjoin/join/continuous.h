@@ -4,12 +4,17 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sensjoin/common/statusor.h"
 #include "sensjoin/data/network_data.h"
+#include "sensjoin/data/tuple.h"
 #include "sensjoin/join/execution_report.h"
+#include "sensjoin/join/executor_context.h"
 #include "sensjoin/join/join_attr_codec.h"
+#include "sensjoin/join/join_filter.h"
+#include "sensjoin/join/point_set.h"
 #include "sensjoin/join/protocol.h"
 #include "sensjoin/join/quantizer.h"
 #include "sensjoin/net/routing_tree.h"
@@ -18,10 +23,10 @@
 
 namespace sensjoin::join {
 
-/// Continuous-query variant of SENS-Join implementing the paper's stated
-/// follow-on work (Sec. VIII: "we currently investigate if the filtering
-/// can be optimized for continuous queries by exploiting temporal
-/// correlations").
+/// Epoch-to-epoch delta execution engine for continuous SENS-Join: the
+/// in-network half of the paper's stated follow-on work (Sec. VIII:
+/// "we currently investigate if the filtering can be optimized for
+/// continuous queries by exploiting temporal correlations").
 ///
 /// Idea: across SAMPLE PERIOD executions, most quantized join-attribute
 /// tuples do not change (sensor drift is slow relative to the quantization
@@ -29,40 +34,109 @@ namespace sensjoin::join {
 /// *deltas*: each node reports its key only when it moved to a different
 /// cell (as a removal + addition pair); inner nodes merge and forward the
 /// deltas and update their stored subtree structures incrementally. The
-/// base station maintains the collected multiset, recomputes the filter and
-/// disseminates it as in the snapshot protocol.
+/// base station maintains the collected multiset and reports the set-level
+/// changes, so the caller can maintain its join filter incrementally too
+/// (IncrementalJoinFilter in join_filter.h).
 ///
-/// Treecut is disabled in this mode (proxies would have to re-ship stored
-/// tuples every epoch anyway). A link failure invalidates the distributed
-/// state; the executor rebuilds the tree and bootstraps from scratch, which
-/// is exactly a full collection (every key is an addition).
-class ContinuousSensJoinExecutor {
+/// The engine is query-agnostic beyond the collection semantics: one
+/// instance serves a whole *sharing group* of queries with identical
+/// (relations, selections, join attributes) signatures — the service layer
+/// (service/join_service.h) disseminates the union of the group's filters
+/// through DisseminateAndFinalize and splits the resulting candidates per
+/// query at the station.
+///
+/// Treecut (config.use_treecut): the boundary is computed during the
+/// bootstrap epoch exactly as in the snapshot protocol; it is then frozen.
+/// An exited node re-ships its complete tuple to its proxy (first
+/// non-exited ancestor) whenever the tuple's content changed, and the
+/// proxy translates stored-tuple changes into key deltas, so the base
+/// multiset stays exact. Exited subtrees are skipped by the filter
+/// dissemination; the proxy ships stored tuples that match the filter in
+/// the final phase. Steady-state treecut is usually a net loss (readings
+/// drift every epoch, so stored tuples are re-shipped every epoch) — the
+/// abl_continuous --treecut ablation quantifies this.
+///
+/// Fault handling: a lost or corrupted delta hop is re-pulled by the
+/// receiver (kControl re-request + re-send, bounded by
+/// config.max_recovery_requests; counted as a re-sync). A permanent
+/// failure marks the outcome failed; the caller must rebuild the tree,
+/// Reset() the engine and re-run the epoch, which bootstraps from scratch
+/// (a full collection: every key is an addition). A filter computed from
+/// the maintained multiset is therefore never silently stale.
+class DeltaGroupExecutor {
  public:
-  ContinuousSensJoinExecutor(sim::Simulator& sim, net::RoutingTree tree,
-                             const data::NetworkData& data,
-                             QuantizationConfig quantization,
-                             ProtocolConfig config = ProtocolConfig{});
+  DeltaGroupExecutor(sim::Simulator& sim, const data::NetworkData& data,
+                     QuantizationConfig quantization, ProtocolConfig config);
 
-  /// Executes one period over snapshot `epoch`. The first call (and any
-  /// call after a topology repair) bootstraps the distributed state.
-  StatusOr<ExecutionReport> ExecuteEpoch(const query::AnalyzedQuery& q,
-                                         uint64_t epoch);
+  /// Outcome of one epoch's delta collection.
+  struct CollectOutcome {
+    /// A hop failed permanently; distributed state is invalid. Rebuild the
+    /// tree, Reset() and retry.
+    bool failed = false;
+    /// This epoch ran as a full collection (first call or after Reset).
+    bool bootstrap = false;
+    size_t changed_nodes = 0;  ///< nodes whose reported key moved
+    size_t resyncs = 0;        ///< lost/corrupted delta hops re-pulled
+    size_t treecut_exited = 0;  ///< exited nodes (fixed at bootstrap)
+    /// Set-level delta of the base station's collected key set this epoch:
+    /// keys whose multiset count rose from zero / fell to zero.
+    std::vector<uint64_t> added;
+    std::vector<uint64_t> removed;
+  };
 
-  const net::RoutingTree& tree() const { return tree_; }
+  /// Senses `epoch` and runs the delta Join-Attribute-Collection over
+  /// `tree`. The tree reference must stay valid until the matching
+  /// DisseminateAndFinalize call. `q` defines membership, selections and
+  /// join attributes; for a sharing group pass the representative query
+  /// (all members agree on these by signature).
+  Status Collect(const net::RoutingTree& tree, const query::AnalyzedQuery& q,
+                 uint64_t epoch, CollectOutcome* out);
+
+  /// Outcome of dissemination + final-result collection.
+  struct FinalOutcome {
+    bool failed = false;
+    size_t final_tuples_shipped = 0;
+    size_t resyncs = 0;  ///< lost/corrupted final hops re-pulled
+    /// Complete tuples available at the base station for the exact join.
+    std::vector<data::Tuple> candidates;
+  };
+
+  /// Disseminates `filter` (for a sharing group: the union of the members'
+  /// filters) with Selective Filter Forwarding over the maintained subtree
+  /// structures, then collects the matching complete tuples. Must follow a
+  /// successful Collect of the same epoch.
+  Status DisseminateAndFinalize(const PointSet& filter, FinalOutcome* out);
+
+  /// Set view of the maintained base-station multiset.
+  PointSet CollectedSet() const;
+
+  /// Valid after the first successful Collect (until Reset).
+  const JoinAttrCodec* codec() const { return codec_.get(); }
+  /// Epoch context of the last Collect (senses; valid until the next
+  /// Collect or Reset).
+  const ExecutorContext* context() const {
+    return ctx_.has_value() ? &*ctx_ : nullptr;
+  }
   bool bootstrapped() const { return bootstrapped_; }
 
- private:
-  /// One attempt; *failed set on link failure (retry after tree rebuild).
-  Status ExecuteAttempt(const query::AnalyzedQuery& q, uint64_t epoch,
-                        ExecutionReport* report, bool* failed);
+  /// Drops all distributed state; the next Collect bootstraps.
+  void Reset();
 
-  void ResetDistributedState();
+ private:
+  /// Delivers `msg` with bounded receiver-side re-pull on loss/corruption;
+  /// increments *resyncs per re-pull. False = permanent failure.
+  bool SendWithResync(sim::Message msg, size_t* resyncs);
 
   sim::Simulator& sim_;
-  net::RoutingTree tree_;
   const data::NetworkData& data_;
   QuantizationConfig quantization_;
   ProtocolConfig config_;
+
+  // ---- Epoch-scoped state (set by Collect) ------------------------------
+  const net::RoutingTree* tree_ = nullptr;
+  std::optional<ExecutorContext> ctx_;
+  std::vector<uint64_t> new_key_;
+  std::vector<char> new_valid_;
 
   // ---- Persistent distributed state (valid while bootstrapped_) ---------
   bool bootstrapped_ = false;
@@ -74,6 +148,44 @@ class ContinuousSensJoinExecutor {
   std::vector<std::map<uint64_t, int>> subtree_counts_;
   /// Base station: multiset of all reported keys.
   std::map<uint64_t, int> base_counts_;
+
+  // ---- Treecut state (config_.use_treecut; fixed at bootstrap) ----------
+  std::vector<char> exited_;
+  /// Proxy of each exited owner once its tuple first arrived somewhere
+  /// (kInvalidNode before that).
+  std::vector<sim::NodeId> proxy_of_;
+  /// Owners whose complete tuple is stored at this (proxy) node.
+  std::vector<std::vector<sim::NodeId>> proxied_at_;
+  /// Last tuple content each exited owner shipped (tracks the proxy's
+  /// store; nullopt = no tuple / tombstoned).
+  std::vector<std::optional<data::Tuple>> stored_tuple_;
+};
+
+/// Continuous-query variant of SENS-Join: single-query wrapper around
+/// DeltaGroupExecutor with incremental filter maintenance at the base
+/// station. The first ExecuteEpoch call (and any call after a topology
+/// repair) bootstraps the distributed state, which is exactly a full
+/// collection.
+class ContinuousSensJoinExecutor {
+ public:
+  ContinuousSensJoinExecutor(sim::Simulator& sim, net::RoutingTree tree,
+                             const data::NetworkData& data,
+                             QuantizationConfig quantization,
+                             ProtocolConfig config = ProtocolConfig{});
+
+  /// Executes one period over snapshot `epoch`.
+  StatusOr<ExecutionReport> ExecuteEpoch(const query::AnalyzedQuery& q,
+                                         uint64_t epoch);
+
+  const net::RoutingTree& tree() const { return tree_; }
+  bool bootstrapped() const { return engine_.bootstrapped(); }
+
+ private:
+  sim::Simulator& sim_;
+  net::RoutingTree tree_;
+  ProtocolConfig config_;
+  DeltaGroupExecutor engine_;
+  IncrementalJoinFilter filter_;
 };
 
 }  // namespace sensjoin::join

@@ -109,6 +109,14 @@ struct ExecutionReport {
   size_t filter_points = 0;     ///< points surviving the filter join
   size_t treecut_exited_nodes = 0;  ///< nodes that finished via Treecut
   size_t delta_changed_nodes = 0;   ///< continuous mode: nodes whose key moved
+  size_t delta_resyncs = 0;  ///< continuous mode: lost/corrupted delta hops
+                             ///< re-pulled instead of going stale
+
+  /// Continuous service only: number of co-admitted queries that shared
+  /// this execution's collection/dissemination/final phases (including this
+  /// one; 1 = dedicated). `cost` is the shared group cost, paid once for
+  /// the whole group, not per query.
+  size_t shared_group_size = 1;
   size_t final_tuples_shipped = 0;  ///< complete tuples sent in the final
                                     ///< phase (Treecut tuples excluded)
   size_t candidate_tuples = 0;      ///< tuples available at the base station

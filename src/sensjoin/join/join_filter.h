@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,63 @@ FilterJoinResult ComputeJoinFilter(
     const query::AnalyzedQuery& q, const JoinAttrCodec& codec,
     const PointSet& collected,
     FilterJoinStrategy strategy = FilterJoinStrategy::kAuto);
+
+/// Incrementally extends `previous` — the filter of the previous epoch's
+/// collected set — to the filter of `collected`, where `added` is the
+/// set-level difference collected_now \ collected_before.
+///
+/// Precondition (caller-checked): no key removed since the previous epoch
+/// was in `previous`. A key outside the filter matched no combination, so
+/// its removal cannot invalidate any other key's membership; every key of
+/// `previous` therefore still matches, and new members can only come from
+/// combinations touching at least one added key. The DFS enumerates exactly
+/// those (pivoting on the first added position), so the result is
+/// bit-identical to ComputeJoinFilter(q, codec, collected).filter at a cost
+/// proportional to the added fraction instead of the full cross product.
+FilterJoinResult ComputeJoinFilterDelta(const query::AnalyzedQuery& q,
+                                        const JoinAttrCodec& codec,
+                                        const PointSet& collected,
+                                        const PointSet& previous,
+                                        const std::vector<uint64_t>& added);
+
+/// Epoch-to-epoch join-filter cache for continuous execution: picks the
+/// cheapest sound maintenance path per epoch (reuse / delta DFS / full
+/// recompute) from the set-level collection delta reported by
+/// DeltaGroupExecutor. The produced filter is always bit-identical to a
+/// from-scratch ComputeJoinFilter over the same collected set.
+class IncrementalJoinFilter {
+ public:
+  /// Returns the filter for `collected`. `added`/`removed` describe the
+  /// set-level change since the previous Update; they are ignored when the
+  /// cache is empty (first call or after Reset), which forces a full
+  /// computation.
+  const FilterJoinResult& Update(
+      const query::AnalyzedQuery& q, const JoinAttrCodec& codec,
+      const PointSet& collected, const std::vector<uint64_t>& added,
+      const std::vector<uint64_t>& removed,
+      FilterJoinStrategy strategy = FilterJoinStrategy::kAuto);
+
+  /// Drops the cache; the next Update recomputes from scratch.
+  void Reset() { valid_ = false; }
+
+  bool valid() const { return valid_; }
+  /// Last produced result (valid() only).
+  const FilterJoinResult& last() const { return *last_; }
+
+  /// Maintenance-path counters (cumulative since construction).
+  size_t reuses() const { return reuses_; }
+  size_t incremental_updates() const { return incremental_updates_; }
+  size_t full_recomputes() const { return full_recomputes_; }
+
+ private:
+  bool valid_ = false;
+  /// Engaged after the first Update (PointSet has no null state, so the
+  /// cache cannot be default-constructed).
+  std::optional<FilterJoinResult> last_;
+  size_t reuses_ = 0;
+  size_t incremental_updates_ = 0;
+  size_t full_recomputes_ = 0;
+};
 
 }  // namespace sensjoin::join
 

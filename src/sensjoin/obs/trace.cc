@@ -81,6 +81,8 @@ const char* PhaseName(Phase phase) {
       return "ExternalCollection";
     case Phase::kTreeRepair:
       return "TreeRepair";
+    case Phase::kServiceEpoch:
+      return "ServiceEpoch";
     case Phase::kNumPhases:
       break;
   }

@@ -78,6 +78,7 @@ enum class Phase : uint8_t {
   kFinalResult,          ///< SENS-Join phase 2
   kExternalCollection,   ///< the external join's single collection phase
   kTreeRepair,           ///< in-network tree repair (net/tree_maintenance.h)
+  kServiceEpoch,         ///< one continuous-service epoch (all groups)
   kNumPhases,            ///< sentinel; keep last
 };
 

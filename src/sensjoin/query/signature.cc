@@ -1,0 +1,31 @@
+#include "sensjoin/query/signature.h"
+
+#include <set>
+
+namespace sensjoin::query {
+
+std::string SharingSignatureOf(const AnalyzedQuery& q) {
+  std::string sig;
+  for (int t = 0; t < q.num_tables(); ++t) {
+    const AnalyzedTable& table = q.table(t);
+    sig += "from(";
+    sig += table.relation;
+    sig += ";";
+    if (table.selection != nullptr) sig += table.selection->ToString();
+    sig += ")";
+  }
+  std::set<int> attrs;
+  for (int t = 0; t < q.num_tables(); ++t) {
+    attrs.insert(q.table(t).join_attr_indices.begin(),
+                 q.table(t).join_attr_indices.end());
+  }
+  sig += "dims(";
+  for (int a : attrs) {
+    sig += std::to_string(a);
+    sig += ",";
+  }
+  sig += ")";
+  return sig;
+}
+
+}  // namespace sensjoin::query

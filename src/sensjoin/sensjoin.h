@@ -39,6 +39,9 @@
 #include "sensjoin/obs/metrics.h"             // IWYU pragma: export
 #include "sensjoin/obs/trace.h"               // IWYU pragma: export
 #include "sensjoin/query/query.h"             // IWYU pragma: export
+#include "sensjoin/query/signature.h"         // IWYU pragma: export
+#include "sensjoin/service/join_service.h"    // IWYU pragma: export
+#include "sensjoin/service/query_registry.h"  // IWYU pragma: export
 #include "sensjoin/sim/fault_model.h"         // IWYU pragma: export
 #include "sensjoin/sim/simulator.h"           // IWYU pragma: export
 #include "sensjoin/testbed/parallel.h"        // IWYU pragma: export

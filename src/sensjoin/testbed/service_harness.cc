@@ -1,0 +1,59 @@
+#include "sensjoin/testbed/service_harness.h"
+
+#include <utility>
+
+#include "sensjoin/common/logging.h"
+
+namespace sensjoin::testbed {
+
+service::JoinService MakeService(Testbed& tb, service::ServiceConfig config) {
+  return service::JoinService(tb.simulator(), tb.data(), tb.tree(),
+                              tb.quantization(), config);
+}
+
+StatusOr<ServiceRunResult> RunService(Testbed& tb,
+                                      const ServiceRunParams& params) {
+  service::JoinService svc = MakeService(tb, params.config);
+  ServiceRunResult result;
+
+  for (const std::string& sql : params.initial_queries) {
+    SENSJOIN_ASSIGN_OR_RETURN(const service::QueryId id, svc.Register(sql));
+    result.admitted.push_back(id);
+  }
+
+  for (uint64_t step = 0; step < params.epochs; ++step) {
+    for (const ChurnEvent& event : params.churn) {
+      if (event.epoch != step) continue;
+      if (event.kind == ChurnEvent::Kind::kRegister) {
+        SENSJOIN_ASSIGN_OR_RETURN(const service::QueryId id,
+                                  svc.Register(event.sql));
+        result.admitted.push_back(id);
+      } else {
+        service::QueryId target = event.target;
+        if (target == 0) {
+          const std::vector<service::QueryId> active =
+              svc.registry().ActiveIds();
+          if (active.empty()) {
+            return Status::FailedPrecondition(
+                "churn cancel with no active query");
+          }
+          target = active.front();
+        }
+        SENSJOIN_RETURN_IF_ERROR(svc.Cancel(target));
+      }
+    }
+    if (svc.registry().active_count() == 0) continue;
+    SENSJOIN_ASSIGN_OR_RETURN(service::ServiceEpochReport report,
+                              svc.RunEpoch());
+    result.epochs.push_back(std::move(report));
+  }
+
+  for (const service::QueryId id : result.admitted) {
+    SENSJOIN_ASSIGN_OR_RETURN(const service::QueryRecord* record,
+                              svc.registry().Get(id));
+    result.query_reports.emplace(id, record->reports);
+  }
+  return result;
+}
+
+}  // namespace sensjoin::testbed

@@ -1,0 +1,65 @@
+#ifndef SENSJOIN_TESTBED_SERVICE_HARNESS_H_
+#define SENSJOIN_TESTBED_SERVICE_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sensjoin/common/statusor.h"
+#include "sensjoin/service/join_service.h"
+#include "sensjoin/testbed/testbed.h"
+
+namespace sensjoin::testbed {
+
+/// Builds a continuous join service bound to `tb`'s deployment (simulator,
+/// environment data, a copy of the routing tree, the environment's
+/// quantization). The testbed must outlive the service. Each ParallelRunner
+/// trial builds its own testbed + service pair, keeping trials
+/// self-contained and sweeps byte-identical to sequential runs.
+service::JoinService MakeService(
+    Testbed& tb, service::ServiceConfig config = service::ServiceConfig{});
+
+/// One admission-churn action, applied before its epoch executes.
+struct ChurnEvent {
+  enum class Kind { kRegister, kCancel };
+  uint64_t epoch = 0;
+  Kind kind = Kind::kRegister;
+  /// kRegister: the SQL to admit.
+  std::string sql;
+  /// kCancel: the query to cancel; 0 = the oldest still-active query.
+  service::QueryId target = 0;
+};
+
+/// Scripted service run: initial admissions, a churn schedule, a fixed
+/// number of epochs.
+struct ServiceRunParams {
+  std::vector<std::string> initial_queries;
+  std::vector<ChurnEvent> churn;
+  uint64_t epochs = 6;
+  service::ServiceConfig config;
+};
+
+struct ServiceRunResult {
+  /// Ids in admission order (initial queries first, then churn
+  /// registrations).
+  std::vector<service::QueryId> admitted;
+  /// Service-level rollup per executed epoch.
+  std::vector<service::ServiceEpochReport> epochs;
+  /// Per-query report streams, copied out of the registry at the end (a
+  /// query's stream covers the epochs it was active in).
+  std::map<service::QueryId, std::vector<join::ExecutionReport>>
+      query_reports;
+};
+
+/// Drives a JoinService over `tb` for `params.epochs` scheduled epochs,
+/// applying the churn schedule (events fire when their `epoch` equals the
+/// schedule step). Fails on invalid churn (bad SQL, unknown cancel target)
+/// or an epoch that exhausts its retries; a step with no active queries is
+/// skipped without advancing the service's epoch counter.
+StatusOr<ServiceRunResult> RunService(Testbed& tb,
+                                      const ServiceRunParams& params);
+
+}  // namespace sensjoin::testbed
+
+#endif  // SENSJOIN_TESTBED_SERVICE_HARNESS_H_
